@@ -1,0 +1,329 @@
+//! Comparison systems for the paper's evaluation (§5.2, §6.2):
+//!
+//! * [`PerDeviceBaseline`] — the management method of existing FPGA clouds
+//!   (e.g. AWS F1): one physical FPGA allocated *exhaustively* to one
+//!   application, programmed with a full-device bitstream (paper Fig. 2a).
+//! * [`AmorphOsLowLatency`] — the slot-based method (paper Fig. 2b):
+//!   FPGAs are split into fixed-size slots; an application occupies a whole
+//!   slot regardless of its real size (internal fragmentation), and
+//!   applications larger than a slot take the whole device.
+//! * [`AmorphOsHighThroughput`] — AmorphOS's high-throughput mode (paper
+//!   Fig. 2c): multiple applications are combined into one full-device
+//!   image, achieving fine-grained sharing *within* one FPGA, but (a) every
+//!   deployment reprograms the whole device, pausing co-runners, (b) no
+//!   application can span FPGAs, and (c) every application combination must
+//!   be compiled offline — [`count_feasible_combinations`] models that
+//!   compile-time explosion (§5.4 mentions "hundreds of combinations").
+//!
+//! All three implement [`vital_cluster::Scheduler`] so they run on the same
+//! discrete-event simulator as ViTAL's policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vital_cluster::{ClusterView, Deployment, PendingRequest, ReconfigKind, Scheduler};
+use vital_fabric::BlockAddr;
+
+/// The existing-cloud baseline: whole-FPGA exhaustive allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerDeviceBaseline;
+
+impl PerDeviceBaseline {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        PerDeviceBaseline
+    }
+}
+
+impl Scheduler for PerDeviceBaseline {
+    fn name(&self) -> &str {
+        "per-device-baseline"
+    }
+
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+        let mut out = Vec::new();
+        let mut idle: Vec<usize> = (0..view.fpga_count()).filter(|&f| view.fpga_idle(f)).collect();
+        for p in pending {
+            // Every request gets a whole device, however small the app is.
+            let Some(f) = idle.pop() else { break };
+            out.push(Deployment {
+                request: p.request.id,
+                blocks: view.free_blocks_of(f),
+                reconfig: ReconfigKind::FullDevice,
+            });
+        }
+        out
+    }
+}
+
+/// The slot-based method (including AmorphOS's low-latency mode).
+#[derive(Debug, Clone, Copy)]
+pub struct AmorphOsLowLatency {
+    slots_per_fpga: usize,
+}
+
+impl AmorphOsLowLatency {
+    /// Creates the policy with the conventional two slots per FPGA.
+    pub fn new() -> Self {
+        AmorphOsLowLatency { slots_per_fpga: 2 }
+    }
+
+    /// Creates the policy with an explicit slot count per FPGA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots_per_fpga` is zero.
+    pub fn with_slots(slots_per_fpga: usize) -> Self {
+        assert!(slots_per_fpga > 0, "need at least one slot");
+        AmorphOsLowLatency { slots_per_fpga }
+    }
+
+    fn slot_blocks(&self, blocks_per_fpga: usize) -> usize {
+        blocks_per_fpga.div_ceil(self.slots_per_fpga)
+    }
+}
+
+impl Default for AmorphOsLowLatency {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for AmorphOsLowLatency {
+    fn name(&self) -> &str {
+        "amorphos-low-latency"
+    }
+
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+        let mut out = Vec::new();
+        // Track blocks consumed by this pass.
+        let mut taken: Vec<Vec<BlockAddr>> = (0..view.fpga_count())
+            .map(|f| view.free_blocks_of(f))
+            .collect();
+        for p in pending {
+            let need = p.request.blocks_needed as usize;
+            let max_slot = (0..view.fpga_count())
+                .map(|f| self.slot_blocks(view.blocks_per_fpga_of(f)))
+                .max()
+                .unwrap_or(0);
+            if need > max_slot {
+                // Larger than a slot: needs the whole device.
+                if let Some(f) = (0..view.fpga_count())
+                    .find(|&f| view.fpga_idle(f) && taken[f].len() == view.blocks_per_fpga_of(f))
+                {
+                    out.push(Deployment {
+                        request: p.request.id,
+                        blocks: std::mem::take(&mut taken[f]),
+                        reconfig: ReconfigKind::FullDevice,
+                    });
+                }
+                continue;
+            }
+            // One whole slot, aligned to slot boundaries: the app gets
+            // slot_size blocks even if it needs fewer (internal
+            // fragmentation of the slot-based method).
+            #[allow(clippy::needless_range_loop)] // `f` indexes both the view and `taken`
+            'fpga: for f in 0..view.fpga_count() {
+                let blocks_here = view.blocks_per_fpga_of(f);
+                let slot_size = self.slot_blocks(blocks_here.max(1));
+                for s in 0..self.slots_per_fpga {
+                    let lo = s * slot_size;
+                    let hi = (lo + slot_size).min(blocks_here);
+                    if hi - lo < need {
+                        continue;
+                    }
+                    let slot_addrs: Vec<BlockAddr> = taken[f]
+                        .iter()
+                        .copied()
+                        .filter(|b| {
+                            let i = b.block.index() as usize;
+                            i >= lo && i < hi
+                        })
+                        .collect();
+                    if slot_addrs.len() == hi - lo {
+                        taken[f].retain(|b| !slot_addrs.contains(b));
+                        out.push(Deployment {
+                            request: p.request.id,
+                            blocks: slot_addrs,
+                            reconfig: ReconfigKind::PartialPerBlock,
+                        });
+                        break 'fpga;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// AmorphOS's high-throughput mode: fine-grained sharing on one FPGA via
+/// offline-combined full-device images.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AmorphOsHighThroughput;
+
+impl AmorphOsHighThroughput {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        AmorphOsHighThroughput
+    }
+}
+
+impl Scheduler for AmorphOsHighThroughput {
+    fn name(&self) -> &str {
+        "amorphos-high-throughput"
+    }
+
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+        let mut out = Vec::new();
+        let mut free: Vec<Vec<BlockAddr>> = (0..view.fpga_count())
+            .map(|f| view.free_blocks_of(f))
+            .collect();
+        for p in pending {
+            let need = p.request.blocks_needed as usize;
+            // Best fit on a single FPGA — combining with whatever already
+            // runs there. No multi-FPGA support: requests larger than any
+            // single FPGA's free space wait.
+            let best = (0..free.len())
+                .filter(|&f| free[f].len() >= need)
+                .min_by_key(|&f| free[f].len());
+            let Some(f) = best else { continue };
+            let blocks: Vec<BlockAddr> = free[f].drain(..need).collect();
+            out.push(Deployment {
+                request: p.request.id,
+                blocks,
+                // The combined image is a full-device bitstream: deploying
+                // it disturbs the co-running applications on that FPGA.
+                reconfig: ReconfigKind::FullDevice,
+            });
+        }
+        out
+    }
+}
+
+/// Counts the application combinations AmorphOS's high-throughput mode must
+/// compile offline: subsets of the library (each app at most once, up to
+/// `max_apps` co-residents) whose combined block demand fits one FPGA.
+///
+/// The count is capped at `u64::MAX` arithmetic but explodes combinatorially
+/// — exactly the offline-compilation burden the paper contrasts with
+/// ViTAL's one-compile-per-app (§5.4).
+pub fn count_feasible_combinations(app_blocks: &[u32], capacity: u32, max_apps: usize) -> u64 {
+    fn dfs(blocks: &[u32], start: usize, left: u32, depth: usize, max_depth: usize) -> u64 {
+        if depth == max_depth {
+            return 0;
+        }
+        let mut count = 0u64;
+        for i in start..blocks.len() {
+            if blocks[i] <= left {
+                count += 1 + dfs(blocks, i + 1, left - blocks[i], depth + 1, max_depth);
+            }
+        }
+        count
+    }
+    dfs(app_blocks, 0, capacity, 0, max_apps.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_cluster::{AppRequest, ClusterConfig, ClusterSim};
+
+    fn mixed_workload(n: u64) -> Vec<AppRequest> {
+        (0..n)
+            .map(|i| {
+                let blocks = [1u32, 3, 5, 8][i as usize % 4];
+                AppRequest::new(i, format!("app{i}"), blocks, 1.0e9).arriving_at(i as f64 * 0.25)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_serializes_per_device() {
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut PerDeviceBaseline::new(), mixed_workload(8));
+        assert_eq!(report.completed(), 8);
+        // Whole device per app: effective utilization is poor.
+        assert!(report.effective_utilization < 0.5);
+        // Never spans FPGAs.
+        assert_eq!(report.spanning_fraction(), 0.0);
+        for o in &report.outcomes {
+            assert_eq!(o.blocks_allocated, 15);
+        }
+    }
+
+    #[test]
+    fn slot_based_allocates_whole_slots() {
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut AmorphOsLowLatency::new(), mixed_workload(8));
+        assert_eq!(report.completed(), 8);
+        for o in &report.outcomes {
+            // Slots for 15 blocks / 2 slots: 8 and 7 blocks; whole-device
+            // allocations take all 15.
+            assert!(matches!(o.blocks_allocated, 7 | 8 | 15));
+        }
+    }
+
+    #[test]
+    fn high_throughput_shares_one_fpga_fine_grained() {
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut AmorphOsHighThroughput::new(), mixed_workload(8));
+        assert_eq!(report.completed(), 8);
+        // Allocation matches need exactly...
+        for o in &report.outcomes {
+            assert_eq!(o.blocks_allocated, o.blocks_needed);
+            // ...but never spans devices.
+            assert_eq!(o.fpgas_used, 1);
+        }
+    }
+
+    #[test]
+    fn ranking_matches_paper_fig2() {
+        // Response time: HT < slot-based < per-device on a mixed workload
+        // with queueing pressure.
+        let reqs = mixed_workload(24);
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let base = sim.run(&mut PerDeviceBaseline::new(), reqs.clone());
+        let slot = sim.run(&mut AmorphOsLowLatency::new(), reqs.clone());
+        let ht = sim.run(&mut AmorphOsHighThroughput::new(), reqs);
+        assert!(
+            ht.avg_response_s() < base.avg_response_s(),
+            "HT {} vs baseline {}",
+            ht.avg_response_s(),
+            base.avg_response_s()
+        );
+        assert!(
+            slot.avg_response_s() < base.avg_response_s(),
+            "slot {} vs baseline {}",
+            slot.avg_response_s(),
+            base.avg_response_s()
+        );
+    }
+
+    #[test]
+    fn combination_count_explodes() {
+        // 8 app variants on a 15-block device: many more combined images
+        // than the 8 single-app images ViTAL compiles.
+        let blocks = [1, 1, 3, 3, 5, 5, 8, 10];
+        let combos = count_feasible_combinations(&blocks, 15, 8);
+        assert!(
+            combos > 10 * blocks.len() as u64,
+            "combos = {combos} for {} single-app images",
+            blocks.len()
+        );
+        // One app alone is one "combination" each.
+        assert_eq!(count_feasible_combinations(&[4], 15, 1), 1);
+        // Nothing fits: zero.
+        assert_eq!(count_feasible_combinations(&[20], 15, 4), 0);
+    }
+
+    #[test]
+    fn oversized_requests_wait_under_slot_policy() {
+        // A 10-block app exceeds the 8-block slot: it must take a whole
+        // idle device.
+        let reqs = vec![AppRequest::new(0, "big", 10, 1.0e9)];
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut AmorphOsLowLatency::new(), reqs);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.outcomes[0].blocks_allocated, 15);
+    }
+}

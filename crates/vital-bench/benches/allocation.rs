@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the system layer: the communication-aware
+//! allocation policy and full discrete-event workload runs per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vital::baselines::{AmorphOsHighThroughput, PerDeviceBaseline};
+use vital::cluster::{ClusterConfig, ClusterSim, Scheduler};
+use vital::fabric::{BlockAddr, FpgaId, PhysicalBlockId};
+use vital::runtime::{allocate_blocks, VitalScheduler};
+use vital_bench::fig9_workload;
+
+fn bench_allocate_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_blocks");
+    // A realistically fragmented cluster: each FPGA has a different number
+    // of free blocks scattered across indices.
+    let free_lists: Vec<Vec<BlockAddr>> = (0..4u32)
+        .map(|f| {
+            (0..15u32)
+                .filter(|b| (b + f) % (f + 2) != 0)
+                .map(|b| BlockAddr::new(FpgaId::new(f), PhysicalBlockId::new(b)))
+                .collect()
+        })
+        .collect();
+    for need in [1usize, 5, 10, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(need), &need, |b, &need| {
+            b.iter(|| allocate_blocks(&free_lists, need));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_run_set7");
+    group.sample_size(10);
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    let reqs = fig9_workload(7, 101);
+
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+    let cases: Vec<(&str, PolicyFactory)> = vec![
+        ("vital", Box::new(|| Box::new(VitalScheduler::new()))),
+        ("baseline", Box::new(|| Box::new(PerDeviceBaseline::new()))),
+        (
+            "amorphos-ht",
+            Box::new(|| Box::new(AmorphOsHighThroughput::new())),
+        ),
+    ];
+    for (name, make) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut policy = make();
+                sim.run(policy.as_mut(), reqs.clone())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate_blocks, bench_workload_run);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the latency-insensitive interface: cycle-level
+//! simulation throughput and channel planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vital::interface::{
+    plan_channels, ActorKind, ChannelSpec, CutEdge, InterfaceConfig, LinkClass, NetworkSim,
+};
+
+fn bench_channel_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_sim");
+    let cycles = 10_000u64;
+    group.throughput(Throughput::Elements(cycles));
+    for link in [LinkClass::IntraDie, LinkClass::InterDie, LinkClass::InterFpga] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{link:?}")),
+            &link,
+            |b, &link| {
+                b.iter(|| {
+                    let mut sim = NetworkSim::new();
+                    let ch = sim.add_channel(ChannelSpec::saturating(link));
+                    sim.add_actor(ActorKind::Source { limit: u64::MAX }, [], [ch]);
+                    sim.add_actor(
+                        ActorKind::Sink {
+                            stall_period: 7,
+                            stall_duty: 2,
+                        },
+                        [ch],
+                        [],
+                    );
+                    sim.run(cycles)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipeline_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_network");
+    group.sample_size(20);
+    for stages in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
+            b.iter(|| {
+                let mut sim = NetworkSim::new();
+                let mut channels = Vec::new();
+                for _ in 0..=stages {
+                    channels.push(sim.add_channel(ChannelSpec::for_link(LinkClass::IntraDie, 64)));
+                }
+                sim.add_actor(ActorKind::Source { limit: 2_000 }, [], [channels[0]]);
+                for s in 0..stages {
+                    sim.add_actor(ActorKind::Relay, [channels[s]], [channels[s + 1]]);
+                }
+                sim.add_actor(
+                    ActorKind::Sink {
+                        stall_period: 0,
+                        stall_duty: 0,
+                    },
+                    [channels[stages]],
+                    [],
+                );
+                let stats = sim.run_until_quiescent(1_000_000);
+                assert!(!stats.deadlocked);
+                stats
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_channels");
+    for n in [16usize, 256, 4096] {
+        let cuts: Vec<CutEdge> = (0..n)
+            .map(|i| CutEdge {
+                from_block: (i % 10) as u32,
+                to_block: ((i + 1) % 10) as u32,
+                bits: 64 + (i as u64 % 512),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cuts, |b, cuts| {
+            b.iter(|| plan_channels(cuts, &InterfaceConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channel_sim,
+    bench_pipeline_network,
+    bench_channel_planning
+);
+criterion_main!(benches);

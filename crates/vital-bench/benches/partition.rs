@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the partition step on real Table 2 benchmarks:
+//! packing throughput and end-to-end compile latency per design size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::synthesize;
+use vital::netlist::DataflowGraph;
+use vital::placer::{pack, PackingConfig};
+use vital::workloads::{benchmarks, Size};
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    let bench = &benchmarks()[0]; // lenet
+    for size in [Size::Small, Size::Medium] {
+        let netlist = synthesize(&bench.spec(size)).unwrap();
+        let dfg = DataflowGraph::from_netlist(&netlist);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(netlist.primitive_count()),
+            &(netlist, dfg),
+            |b, (netlist, dfg)| {
+                b.iter(|| pack(netlist, dfg, &PackingConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_small_variants");
+    group.sample_size(10);
+    let compiler = Compiler::new(CompilerConfig::default());
+    for bench in benchmarks().into_iter().take(3) {
+        let spec = bench.spec(Size::Small);
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &spec, |b, spec| {
+            b.iter(|| compiler.compile(spec).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_compile_suite);
+criterion_main!(benches);

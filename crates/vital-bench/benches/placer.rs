@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the §4 placement pipeline building blocks:
+//! the sparse CG solver and the full placer at growing design sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vital::netlist::hls::{synthesize, AppSpec, Operator};
+use vital::placer::{Placer, PlacerConfig, SparseSystem, VirtualGrid};
+
+fn chain_app(stages: u32, slices_per_stage: u32) -> vital::netlist::Netlist {
+    let mut spec = AppSpec::new("bench");
+    let mut prev = None;
+    for i in 0..stages {
+        let op = spec.add_operator(
+            format!("s{i}"),
+            Operator::Pipeline {
+                slices: slices_per_stage,
+            },
+        );
+        if let Some(p) = prev {
+            spec.add_edge(p, op, 64).unwrap();
+        }
+        prev = Some(op);
+    }
+    synthesize(&spec).unwrap()
+}
+
+fn bench_cg_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solver");
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // 2D grid Laplacian with two anchors.
+            let side = (n as f64).sqrt() as usize;
+            let mut sys = SparseSystem::new(n);
+            for i in 0..n {
+                if i % side != side - 1 && i + 1 < n {
+                    sys.add_coupling(i, i + 1, 1.0);
+                }
+                if i + side < n {
+                    sys.add_coupling(i, i + side, 1.0);
+                }
+            }
+            sys.add_anchor(0, 1e6, 0.0);
+            sys.add_anchor(n - 1, 1e6, 100.0);
+            let x0 = vec![0.0; n];
+            b.iter(|| sys.solve(&x0, 1e-7, 4 * n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_placer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placer_pipeline");
+    group.sample_size(10);
+    for stages in [8u32, 24] {
+        let netlist = chain_app(stages, 100);
+        let total = netlist.resource_usage();
+        let grid = VirtualGrid::uniform(4, total.scale(0.4));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(netlist.primitive_count()),
+            &netlist,
+            |b, netlist| {
+                let placer = Placer::new(PlacerConfig::default());
+                b.iter(|| placer.run(netlist, &grid).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_global_router(c: &mut Criterion) {
+    use vital::compiler::route::{route_global, RouteConfig};
+    use vital::interface::{plan_channels, CutEdge, InterfaceConfig};
+
+    let mut group = c.benchmark_group("global_router");
+    for channels in [8usize, 64, 256] {
+        // All-to-all-ish traffic over a 4x4 mesh of slots.
+        let cuts: Vec<CutEdge> = (0..channels)
+            .map(|i| CutEdge {
+                from_block: (i % 16) as u32,
+                to_block: ((i * 7 + 3) % 16) as u32,
+                bits: 64 + (i as u64 % 448),
+            })
+            .filter(|c| c.from_block != c.to_block)
+            .collect();
+        let plan = plan_channels(&cuts, &InterfaceConfig::default());
+        let slots: Vec<u32> = (0..16).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(plan.channel_count()),
+            &plan,
+            |b, plan| {
+                b.iter(|| route_global(plan, &slots, 4, 4, &RouteConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_solver, bench_full_placer, bench_global_router);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Error type of the cluster simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use vital_fabric::BlockAddr;
+
+use crate::RequestId;
+
+/// Errors raised when a scheduling policy returns an invalid deployment.
+/// These indicate a policy bug, so the simulator surfaces them instead of
+/// silently repairing the decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The deployment referenced a request that is not pending.
+    NotPending(RequestId),
+    /// A deployment used a block that is busy or out of range.
+    BlockUnavailable {
+        /// The offending request.
+        request: RequestId,
+        /// The offending block.
+        block: BlockAddr,
+    },
+    /// A deployment repeated the same block.
+    DuplicateBlock {
+        /// The offending request.
+        request: RequestId,
+        /// The repeated block.
+        block: BlockAddr,
+    },
+    /// A deployment allocated fewer blocks than the request needs.
+    InsufficientBlocks {
+        /// The offending request.
+        request: RequestId,
+        /// Blocks allocated.
+        allocated: usize,
+        /// Blocks needed.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NotPending(r) => write!(f, "request {r} is not pending"),
+            ClusterError::BlockUnavailable { request, block } => {
+                write!(f, "deployment of {request} uses unavailable block {block}")
+            }
+            ClusterError::DuplicateBlock { request, block } => {
+                write!(f, "deployment of {request} repeats block {block}")
+            }
+            ClusterError::InsufficientBlocks {
+                request,
+                allocated,
+                needed,
+            } => write!(
+                f,
+                "deployment of {request} allocates {allocated} blocks but {needed} are needed"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ClusterError>();
+        assert!(!ClusterError::NotPending(RequestId(1)).to_string().is_empty());
+    }
+}

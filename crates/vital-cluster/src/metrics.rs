@@ -1,0 +1,197 @@
+//! Quality-of-service metrics of a simulated run (paper §5.5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::RequestId;
+
+/// Per-request outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The request.
+    pub id: RequestId,
+    /// Application name.
+    pub name: String,
+    /// Arrival time (s).
+    pub arrival_s: f64,
+    /// When resources were granted (s).
+    pub scheduled_s: f64,
+    /// When reconfiguration finished and execution began (s).
+    pub exec_start_s: f64,
+    /// When execution finished (s).
+    pub completion_s: f64,
+    /// Pure execution time (s), including any pause disturbance.
+    pub service_s: f64,
+    /// Blocks the request needed.
+    pub blocks_needed: u32,
+    /// Blocks actually allocated (the baseline allocates whole devices).
+    pub blocks_allocated: u32,
+    /// Distinct FPGAs used.
+    pub fpgas_used: u32,
+    /// Fraction of service time attributable to the latency-insensitive
+    /// interface (paper: < 0.03 %).
+    pub interface_overhead_fraction: f64,
+    /// Times the request was killed by an FPGA failure and re-queued.
+    pub restarts: u32,
+}
+
+impl RequestOutcome {
+    /// Response time = completion − arrival: the paper's QoS metric.
+    pub fn response_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+
+    /// Time spent waiting for resources.
+    pub fn wait_s(&self) -> f64 {
+        self.scheduled_s - self.arrival_s
+    }
+
+    /// `true` if the application spanned multiple FPGAs.
+    pub fn spanned_fpgas(&self) -> bool {
+        self.fpgas_used > 1
+    }
+}
+
+/// Aggregate report of one simulated workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy that produced the run.
+    pub policy: String,
+    /// Per-request outcomes, in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Makespan: last completion time (s).
+    pub makespan_s: f64,
+    /// Time-averaged fraction of physical blocks occupied while the cluster
+    /// was active.
+    pub block_utilization: f64,
+    /// Time-averaged fraction of occupied blocks doing *useful* work
+    /// (needed blocks over allocated blocks — exposes the baseline's
+    /// internal fragmentation).
+    pub effective_utilization: f64,
+    /// Time-averaged fraction of physical blocks occupied while at least
+    /// one request was waiting for resources — the utilization figure that
+    /// matters for the paper's ">93 % of blocks utilized" claim (§5.5):
+    /// idle blocks are only a problem while demand is queued.
+    pub pressured_utilization: f64,
+    /// Time-averaged number of concurrently running applications.
+    pub avg_concurrency: f64,
+    /// Peak number of concurrently running applications.
+    pub peak_concurrency: usize,
+}
+
+impl SimReport {
+    /// Number of completed requests.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Mean response time (s).
+    pub fn avg_response_s(&self) -> f64 {
+        mean(self.outcomes.iter().map(RequestOutcome::response_s))
+    }
+
+    /// Mean wait time (s).
+    pub fn avg_wait_s(&self) -> f64 {
+        mean(self.outcomes.iter().map(RequestOutcome::wait_s))
+    }
+
+    /// 95th-percentile response time (s).
+    pub fn p95_response_s(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.outcomes.iter().map(RequestOutcome::response_s).collect();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[((v.len() - 1) as f64 * 0.95).round() as usize]
+    }
+
+    /// Fraction of applications that spanned multiple FPGAs (the paper
+    /// observes 5–40 % under ViTAL).
+    pub fn spanning_fraction(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.spanned_fpgas()).count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Total failure-induced restarts across all requests.
+    pub fn total_restarts(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.restarts)).sum()
+    }
+
+    /// Worst interface-overhead fraction observed.
+    pub fn max_interface_overhead(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.interface_overhead_fraction)
+            .fold(0.0, f64::max)
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, arrival: f64, completion: f64, fpgas: u32) -> RequestOutcome {
+        RequestOutcome {
+            id: RequestId(id),
+            name: "t".into(),
+            arrival_s: arrival,
+            scheduled_s: arrival,
+            exec_start_s: arrival,
+            completion_s: completion,
+            service_s: completion - arrival,
+            blocks_needed: 1,
+            blocks_allocated: 1,
+            fpgas_used: fpgas,
+            interface_overhead_fraction: 0.0,
+            restarts: 0,
+        }
+    }
+
+    fn report(outcomes: Vec<RequestOutcome>) -> SimReport {
+        SimReport {
+            policy: "test".into(),
+            makespan_s: 10.0,
+            block_utilization: 0.5,
+            effective_utilization: 0.5,
+            pressured_utilization: 0.5,
+            avg_concurrency: 1.0,
+            peak_concurrency: 1,
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report(vec![
+            outcome(1, 0.0, 2.0, 1),
+            outcome(2, 1.0, 5.0, 2),
+        ]);
+        assert_eq!(r.completed(), 2);
+        assert!((r.avg_response_s() - 3.0).abs() < 1e-12);
+        assert_eq!(r.spanning_fraction(), 0.5);
+        assert!(r.p95_response_s() >= 2.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = report(vec![]);
+        assert_eq!(r.avg_response_s(), 0.0);
+        assert_eq!(r.spanning_fraction(), 0.0);
+        assert_eq!(r.p95_response_s(), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The bidirectional ring interconnect of the paper's cluster (§5.2: four
+//! FPGAs sharing a 100 Gb/s bidirectional ring).
+
+use serde::{Deserialize, Serialize};
+use vital_fabric::FpgaId;
+
+/// Topology helper for the bidirectional ring: shortest hop distances and
+/// the worst-case diameter, used by the execution-time model to scale the
+/// spanning penalty with the actual distance between an application's
+/// FPGAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingNetwork {
+    fpgas: usize,
+}
+
+impl RingNetwork {
+    /// A ring of `fpgas` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpgas` is zero.
+    pub fn new(fpgas: usize) -> Self {
+        assert!(fpgas > 0, "a ring needs at least one node");
+        RingNetwork { fpgas }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.fpgas
+    }
+
+    /// `true` for the degenerate single-node ring.
+    pub fn is_empty(&self) -> bool {
+        false // a constructed ring always has at least one node
+    }
+
+    /// Shortest hop count between two FPGAs (0 for the same device); the
+    /// ring is bidirectional so traffic takes the shorter way around.
+    pub fn hops(&self, a: FpgaId, b: FpgaId) -> usize {
+        let a = a.index() as usize % self.fpgas;
+        let b = b.index() as usize % self.fpgas;
+        let d = a.abs_diff(b);
+        d.min(self.fpgas - d)
+    }
+
+    /// The network diameter (worst shortest-path distance).
+    pub fn diameter(&self) -> usize {
+        self.fpgas / 2
+    }
+
+    /// The worst hop distance from `primary` to any FPGA in `used`.
+    pub fn max_hops_from(&self, primary: FpgaId, used: impl IntoIterator<Item = FpgaId>) -> usize {
+        used.into_iter()
+            .map(|f| self.hops(primary, f))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_take_the_short_way_round() {
+        let ring = RingNetwork::new(4);
+        let f = FpgaId::new;
+        assert_eq!(ring.hops(f(0), f(0)), 0);
+        assert_eq!(ring.hops(f(0), f(1)), 1);
+        assert_eq!(ring.hops(f(0), f(2)), 2);
+        assert_eq!(ring.hops(f(0), f(3)), 1); // wraps
+        assert_eq!(ring.hops(f(3), f(0)), 1); // symmetric
+        assert_eq!(ring.diameter(), 2);
+    }
+
+    #[test]
+    fn odd_rings() {
+        let ring = RingNetwork::new(5);
+        let f = FpgaId::new;
+        assert_eq!(ring.hops(f(0), f(3)), 2);
+        assert_eq!(ring.diameter(), 2);
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let ring = RingNetwork::new(1);
+        assert_eq!(ring.hops(FpgaId::new(0), FpgaId::new(0)), 0);
+        assert_eq!(ring.diameter(), 0);
+    }
+
+    #[test]
+    fn max_hops_from_primary() {
+        let ring = RingNetwork::new(4);
+        let f = FpgaId::new;
+        assert_eq!(ring.max_hops_from(f(0), [f(0), f(1), f(2)]), 2);
+        assert_eq!(ring.max_hops_from(f(1), [f(1)]), 0);
+        assert_eq!(ring.max_hops_from(f(0), []), 0);
+    }
+}

@@ -1,0 +1,844 @@
+//! The discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use vital_fabric::BlockAddr;
+
+use crate::{
+    AppRequest, ClusterConfig, ClusterError, ClusterView, Deployment, FaultSpec, InstanceId,
+    PendingRequest, ReconfigKind, RequestOutcome, Scheduler, SimReport,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival(usize),
+    DeployDone(InstanceId),
+    Complete(InstanceId, u32),
+    FpgaFail(usize),
+    FpgaRepair(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    request_idx: usize,
+    blocks: Vec<BlockAddr>,
+    scheduled_s: f64,
+    exec_start_s: f64,
+    completion_s: f64,
+    service_s: f64,
+    interface_overhead_fraction: f64,
+    generation: u32,
+    running: bool,
+}
+
+/// The discrete-event cluster simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: ClusterConfig,
+    layout: Vec<usize>,
+}
+
+impl ClusterSim {
+    /// Creates a simulator over a homogeneous cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let layout = vec![config.blocks_per_fpga; config.fpgas];
+        ClusterSim { config, layout }
+    }
+
+    /// Creates a simulator over a *heterogeneous* cluster: one entry per
+    /// FPGA giving its block count (the paper's §7 extension — ViTAL's
+    /// abstraction only requires the blocks themselves to be identical, not
+    /// the devices). Link and reconfiguration parameters come from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_fpga` is empty.
+    pub fn heterogeneous(config: ClusterConfig, blocks_per_fpga: Vec<usize>) -> Self {
+        assert!(!blocks_per_fpga.is_empty(), "cluster needs at least one FPGA");
+        ClusterSim {
+            config,
+            layout: blocks_per_fpga,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Per-FPGA block counts.
+    pub fn layout(&self) -> &[usize] {
+        &self.layout
+    }
+
+    /// Runs `requests` under `policy` until every request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns an invalid deployment (see
+    /// [`ClusterError`]) — that is a bug in the policy, not a runtime
+    /// condition. Use [`ClusterSim::try_run`] to handle it as an error.
+    pub fn run(&self, policy: &mut dyn Scheduler, requests: Vec<AppRequest>) -> SimReport {
+        self.try_run(policy, requests)
+            .unwrap_or_else(|e| panic!("scheduling policy returned an invalid deployment: {e}"))
+    }
+
+    /// Like [`ClusterSim::run`] with injected FPGA failures: at each fault's
+    /// `fail_at_s` the device goes offline, every instance touching it is
+    /// killed and its request re-queued (the relocatable bitstream redeploys
+    /// on surviving FPGAs without recompilation); at `repair_at_s` the
+    /// device returns to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid policy deployments, like [`ClusterSim::run`].
+    pub fn run_with_faults(
+        &self,
+        policy: &mut dyn Scheduler,
+        requests: Vec<AppRequest>,
+        faults: &[FaultSpec],
+    ) -> SimReport {
+        self.try_run_with_faults(policy, requests, faults)
+            .unwrap_or_else(|e| panic!("scheduling policy returned an invalid deployment: {e}"))
+    }
+
+    /// Like [`ClusterSim::run`], surfacing policy bugs as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] describing the first invalid deployment.
+    pub fn try_run(
+        &self,
+        policy: &mut dyn Scheduler,
+        requests: Vec<AppRequest>,
+    ) -> Result<SimReport, ClusterError> {
+        self.try_run_with_faults(policy, requests, &[])
+    }
+
+    /// Fallible variant of [`ClusterSim::run_with_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] describing the first invalid deployment.
+    pub fn try_run_with_faults(
+        &self,
+        policy: &mut dyn Scheduler,
+        mut requests: Vec<AppRequest>,
+        faults: &[FaultSpec],
+    ) -> Result<SimReport, ClusterError> {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        let mut events = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |events: &mut BinaryHeap<Event>, t: f64, kind: EventKind| {
+            events.push(Event { t, seq, kind });
+            seq += 1;
+        };
+        for (i, r) in requests.iter().enumerate() {
+            push(&mut events, r.arrival_s, EventKind::Arrival(i));
+        }
+        for f in faults {
+            push(&mut events, f.fail_at_s, EventKind::FpgaFail(f.fpga as usize));
+            if let Some(repair) = f.repair_at_s {
+                push(&mut events, repair, EventKind::FpgaRepair(f.fpga as usize));
+            }
+        }
+        let mut restarts: HashMap<crate::RequestId, u32> = HashMap::new();
+
+        let mut view = ClusterView::with_layout(self.config, &self.layout);
+        let mut pending: Vec<PendingRequest> = Vec::new();
+        let mut instances: HashMap<InstanceId, Instance> = HashMap::new();
+        let mut next_instance = 0u64;
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+
+        // Utilization / concurrency integrals.
+        let mut last_t = 0.0f64;
+        let mut busy_blocks = 0usize;
+        let mut needed_blocks = 0usize;
+        let mut running_apps = 0usize;
+        let mut busy_integral = 0.0f64;
+        let mut needed_integral = 0.0f64;
+        let mut conc_integral = 0.0f64;
+        let mut peak_concurrency = 0usize;
+        let mut active_time = 0.0f64;
+        let mut pressured_time = 0.0f64;
+        let mut pressured_busy_integral = 0.0f64;
+        let mut was_pending = false;
+
+        while let Some(ev) = events.pop() {
+            let now = ev.t;
+            // Advance the integrals.
+            let dt = now - last_t;
+            if dt > 0.0 {
+                busy_integral += dt * busy_blocks as f64;
+                needed_integral += dt * needed_blocks as f64;
+                conc_integral += dt * running_apps as f64;
+                if busy_blocks > 0 {
+                    active_time += dt;
+                }
+                if was_pending {
+                    pressured_time += dt;
+                    pressured_busy_integral += dt * busy_blocks as f64;
+                }
+                last_t = now;
+            }
+            view.set_now(now);
+
+            match ev.kind {
+                EventKind::Arrival(idx) => {
+                    pending.push(PendingRequest {
+                        request: requests[idx].clone(),
+                        arrived_s: now,
+                    });
+                }
+                EventKind::DeployDone(id) => {
+                    // The instance may have been killed by a fault while its
+                    // reconfiguration was in flight.
+                    let Some(inst) = instances.get_mut(&id) else {
+                        continue;
+                    };
+                    inst.exec_start_s = now;
+                    inst.completion_s = now + inst.service_s;
+                    inst.running = true;
+                    running_apps += 1;
+                    peak_concurrency = peak_concurrency.max(running_apps);
+                    let gen = inst.generation;
+                    let t = inst.completion_s;
+                    push(&mut events, t, EventKind::Complete(id, gen));
+                    // Deployment finishing does not free resources, so the
+                    // scheduler is not re-invoked here.
+                    continue;
+                }
+                EventKind::Complete(id, gen) => {
+                    let stale = instances
+                        .get(&id)
+                        .map(|i| i.generation != gen)
+                        .unwrap_or(true);
+                    if stale {
+                        continue;
+                    }
+                    let inst = instances.remove(&id).expect("checked above");
+                    running_apps -= 1;
+                    for &b in &inst.blocks {
+                        view.vacate(b);
+                    }
+                    busy_blocks -= inst.blocks.len();
+                    let req = &requests[inst.request_idx];
+                    needed_blocks -= req.blocks_needed as usize;
+                    let mut fpgas: Vec<_> = inst.blocks.iter().map(|b| b.fpga).collect();
+                    fpgas.sort_unstable();
+                    fpgas.dedup();
+                    outcomes.push(RequestOutcome {
+                        id: req.id,
+                        name: req.name.clone(),
+                        arrival_s: req.arrival_s,
+                        scheduled_s: inst.scheduled_s,
+                        exec_start_s: inst.exec_start_s,
+                        completion_s: now,
+                        service_s: now - inst.exec_start_s,
+                        blocks_needed: req.blocks_needed,
+                        blocks_allocated: inst.blocks.len() as u32,
+                        fpgas_used: fpgas.len() as u32,
+                        interface_overhead_fraction: inst.interface_overhead_fraction,
+                        restarts: restarts.get(&req.id).copied().unwrap_or(0),
+                    });
+                }
+                EventKind::FpgaFail(fpga) => {
+                    view.set_offline(fpga, true);
+                    // Kill every instance touching the failed device and
+                    // re-queue its request; its blocks everywhere are freed.
+                    let victims: Vec<InstanceId> = instances
+                        .iter()
+                        .filter(|(_, inst)| {
+                            inst.blocks.iter().any(|b| b.fpga.index() as usize == fpga)
+                        })
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in victims {
+                        let inst = instances.remove(&id).expect("victim exists");
+                        if inst.running {
+                            running_apps -= 1;
+                        }
+                        for &b in &inst.blocks {
+                            view.vacate(b);
+                        }
+                        busy_blocks -= inst.blocks.len();
+                        let req = &requests[inst.request_idx];
+                        needed_blocks -= req.blocks_needed as usize;
+                        *restarts.entry(req.id).or_insert(0) += 1;
+                        pending.push(PendingRequest {
+                            request: req.clone(),
+                            arrived_s: now,
+                        });
+                    }
+                }
+                EventKind::FpgaRepair(fpga) => {
+                    view.set_offline(fpga, false);
+                }
+            }
+
+            // Resources or queue changed: let the policy act until it has
+            // nothing more to deploy.
+            loop {
+                let decisions = policy.schedule(&view, &pending);
+                if decisions.is_empty() {
+                    break;
+                }
+                for d in decisions {
+                    let pi = pending
+                        .iter()
+                        .position(|p| p.request.id == d.request)
+                        .ok_or(ClusterError::NotPending(d.request))?;
+                    self.validate(&view, &pending[pi].request, &d)?;
+                    let p = pending.remove(pi);
+                    let req_idx = requests
+                        .iter()
+                        .position(|r| r.id == p.request.id)
+                        .expect("pending requests come from the input set");
+
+                    let id = InstanceId(next_instance);
+                    next_instance += 1;
+                    for &b in &d.blocks {
+                        view.occupy(b, id);
+                    }
+                    busy_blocks += d.blocks.len();
+                    needed_blocks += p.request.blocks_needed as usize;
+
+                    let (service_s, overhead_fraction) =
+                        self.service_time(&p.request, &d.blocks);
+                    let reconfig_s = self.reconfig_time(&d);
+                    if d.reconfig == ReconfigKind::FullDevice {
+                        // Full-device programming pauses every co-running
+                        // instance on the touched FPGAs.
+                        let mut touched: Vec<_> = d.blocks.iter().map(|b| b.fpga).collect();
+                        touched.sort_unstable();
+                        touched.dedup();
+                        for (&iid, inst) in instances.iter_mut() {
+                            if iid == id || !inst.running {
+                                continue;
+                            }
+                            if inst.blocks.iter().any(|b| touched.contains(&b.fpga)) {
+                                inst.completion_s += reconfig_s;
+                                inst.service_s += reconfig_s;
+                                inst.generation += 1;
+                                let gen = inst.generation;
+                                let t = inst.completion_s;
+                                push(&mut events, t, EventKind::Complete(iid, gen));
+                            }
+                        }
+                    }
+                    instances.insert(
+                        id,
+                        Instance {
+                            request_idx: req_idx,
+                            blocks: d.blocks,
+                            scheduled_s: now,
+                            exec_start_s: now,
+                            completion_s: f64::INFINITY,
+                            service_s,
+                            interface_overhead_fraction: overhead_fraction,
+                            generation: 0,
+                            running: false,
+                        },
+                    );
+                    push(&mut events, now + reconfig_s, EventKind::DeployDone(id));
+                }
+            }
+            was_pending = !pending.is_empty();
+        }
+
+        let makespan = last_t;
+        let total_blocks = self.layout.iter().sum::<usize>() as f64;
+        let denom = (active_time * total_blocks).max(f64::MIN_POSITIVE);
+        Ok(SimReport {
+            policy: policy.name().to_string(),
+            outcomes,
+            makespan_s: makespan,
+            block_utilization: busy_integral / denom,
+            effective_utilization: needed_integral / denom,
+            pressured_utilization: if pressured_time > 0.0 {
+                pressured_busy_integral / (pressured_time * total_blocks)
+            } else {
+                busy_integral / denom
+            },
+            avg_concurrency: if active_time > 0.0 {
+                conc_integral / active_time
+            } else {
+                0.0
+            },
+            peak_concurrency,
+        })
+    }
+
+    fn validate(
+        &self,
+        view: &ClusterView,
+        request: &AppRequest,
+        d: &Deployment,
+    ) -> Result<(), ClusterError> {
+        if d.blocks.len() < request.blocks_needed as usize {
+            return Err(ClusterError::InsufficientBlocks {
+                request: d.request,
+                allocated: d.blocks.len(),
+                needed: request.blocks_needed as usize,
+            });
+        }
+        let mut seen: Vec<BlockAddr> = Vec::with_capacity(d.blocks.len());
+        for &b in &d.blocks {
+            if seen.contains(&b) {
+                return Err(ClusterError::DuplicateBlock {
+                    request: d.request,
+                    block: b,
+                });
+            }
+            seen.push(b);
+            if !view.is_free(b) {
+                return Err(ClusterError::BlockUnavailable {
+                    request: d.request,
+                    block: b,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execution-time model: spanning FPGAs divides throughput by
+    /// `1 + 2·comm_intensity·span·hop_factor`, where `span` is the fraction
+    /// of blocks off the primary FPGA and `hop_factor` grows with the worst
+    /// ring distance from the primary (multi-hop traffic shares ring
+    /// segments). The pipeline-fill latency of the latency-insensitive
+    /// interface is added on top (sub-millisecond; the paper measures it
+    /// below 0.03 % of execution time).
+    fn service_time(&self, request: &AppRequest, blocks: &[BlockAddr]) -> (f64, f64) {
+        let mut per_fpga: HashMap<u32, usize> = HashMap::new();
+        for b in blocks.iter().take(request.blocks_needed as usize) {
+            *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
+        }
+        let used = request.blocks_needed.max(1) as f64;
+        let (primary_fpga, primary) = per_fpga
+            .iter()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(&f, &n)| (f, n as f64))
+            .unwrap_or((0, 0.0));
+        let span = (1.0 - primary / used).max(0.0);
+        let ring = crate::RingNetwork::new(self.layout.len().max(1));
+        let max_hops = ring.max_hops_from(
+            vital_fabric::FpgaId::new(primary_fpga),
+            per_fpga.keys().map(|&f| vital_fabric::FpgaId::new(f)),
+        );
+        // One hop = the calibrated penalty; further hops add 30% each
+        // (the traffic occupies more ring segments).
+        let hop_factor = if max_hops == 0 {
+            0.0
+        } else {
+            1.0 + 0.3 * (max_hops as f64 - 1.0)
+        };
+        let base = request.standalone_service_s();
+        let slowed = base * (1.0 + 2.0 * request.comm_intensity * span * hop_factor);
+        // ~250 pipeline fills per job (one per layer batch): sub-millisecond
+        // in total, matching the paper's <0.03% observation.
+        let overhead = self.config.inter_fpga_latency_s * 250.0 * max_hops as f64;
+        let total = slowed + overhead;
+        (total, overhead / total.max(f64::MIN_POSITIVE))
+    }
+
+    fn reconfig_time(&self, d: &Deployment) -> f64 {
+        match d.reconfig {
+            ReconfigKind::PartialPerBlock => {
+                // Per-FPGA ICAPs program their blocks sequentially; distinct
+                // FPGAs proceed in parallel.
+                let mut per_fpga: HashMap<u32, usize> = HashMap::new();
+                for b in &d.blocks {
+                    *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
+                }
+                per_fpga
+                    .values()
+                    .map(|&n| n as f64 * self.config.per_block_reconfig_s)
+                    .fold(0.0, f64::max)
+            }
+            ReconfigKind::FullDevice => self.config.full_reconfig_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_fabric::{FpgaId, PhysicalBlockId};
+
+    /// Minimal policy: first-fit on one FPGA, optionally whole-device.
+    struct FirstFit {
+        whole_device: bool,
+    }
+
+    impl Scheduler for FirstFit {
+        fn name(&self) -> &str {
+            "first-fit"
+        }
+        fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+            let mut out = Vec::new();
+            let mut free: Vec<Vec<BlockAddr>> = (0..view.fpga_count())
+                .map(|f| view.free_blocks_of(f))
+                .collect();
+            for p in pending {
+                let need = p.request.blocks_needed as usize;
+                #[allow(clippy::needless_range_loop)] // `f` also selects the FPGA
+                for f in 0..free.len() {
+                    let whole = self.whole_device;
+                    let enough = if whole {
+                        free[f].len() == view.config().blocks_per_fpga
+                    } else {
+                        free[f].len() >= need
+                    };
+                    if enough {
+                        let take = if whole { free[f].len() } else { need };
+                        let blocks: Vec<BlockAddr> = free[f].drain(..take).collect();
+                        out.push(Deployment {
+                            request: p.request.id,
+                            blocks,
+                            reconfig: if whole {
+                                ReconfigKind::FullDevice
+                            } else {
+                                ReconfigKind::PartialPerBlock
+                            },
+                        });
+                        break;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn requests(n: u64, blocks: u32, work: f64) -> Vec<AppRequest> {
+        (0..n)
+            .map(|i| AppRequest::new(i, format!("app{i}"), blocks, work).arriving_at(i as f64 * 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn single_request_completes_with_expected_times() {
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            requests(1, 3, 2.0e9),
+        );
+        assert_eq!(report.completed(), 1);
+        let o = &report.outcomes[0];
+        assert_eq!(o.wait_s(), 0.0);
+        // 3 blocks x 12.3 ms reconfig, then 2 s of work.
+        assert!((o.exec_start_s - 0.0369).abs() < 1e-9);
+        assert!((o.service_s - 2.0).abs() < 1e-6);
+        assert_eq!(o.fpgas_used, 1);
+    }
+
+    #[test]
+    fn fine_grained_sharing_beats_whole_device_on_response_time() {
+        // 12 small apps: fine-grained packs them onto few FPGAs
+        // concurrently; whole-device serializes them 4 at a time.
+        let reqs = requests(12, 3, 2.0e9);
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let fine = sim.run(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs.clone(),
+        );
+        let coarse = sim.run(&mut FirstFit { whole_device: true }, reqs);
+        assert_eq!(fine.completed(), 12);
+        assert_eq!(coarse.completed(), 12);
+        assert!(
+            fine.avg_response_s() < coarse.avg_response_s(),
+            "fine {} vs coarse {}",
+            fine.avg_response_s(),
+            coarse.avg_response_s()
+        );
+        assert!(fine.avg_concurrency > coarse.avg_concurrency);
+        assert!(fine.effective_utilization > coarse.effective_utilization);
+    }
+
+    #[test]
+    fn full_device_reconfig_pauses_co_runners() {
+        // One long app runs on FPGA 0; a whole-device deployment arrives on
+        // the same FPGA... the baseline policy never co-locates, so build
+        // the scenario manually with a custom policy.
+        struct Colocate {
+            step: u32,
+        }
+        impl Scheduler for Colocate {
+            fn name(&self) -> &str {
+                "colocate"
+            }
+            fn schedule(
+                &mut self,
+                view: &ClusterView,
+                pending: &[PendingRequest],
+            ) -> Vec<Deployment> {
+                let Some(p) = pending.first() else {
+                    return Vec::new();
+                };
+                self.step += 1;
+                let start = if self.step == 1 { 0 } else { 8 };
+                let blocks: Vec<BlockAddr> = (start..start + p.request.blocks_needed)
+                    .map(|b| BlockAddr::new(FpgaId::new(0), PhysicalBlockId::new(b)))
+                    .collect();
+                if blocks.iter().all(|&b| view.is_free(b)) {
+                    vec![Deployment {
+                        request: p.request.id,
+                        blocks,
+                        reconfig: ReconfigKind::FullDevice,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let reqs = vec![
+            AppRequest::new(0, "long", 4, 10.0e9).arriving_at(0.0),
+            AppRequest::new(1, "late", 4, 1.0e9).arriving_at(1.0),
+        ];
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut Colocate { step: 0 }, reqs);
+        let long = report.outcomes.iter().find(|o| o.name == "long").unwrap();
+        // The long app was paused for one full reconfiguration (203 ms).
+        assert!(
+            long.service_s > 10.0 + 0.2,
+            "service {} should include the pause",
+            long.service_s
+        );
+    }
+
+    #[test]
+    fn spanning_fpgas_slows_execution_but_still_completes() {
+        struct SpanPolicy;
+        impl Scheduler for SpanPolicy {
+            fn name(&self) -> &str {
+                "span"
+            }
+            fn schedule(
+                &mut self,
+                view: &ClusterView,
+                pending: &[PendingRequest],
+            ) -> Vec<Deployment> {
+                let Some(p) = pending.first() else {
+                    return Vec::new();
+                };
+                // Half the blocks on FPGA 0, half on FPGA 1.
+                let need = p.request.blocks_needed;
+                let mut blocks = Vec::new();
+                for b in 0..need / 2 {
+                    blocks.push(BlockAddr::new(FpgaId::new(0), PhysicalBlockId::new(b)));
+                }
+                for b in need / 2..need {
+                    blocks.push(BlockAddr::new(FpgaId::new(1), PhysicalBlockId::new(b)));
+                }
+                if blocks.iter().all(|&b| view.is_free(b)) {
+                    vec![Deployment {
+                        request: p.request.id,
+                        blocks,
+                        reconfig: ReconfigKind::PartialPerBlock,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let reqs = vec![AppRequest::new(0, "spanner", 8, 2.0e9).with_comm_intensity(0.5)];
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut SpanPolicy, reqs);
+        let o = &report.outcomes[0];
+        assert_eq!(o.fpgas_used, 2);
+        // Slowdown: 1 + 2*0.5*0.5 = 1.5x over the 2 s standalone time.
+        assert!((o.service_s - 3.0).abs() < 0.01, "service {}", o.service_s);
+        assert!(o.interface_overhead_fraction > 0.0);
+        assert!(
+            o.interface_overhead_fraction < 0.0003,
+            "interface overhead {} should be < 0.03%",
+            o.interface_overhead_fraction
+        );
+        assert_eq!(report.spanning_fraction(), 1.0);
+    }
+
+    #[test]
+    fn invalid_deployment_is_reported() {
+        struct Broken;
+        impl Scheduler for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn schedule(
+                &mut self,
+                _view: &ClusterView,
+                pending: &[PendingRequest],
+            ) -> Vec<Deployment> {
+                pending
+                    .first()
+                    .map(|p| Deployment {
+                        request: p.request.id,
+                        blocks: vec![], // fewer than needed
+                        reconfig: ReconfigKind::PartialPerBlock,
+                    })
+                    .into_iter()
+                    .collect()
+            }
+        }
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let err = sim
+            .try_run(&mut Broken, requests(1, 2, 1.0e9))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientBlocks { .. }));
+    }
+
+    #[test]
+    fn fpga_failure_requeues_and_recovers() {
+        // One long job lands on an FPGA that fails mid-run: the job must be
+        // killed, re-queued, redeployed on a surviving device and still
+        // complete, with the restart recorded.
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let reqs = vec![AppRequest::new(0, "victim", 4, 10.0e9)];
+        let faults = [FaultSpec {
+            fpga: 0,
+            fail_at_s: 2.0,
+            repair_at_s: None,
+        }];
+        let report = sim.run_with_faults(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &faults,
+        );
+        assert_eq!(report.completed(), 1);
+        let o = &report.outcomes[0];
+        assert_eq!(o.restarts, 1);
+        assert_eq!(report.total_restarts(), 1);
+        // The rerun must finish well after a failure-free run would have.
+        assert!(o.completion_s > 12.0, "completion {}", o.completion_s);
+    }
+
+    #[test]
+    fn repaired_fpga_rejoins_the_pool() {
+        // Fail every FPGA except one, then repair them: a burst of
+        // whole-device jobs can only drain once devices return.
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let reqs: Vec<AppRequest> = (0..4)
+            .map(|i| AppRequest::new(i, format!("j{i}"), 15, 4.0e9))
+            .collect();
+        let faults: Vec<FaultSpec> = (1..4)
+            .map(|f| FaultSpec {
+                fpga: f,
+                fail_at_s: 0.0,
+                repair_at_s: Some(5.0),
+            })
+            .collect();
+        let report = sim.run_with_faults(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &faults,
+        );
+        assert_eq!(report.completed(), 4);
+        // At least one job had to wait for a repair.
+        assert!(report.outcomes.iter().any(|o| o.scheduled_s >= 5.0));
+    }
+
+    #[test]
+    fn failure_during_reconfiguration_is_safe() {
+        // Fail the device while the deployment's partial reconfiguration is
+        // still in flight (before DeployDone).
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let reqs = vec![AppRequest::new(0, "early", 5, 1.0e9)];
+        let faults = [FaultSpec {
+            fpga: 0,
+            fail_at_s: 0.01, // < 5 x 12.3 ms reconfig
+            repair_at_s: None,
+        }];
+        let report = sim.run_with_faults(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &faults,
+        );
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.outcomes[0].restarts, 1);
+    }
+
+    #[test]
+    fn heterogeneous_layout_is_respected() {
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![15, 4, 4]);
+        assert_eq!(sim.layout(), &[15, 4, 4]);
+        // A 10-block job only fits the big board; two of them serialize.
+        let reqs = vec![
+            AppRequest::new(0, "big0", 10, 1.0e9),
+            AppRequest::new(1, "big1", 10, 1.0e9),
+            AppRequest::new(2, "small", 4, 1.0e9),
+        ];
+        let report = sim.run(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+        );
+        assert_eq!(report.completed(), 3);
+        // The small job can run on a small board concurrently.
+        let small = report.outcomes.iter().find(|o| o.name == "small").unwrap();
+        assert_eq!(small.wait_s(), 0.0);
+        // The two big jobs cannot overlap on one 15-block board.
+        let mut bigs: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.name.starts_with("big"))
+            .map(|o| o.scheduled_s)
+            .collect();
+        bigs.sort_by(f64::total_cmp);
+        assert!(bigs[1] > 0.9, "second big job must wait: {bigs:?}");
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            requests(20, 5, 1.0e9),
+        );
+        assert!(report.block_utilization > 0.0 && report.block_utilization <= 1.0);
+        assert!(report.effective_utilization <= report.block_utilization + 1e-12);
+        assert!(report.peak_concurrency >= 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Cluster configuration, observable state, and the scheduling interface.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vital_fabric::{BlockAddr, FpgaId, PhysicalBlockId};
+
+use crate::{AppRequest, RequestId};
+
+/// Static parameters of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of FPGAs on the ring.
+    pub fpgas: usize,
+    /// Physical blocks per FPGA user region.
+    pub blocks_per_fpga: usize,
+    /// Ring bandwidth in Gb/s (each direction).
+    pub ring_gbps: f64,
+    /// Partial reconfiguration time for one block, in seconds (ICAP-limited).
+    pub per_block_reconfig_s: f64,
+    /// Full-device reconfiguration time in seconds.
+    pub full_reconfig_s: f64,
+    /// One-way inter-FPGA latency in seconds (interface latency overhead).
+    pub inter_fpga_latency_s: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's platform: 4 FPGAs, 15 blocks each, 100 Gb/s ring.
+    /// Reconfiguration times follow from the ~79 Mb per-block partial
+    /// bitstream and the ~1.3 Gb full bitstream over a ~6.4 Gb/s ICAP.
+    pub fn paper_cluster() -> Self {
+        ClusterConfig {
+            fpgas: 4,
+            blocks_per_fpga: 15,
+            ring_gbps: 100.0,
+            per_block_reconfig_s: 0.0123,
+            full_reconfig_s: 0.203,
+            inter_fpga_latency_s: 520.0e-9,
+        }
+    }
+
+    /// Total physical blocks in the cluster.
+    pub fn total_blocks(&self) -> usize {
+        self.fpgas * self.blocks_per_fpga
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+/// How a deployment programs the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigKind {
+    /// ViTAL-style: each allocated block is programmed individually with
+    /// partial reconfiguration; co-running applications are unaffected.
+    PartialPerBlock,
+    /// Whole-device programming (the existing-cloud baseline, and AmorphOS
+    /// high-throughput images): co-running applications on the device are
+    /// paused for the duration.
+    FullDevice,
+}
+
+/// A running application instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// A scheduling decision: deploy `request` onto `blocks`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The pending request being served.
+    pub request: RequestId,
+    /// The physical blocks allocated (must be free; may exceed the
+    /// request's need, e.g. the baseline allocates a whole FPGA).
+    pub blocks: Vec<BlockAddr>,
+    /// How the fabric is programmed.
+    pub reconfig: ReconfigKind,
+}
+
+/// A request waiting in the scheduler's queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingRequest {
+    /// The request.
+    pub request: AppRequest,
+    /// When it arrived (seconds).
+    pub arrived_s: f64,
+}
+
+/// An injected FPGA failure: the device goes offline at `fail_at_s`
+/// (killing and re-queueing everything running on it) and, optionally,
+/// comes back at `repair_at_s`.
+///
+/// Failure injection exercises the elasticity the paper attributes to
+/// decoupled allocation: because bitstreams are relocatable, a policy can
+/// redeploy the victims onto the surviving FPGAs without recompilation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The failing FPGA.
+    pub fpga: u32,
+    /// When it fails (seconds).
+    pub fail_at_s: f64,
+    /// When it returns, if ever.
+    pub repair_at_s: Option<f64>,
+}
+
+/// The scheduler-visible state of the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    config: ClusterConfig,
+    /// `busy[f][b]` = the instance occupying block `b` of FPGA `f`.
+    busy: Vec<Vec<Option<InstanceId>>>,
+    offline: Vec<bool>,
+    now_s: f64,
+}
+
+impl ClusterView {
+    #[cfg(test)]
+    pub(crate) fn new(config: ClusterConfig) -> Self {
+        Self::with_layout(config, &vec![config.blocks_per_fpga; config.fpgas])
+    }
+
+    pub(crate) fn with_layout(config: ClusterConfig, blocks_per_fpga: &[usize]) -> Self {
+        ClusterView {
+            busy: blocks_per_fpga.iter().map(|&n| vec![None; n]).collect(),
+            offline: vec![false; blocks_per_fpga.len()],
+            config,
+            now_s: 0.0,
+        }
+    }
+
+    /// Physical blocks of one FPGA (heterogeneous clusters may differ per
+    /// device — the paper's §7 extension).
+    pub fn blocks_per_fpga_of(&self, fpga: usize) -> usize {
+        self.busy.get(fpga).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Total physical blocks across the (possibly heterogeneous) cluster.
+    pub fn total_blocks(&self) -> usize {
+        self.busy.iter().map(Vec::len).sum()
+    }
+
+    pub(crate) fn set_offline(&mut self, fpga: usize, offline: bool) {
+        if let Some(slot) = self.offline.get_mut(fpga) {
+            *slot = offline;
+        }
+    }
+
+    /// `true` if the FPGA is currently online (failed devices expose no
+    /// free blocks and accept no deployments).
+    pub fn fpga_online(&self, fpga: usize) -> bool {
+        self.offline.get(fpga).is_some_and(|o| !o)
+    }
+
+    pub(crate) fn set_now(&mut self, now_s: f64) {
+        self.now_s = now_s;
+    }
+
+    pub(crate) fn occupy(&mut self, addr: BlockAddr, inst: InstanceId) {
+        self.busy[addr.fpga.index() as usize][addr.block.index() as usize] = Some(inst);
+    }
+
+    pub(crate) fn vacate(&mut self, addr: BlockAddr) {
+        self.busy[addr.fpga.index() as usize][addr.block.index() as usize] = None;
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Number of FPGAs.
+    pub fn fpga_count(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Is a specific block free (its FPGA online and the block vacant)?
+    pub fn is_free(&self, addr: BlockAddr) -> bool {
+        self.fpga_online(addr.fpga.index() as usize)
+            && self
+                .busy
+                .get(addr.fpga.index() as usize)
+                .and_then(|f| f.get(addr.block.index() as usize))
+                .is_some_and(|b| b.is_none())
+    }
+
+    /// The occupant of a block, if any.
+    pub fn occupant(&self, addr: BlockAddr) -> Option<InstanceId> {
+        self.busy
+            .get(addr.fpga.index() as usize)
+            .and_then(|f| f.get(addr.block.index() as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// Free block addresses of one FPGA, in index order (empty while the
+    /// FPGA is offline).
+    pub fn free_blocks_of(&self, fpga: usize) -> Vec<BlockAddr> {
+        if !self.fpga_online(fpga) {
+            return Vec::new();
+        }
+        let Some(blocks) = self.busy.get(fpga) else {
+            return Vec::new();
+        };
+        blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_none())
+            .map(|(i, _)| {
+                BlockAddr::new(FpgaId::new(fpga as u32), PhysicalBlockId::new(i as u32))
+            })
+            .collect()
+    }
+
+    /// Number of free blocks on one FPGA (zero while offline).
+    pub fn free_count_of(&self, fpga: usize) -> usize {
+        if !self.fpga_online(fpga) {
+            return 0;
+        }
+        self.busy
+            .get(fpga)
+            .map(|f| f.iter().filter(|b| b.is_none()).count())
+            .unwrap_or(0)
+    }
+
+    /// Total free blocks across the cluster.
+    pub fn total_free(&self) -> usize {
+        (0..self.fpga_count()).map(|f| self.free_count_of(f)).sum()
+    }
+
+    /// `true` if the FPGA hosts no instance at all (an offline FPGA is
+    /// never idle-available).
+    pub fn fpga_idle(&self, fpga: usize) -> bool {
+        self.blocks_per_fpga_of(fpga) > 0 && self.free_count_of(fpga) == self.blocks_per_fpga_of(fpga)
+    }
+
+    /// Distinct instances currently running on one FPGA.
+    pub fn instances_on(&self, fpga: usize) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self
+            .busy
+            .get(fpga)
+            .map(|f| f.iter().flatten().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// A runtime resource-management policy (paper §3.4).
+///
+/// The simulator calls [`Scheduler::schedule`] whenever the pending queue or
+/// the free-block set changes; the policy returns zero or more deployments,
+/// which the simulator validates and applies.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Decide which pending requests to deploy, given the current state.
+    /// Requests are provided in arrival order.
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_occupy_vacate_roundtrip() {
+        let mut v = ClusterView::new(ClusterConfig::paper_cluster());
+        let addr = BlockAddr::new(FpgaId::new(1), PhysicalBlockId::new(3));
+        assert!(v.is_free(addr));
+        v.occupy(addr, InstanceId(7));
+        assert!(!v.is_free(addr));
+        assert_eq!(v.occupant(addr), Some(InstanceId(7)));
+        assert_eq!(v.free_count_of(1), 14);
+        assert_eq!(v.instances_on(1), vec![InstanceId(7)]);
+        assert!(!v.fpga_idle(1));
+        v.vacate(addr);
+        assert!(v.fpga_idle(1));
+        assert_eq!(v.total_free(), 60);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_safe() {
+        let v = ClusterView::new(ClusterConfig::paper_cluster());
+        let bad = BlockAddr::new(FpgaId::new(99), PhysicalBlockId::new(0));
+        assert!(!v.is_free(bad));
+        assert!(v.free_blocks_of(99).is_empty());
+        assert_eq!(v.free_count_of(99), 0);
+    }
+
+    #[test]
+    fn paper_cluster_dimensions() {
+        let c = ClusterConfig::paper_cluster();
+        assert_eq!(c.total_blocks(), 60);
+        assert!(c.full_reconfig_s > c.per_block_reconfig_s);
+    }
+}

@@ -1,0 +1,81 @@
+//! Compiler configuration.
+
+use vital_fabric::{DeviceModel, Floorplan, Resources};
+use vital_interface::InterfaceConfig;
+use vital_placer::PlacerConfig;
+
+use crate::pnr::PnrConfig;
+
+/// Configuration of the six-step compilation flow.
+///
+/// The defaults target the paper's platform: an XCVU37P partitioned by the
+/// optimal floorplan of §5.3, with the block fill margin calibrated to the
+/// paper's Table 2 block counts (~30 % effective LUT fill, which is the
+/// routability/packing headroom commercial P&R needs inside a partially
+/// reconfigurable region).
+#[derive(Debug, Clone)]
+pub struct CompilerConfig {
+    /// Resources of one physical (and hence virtual) block.
+    pub block_resources: Resources,
+    /// Effective fill margin when sizing the virtual-block allocation.
+    pub fill_margin: f64,
+    /// The §4 partition engine's parameters.
+    pub placer: PlacerConfig,
+    /// Channel-planning parameters for the latency-insensitive interface.
+    pub interface: InterfaceConfig,
+    /// Local place-and-route effort.
+    pub pnr: PnrConfig,
+}
+
+impl CompilerConfig {
+    /// Configuration for a specific device floorplan.
+    pub fn for_floorplan(plan: &Floorplan) -> Self {
+        CompilerConfig {
+            block_resources: plan.block_resources(),
+            ..CompilerConfig::default()
+        }
+    }
+
+    /// The virtual-block capacity the partitioner targets: general fabric
+    /// at `fill_margin`, hard DSP/BRAM columns at their own fill factors
+    /// (see [`Resources::block_fill`]).
+    pub fn effective_block_capacity(&self) -> Resources {
+        self.block_resources.block_fill(self.fill_margin)
+    }
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        let device = DeviceModel::xcvu37p();
+        let plan = Floorplan::optimal_for(&device)
+            .expect("the built-in XCVU37P model always has a feasible floorplan");
+        CompilerConfig {
+            block_resources: plan.block_resources(),
+            fill_margin: 0.33,
+            placer: PlacerConfig::default(),
+            interface: InterfaceConfig::default(),
+            pnr: PnrConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_block() {
+        let cfg = CompilerConfig::default();
+        assert_eq!(cfg.block_resources.lut, 79_200);
+        let eff = cfg.effective_block_capacity();
+        assert!(eff.lut > 20_000 && eff.lut < 30_000);
+    }
+
+    #[test]
+    fn for_floorplan_copies_block_resources() {
+        let device = DeviceModel::xcvu37p();
+        let plan = Floorplan::optimal_for(&device).unwrap();
+        let cfg = CompilerConfig::for_floorplan(&plan);
+        assert_eq!(cfg.block_resources, plan.block_resources());
+    }
+}

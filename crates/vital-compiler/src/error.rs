@@ -1,0 +1,79 @@
+//! Error type of the compiler crate.
+
+use std::error::Error;
+use std::fmt;
+
+use vital_netlist::NetlistError;
+use vital_placer::PlacerError;
+
+/// Errors produced by the compilation flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The synthesis front-end rejected the application specification.
+    Synthesis(NetlistError),
+    /// The partition step failed (netlist too large for the allocation, or
+    /// degenerate input).
+    Partition(PlacerError),
+    /// Local P&R could not fit a block's sub-netlist onto the physical
+    /// block's sites.
+    PlacementInfeasible {
+        /// The virtual block that failed.
+        block: u32,
+        /// Explanation.
+        reason: String,
+    },
+    /// A relocation target is incompatible with the compiled image.
+    IncompatibleRelocation(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            CompileError::Partition(e) => write!(f, "partition failed: {e}"),
+            CompileError::PlacementInfeasible { block, reason } => {
+                write!(f, "local P&R infeasible for virtual block {block}: {reason}")
+            }
+            CompileError::IncompatibleRelocation(msg) => {
+                write!(f, "incompatible relocation target: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Synthesis(e) => Some(e),
+            CompileError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CompileError {
+    fn from(e: NetlistError) -> Self {
+        CompileError::Synthesis(e)
+    }
+}
+
+impl From<PlacerError> for CompileError {
+    fn from(e: PlacerError) -> Self {
+        CompileError::Partition(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits_and_source() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CompileError>();
+        let e = CompileError::Partition(PlacerError::EmptyNetlist);
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! Compiled artifacts: position-independent virtual-block images and the
+//! application bitstream stored in the system layer's bitstream database.
+
+use serde::{Deserialize, Serialize};
+use vital_fabric::{BlockAddr, Resources};
+use vital_interface::ChannelPlan;
+
+use crate::pnr::{LocalPlacement, RoutingResult};
+use crate::CompileError;
+
+/// Estimated configuration bits of one physical block's partial bitstream
+/// (a 60-row band of an XCVU37P is roughly 1/16 of the ~1.3 Gb full-device
+/// bitstream). Drives the partial-reconfiguration latency model.
+pub const BLOCK_CONFIG_BITS: u64 = 79_000_000;
+
+/// The compiled image of one virtual block.
+///
+/// The image is **position independent**: its placement refers to the site
+/// indices of the (identical) physical-block geometry, so binding it to any
+/// physical block is a constant-time operation — this is what the paper's
+/// relocation step (§3.3 step 5) buys over recompiling for every possible
+/// block (>10× compile time otherwise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockImage {
+    /// The virtual block index within the application (0-based, dense).
+    pub virtual_block: u32,
+    /// Resources consumed by the user logic in this block.
+    pub resources: Resources,
+    /// Number of placed primitives.
+    pub primitive_count: usize,
+    /// The detailed placement onto the canonical block geometry.
+    pub placement: LocalPlacement,
+}
+
+/// A physical destination for one virtual block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelocationTarget {
+    /// The virtual block being bound.
+    pub virtual_block: u32,
+    /// The physical block receiving it.
+    pub addr: BlockAddr,
+}
+
+/// The bitstream-database entry of one compiled application (paper Fig. 6):
+/// a set of relocatable virtual-block images plus the interface plan that
+/// connects them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppBitstream {
+    name: String,
+    images: Vec<BlockImage>,
+    channel_plan: ChannelPlan,
+    routing: RoutingResult,
+    achieved_mhz: f64,
+}
+
+impl AppBitstream {
+    pub(crate) fn new(
+        name: String,
+        images: Vec<BlockImage>,
+        channel_plan: ChannelPlan,
+        routing: RoutingResult,
+    ) -> Self {
+        let achieved_mhz = images
+            .iter()
+            .map(|i| i.placement.achieved_mhz)
+            .fold(f64::INFINITY, f64::min)
+            .min(300.0);
+        AppBitstream {
+            name,
+            images,
+            channel_plan,
+            routing,
+            achieved_mhz: if achieved_mhz.is_finite() {
+                achieved_mhz
+            } else {
+                300.0
+            },
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-virtual-block images.
+    pub fn images(&self) -> &[BlockImage] {
+        &self.images
+    }
+
+    /// Number of virtual blocks the application needs.
+    pub fn block_count(&self) -> usize {
+        self.images.len()
+    }
+
+    /// The planned inter-block channels.
+    pub fn channel_plan(&self) -> &ChannelPlan {
+        &self.channel_plan
+    }
+
+    /// The global-routing result.
+    pub fn routing(&self) -> &RoutingResult {
+        &self.routing
+    }
+
+    /// Post-P&R clock estimate (the slowest block governs).
+    pub fn achieved_mhz(&self) -> f64 {
+        self.achieved_mhz
+    }
+
+    /// Total resources across all blocks.
+    pub fn total_resources(&self) -> Resources {
+        self.images.iter().map(|i| i.resources).sum()
+    }
+
+    /// Size of the partial bitstreams to load when deploying, in bits.
+    pub fn config_bits(&self) -> u64 {
+        self.images.len() as u64 * BLOCK_CONFIG_BITS
+    }
+
+    /// Binds every virtual block to a physical block — the runtime
+    /// relocation of paper Fig. 4c. Constant work per block: no
+    /// recompilation happens, only address binding, which is the entire
+    /// point of the homogeneous abstraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::IncompatibleRelocation`] if the target list
+    /// does not cover every virtual block exactly once or reuses a physical
+    /// block.
+    pub fn bind(&self, targets: &[RelocationTarget]) -> Result<PlacedBitstream, CompileError> {
+        if targets.len() != self.images.len() {
+            return Err(CompileError::IncompatibleRelocation(format!(
+                "{} targets for {} virtual blocks",
+                targets.len(),
+                self.images.len()
+            )));
+        }
+        let mut seen_vb = vec![false; self.images.len()];
+        let mut addrs: Vec<BlockAddr> = Vec::with_capacity(targets.len());
+        for t in targets {
+            let vb = t.virtual_block as usize;
+            if vb >= self.images.len() {
+                return Err(CompileError::IncompatibleRelocation(format!(
+                    "virtual block {} does not exist",
+                    t.virtual_block
+                )));
+            }
+            if seen_vb[vb] {
+                return Err(CompileError::IncompatibleRelocation(format!(
+                    "virtual block {} bound twice",
+                    t.virtual_block
+                )));
+            }
+            seen_vb[vb] = true;
+            if addrs.contains(&t.addr) {
+                return Err(CompileError::IncompatibleRelocation(format!(
+                    "physical block {} bound twice",
+                    t.addr
+                )));
+            }
+            addrs.push(t.addr);
+        }
+        Ok(PlacedBitstream {
+            app: self.name.clone(),
+            bindings: targets.to_vec(),
+        })
+    }
+}
+
+/// A bitstream bound to concrete physical blocks, ready for partial
+/// reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedBitstream {
+    /// The application name.
+    pub app: String,
+    /// One binding per virtual block.
+    pub bindings: Vec<RelocationTarget>,
+}
+
+impl PlacedBitstream {
+    /// The physical blocks this deployment occupies.
+    pub fn addresses(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.bindings.iter().map(|b| b.addr)
+    }
+
+    /// Distinct FPGAs touched by the deployment.
+    pub fn fpga_count(&self) -> usize {
+        let mut fpgas: Vec<_> = self.bindings.iter().map(|b| b.addr.fpga).collect();
+        fpgas.sort_unstable();
+        fpgas.dedup();
+        fpgas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pnr::RoutingResult;
+    use vital_fabric::{FpgaId, PhysicalBlockId};
+    use vital_interface::{plan_channels, InterfaceConfig};
+
+    fn two_block_bitstream() -> AppBitstream {
+        let image = |vb: u32| BlockImage {
+            virtual_block: vb,
+            resources: Resources::new(100, 200, 1, 36),
+            primitive_count: 10,
+            placement: LocalPlacement {
+                site_of: Vec::new(),
+                wirelength: 0.0,
+                initial_wirelength: 0.0,
+                max_edge: 0.0,
+                achieved_mhz: 250.0,
+            },
+        };
+        AppBitstream::new(
+            "t".into(),
+            vec![image(0), image(1)],
+            plan_channels(&[], &InterfaceConfig::default()),
+            RoutingResult {
+                lane_of: Vec::new(),
+                peak_lane_utilization: 0.0,
+                global: crate::route::GlobalRouting {
+                    routed: Vec::new(),
+                    max_edge_load_bits: 0,
+                    edge_capacity_bits: 2048,
+                    iterations: 0,
+                    converged: true,
+                    wirelength_bit_hops: 0,
+                },
+            },
+        )
+    }
+
+    fn addr(f: u32, b: u32) -> BlockAddr {
+        BlockAddr::new(FpgaId::new(f), PhysicalBlockId::new(b))
+    }
+
+    #[test]
+    fn bind_accepts_valid_targets_on_any_blocks() {
+        let bs = two_block_bitstream();
+        // Relocation freedom: any physical blocks, even on different FPGAs.
+        let placed = bs
+            .bind(&[
+                RelocationTarget {
+                    virtual_block: 0,
+                    addr: addr(0, 14),
+                },
+                RelocationTarget {
+                    virtual_block: 1,
+                    addr: addr(2, 3),
+                },
+            ])
+            .unwrap();
+        assert_eq!(placed.fpga_count(), 2);
+    }
+
+    #[test]
+    fn bind_rejects_wrong_count() {
+        let bs = two_block_bitstream();
+        assert!(bs
+            .bind(&[RelocationTarget {
+                virtual_block: 0,
+                addr: addr(0, 0),
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn bind_rejects_duplicate_virtual_or_physical() {
+        let bs = two_block_bitstream();
+        let dup_vb = [
+            RelocationTarget {
+                virtual_block: 0,
+                addr: addr(0, 0),
+            },
+            RelocationTarget {
+                virtual_block: 0,
+                addr: addr(0, 1),
+            },
+        ];
+        assert!(bs.bind(&dup_vb).is_err());
+        let dup_pb = [
+            RelocationTarget {
+                virtual_block: 0,
+                addr: addr(0, 0),
+            },
+            RelocationTarget {
+                virtual_block: 1,
+                addr: addr(0, 0),
+            },
+        ];
+        assert!(bs.bind(&dup_pb).is_err());
+    }
+
+    #[test]
+    fn bind_rejects_unknown_virtual_block() {
+        let bs = two_block_bitstream();
+        assert!(bs
+            .bind(&[
+                RelocationTarget {
+                    virtual_block: 0,
+                    addr: addr(0, 0),
+                },
+                RelocationTarget {
+                    virtual_block: 7,
+                    addr: addr(0, 1),
+                },
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let bs = two_block_bitstream();
+        assert_eq!(bs.block_count(), 2);
+        assert_eq!(bs.total_resources().lut, 200);
+        assert_eq!(bs.config_bits(), 2 * BLOCK_CONFIG_BITS);
+        assert_eq!(bs.achieved_mhz(), 250.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The compiler driver: runs the six steps in order and measures each.
+
+use std::time::Instant;
+
+use vital_fabric::DeviceModel;
+use vital_interface::{plan_channels, ChannelPlan, CutEdge};
+use vital_netlist::hls::{synthesize, AppSpec};
+use vital_netlist::DataflowGraph;
+use vital_placer::{Placer, VirtualGrid};
+
+use crate::image::{AppBitstream, BlockImage};
+use crate::pnr::{place_block, SiteModel};
+use crate::{CompileError, CompilerConfig, StageTimings};
+
+/// The result of compiling one application.
+#[derive(Debug, Clone)]
+pub struct CompiledApp {
+    bitstream: AppBitstream,
+    timings: StageTimings,
+    cut_bits: u64,
+    anchoring_iterations: usize,
+}
+
+impl CompiledApp {
+    /// The relocatable bitstream (what the bitstream database stores).
+    pub fn bitstream(&self) -> &AppBitstream {
+        &self.bitstream
+    }
+
+    /// Consumes the result, returning the bitstream.
+    pub fn into_bitstream(self) -> AppBitstream {
+        self.bitstream
+    }
+
+    /// Per-stage compile times (Fig. 8).
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
+    /// Total bits per firing crossing virtual-block boundaries.
+    pub fn cut_bits(&self) -> u64 {
+        self.cut_bits
+    }
+
+    /// Iterations the pseudo-cluster anchoring loop ran (§4.2 step 4).
+    pub fn anchoring_iterations(&self) -> usize {
+        self.anchoring_iterations
+    }
+}
+
+/// The six-step ViTAL compiler.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    config: CompilerConfig,
+    site_model: SiteModel,
+}
+
+impl Compiler {
+    /// Creates a compiler targeting the default device (XCVU37P with the
+    /// optimal §5.3 floorplan).
+    pub fn new(config: CompilerConfig) -> Self {
+        let device = DeviceModel::xcvu37p();
+        Self::for_device(&device, 60, config)
+    }
+
+    /// Creates a compiler for an explicit device and block height.
+    pub fn for_device(device: &DeviceModel, block_rows: u64, config: CompilerConfig) -> Self {
+        Compiler {
+            site_model: SiteModel::for_block(device, block_rows),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// The canonical physical-block site geometry.
+    pub fn site_model(&self) -> &SiteModel {
+        &self.site_model
+    }
+
+    /// Compiles an application through all six steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of any stage; see [`CompileError`].
+    pub fn compile(&self, spec: &AppSpec) -> Result<CompiledApp, CompileError> {
+        let mut timings = StageTimings::default();
+
+        // Step 1: synthesis.
+        let t = Instant::now();
+        let netlist = synthesize(spec)?;
+        netlist.validate()?;
+        timings.synthesis = t.elapsed();
+
+        // Step 2: partition (placement-based, §4).
+        let t = Instant::now();
+        let usage = netlist.resource_usage();
+        let capacity = self.config.effective_block_capacity();
+        let n_blocks = usage.blocks_needed(&self.config.block_resources, self.config.fill_margin);
+        let grid = VirtualGrid::uniform(n_blocks as usize, capacity);
+        let placer = Placer::new(self.config.placer.clone());
+        let placement = placer.run(&netlist, &grid)?;
+        timings.partition = t.elapsed();
+
+        // Step 3: latency-insensitive interface generation.
+        let t = Instant::now();
+        // Slots may be sparsely used; renumber used slots to dense virtual
+        // block ids.
+        let mut slot_to_vb: Vec<Option<u32>> = vec![None; grid.slot_count()];
+        let mut next_vb = 0u32;
+        for (slot, vb_entry) in slot_to_vb.iter_mut().enumerate() {
+            if placement.assignment().contains(&Some(slot as u32)) {
+                *vb_entry = Some(next_vb);
+                next_vb += 1;
+            }
+        }
+        let mut cuts: Vec<CutEdge> = Vec::new();
+        for (a, b, bits) in placement.graph().edges() {
+            let (Some(sa), Some(sb)) = (
+                placement.assignment()[a.index()],
+                placement.assignment()[b.index()],
+            ) else {
+                continue; // I/O pad edges terminate in the service region
+            };
+            if sa != sb {
+                cuts.push(CutEdge {
+                    from_block: slot_to_vb[sa as usize].expect("used slot has a vb id"),
+                    to_block: slot_to_vb[sb as usize].expect("used slot has a vb id"),
+                    bits,
+                });
+            }
+        }
+        let plan: ChannelPlan = plan_channels(&cuts, &self.config.interface);
+        let cut_bits: u64 = cuts.iter().map(|c| c.bits).sum();
+        timings.interface_gen = t.elapsed();
+
+        // Step 4: local place-and-route per virtual block.
+        let t = Instant::now();
+        let dfg = DataflowGraph::from_netlist(&netlist);
+        let mut prims_per_vb: Vec<Vec<vital_netlist::PrimitiveId>> =
+            vec![Vec::new(); next_vb as usize];
+        for prim in netlist.primitives() {
+            if prim.kind().is_io() {
+                continue;
+            }
+            if let Some(slot) = placement.block_of(prim.id()) {
+                if let Some(vb) = slot_to_vb[slot as usize] {
+                    prims_per_vb[vb as usize].push(prim.id());
+                }
+            }
+        }
+        let mut images = Vec::with_capacity(prims_per_vb.len());
+        for (vb, prims) in prims_per_vb.iter().enumerate() {
+            let local = place_block(
+                &netlist,
+                &dfg,
+                vb as u32,
+                prims,
+                &self.site_model,
+                &self.config.pnr,
+            )?;
+            let resources = prims
+                .iter()
+                .map(|&p| {
+                    netlist
+                        .primitive(p)
+                        .expect("primitive ids come from this netlist")
+                        .resources()
+                })
+                .sum();
+            images.push(BlockImage {
+                virtual_block: vb as u32,
+                resources,
+                primitive_count: prims.len(),
+                placement: local,
+            });
+        }
+        timings.local_pnr = t.elapsed();
+
+        // Step 5: relocation — verify the images are position independent
+        // by checking every placed site exists in the canonical geometry
+        // (any identical physical block can therefore host the image).
+        let t = Instant::now();
+        let site_count = self.site_model.sites().len() as u32;
+        for img in &images {
+            for &(_, site) in &img.placement.site_of {
+                if site >= site_count {
+                    return Err(CompileError::IncompatibleRelocation(format!(
+                        "image of virtual block {} references site {site} outside \
+                         the canonical block geometry",
+                        img.virtual_block
+                    )));
+                }
+            }
+        }
+        timings.relocation = t.elapsed();
+
+        // Step 6: global place-and-route over the virtual-block mesh.
+        let t = Instant::now();
+        let mut slot_of_vb = vec![0u32; next_vb as usize];
+        for (slot, vb) in slot_to_vb.iter().enumerate() {
+            if let Some(vb) = vb {
+                slot_of_vb[*vb as usize] = slot as u32;
+            }
+        }
+        let routing = crate::pnr::route_channels_on(
+            &plan,
+            &self.config.pnr,
+            &slot_of_vb,
+            grid.cols(),
+            grid.rows(),
+        );
+        timings.global_pnr = t.elapsed();
+
+        let bitstream = AppBitstream::new(spec.name().to_string(), images, plan, routing);
+        Ok(CompiledApp {
+            bitstream,
+            timings,
+            cut_bits,
+            anchoring_iterations: placement.iterations(),
+        })
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new(CompilerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_netlist::hls::Operator;
+
+    fn spec(pes: u32, pipelines: u32) -> AppSpec {
+        let mut s = AppSpec::new(format!("app-{pes}-{pipelines}"));
+        let buf = s.add_operator("w", Operator::Buffer { kb: 720, banks: 4 });
+        let mac = s.add_operator("mac", Operator::MacArray { pes });
+        s.add_edge(buf, mac, 256).unwrap();
+        let mut prev = mac;
+        for i in 0..pipelines {
+            let p = s.add_operator(format!("p{i}"), Operator::Pipeline { slices: 200 });
+            s.add_edge(prev, p, 64).unwrap();
+            prev = p;
+        }
+        s.add_input("ifm", mac, 128).unwrap();
+        s.add_output("ofm", prev, 128).unwrap();
+        s
+    }
+
+    #[test]
+    fn small_app_compiles_to_one_block() {
+        let compiled = Compiler::default().compile(&spec(16, 2)).unwrap();
+        assert_eq!(compiled.bitstream().block_count(), 1);
+        assert_eq!(compiled.cut_bits(), 0);
+        assert!(compiled.bitstream().achieved_mhz() > 0.0);
+    }
+
+    #[test]
+    fn large_app_spans_multiple_blocks_with_channels() {
+        // ~64 PEs + 40 pipelines x 200 slices = ~8.5k slices = ~68k LUTs:
+        // needs 3 blocks at the 26k effective fill.
+        let compiled = Compiler::default().compile(&spec(64, 40)).unwrap();
+        assert!(compiled.bitstream().block_count() >= 2);
+        assert!(compiled.bitstream().channel_plan().channel_count() > 0);
+        assert!(compiled.cut_bits() > 0);
+    }
+
+    #[test]
+    fn images_cover_all_non_io_primitives() {
+        let s = spec(32, 10);
+        let compiled = Compiler::default().compile(&s).unwrap();
+        let netlist = synthesize(&s).unwrap();
+        let non_io = netlist.primitives().iter().filter(|p| !p.kind().is_io()).count();
+        let placed: usize = compiled
+            .bitstream()
+            .images()
+            .iter()
+            .map(|i| i.primitive_count)
+            .sum();
+        assert_eq!(placed, non_io);
+    }
+
+    #[test]
+    fn timings_are_recorded_and_pnr_dominates() {
+        let compiled = Compiler::default().compile(&spec(48, 20)).unwrap();
+        let t = compiled.timings();
+        assert!(t.total().as_nanos() > 0);
+        // Fig. 8 shape: the reused P&R dwarfs the custom tools.
+        assert!(t.commercial_pnr() > t.custom_tools());
+    }
+
+    #[test]
+    fn global_routing_is_attached_and_converged() {
+        let compiled = Compiler::default().compile(&spec(64, 40)).unwrap();
+        let bs = compiled.bitstream();
+        let routing = bs.routing();
+        assert_eq!(routing.global.routed.len(), bs.channel_plan().channel_count());
+        assert!(
+            routing.global.converged,
+            "peak load {} over {}",
+            routing.global.max_edge_load_bits,
+            routing.global.edge_capacity_bits
+        );
+        // Paths are non-empty and bit-weighted wirelength is consistent.
+        if bs.channel_plan().channel_count() > 0 {
+            assert!(routing.global.routed.iter().all(|r| !r.path.is_empty()));
+            assert!(routing.global.wirelength_bit_hops >= compiled.cut_bits());
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let a = Compiler::default().compile(&spec(24, 6)).unwrap();
+        let b = Compiler::default().compile(&spec(24, 6)).unwrap();
+        assert_eq!(a.bitstream().block_count(), b.bitstream().block_count());
+        assert_eq!(a.cut_bits(), b.cut_bits());
+        assert_eq!(
+            a.bitstream().images()[0].placement.site_of,
+            b.bitstream().images()[0].placement.site_of
+        );
+    }
+}

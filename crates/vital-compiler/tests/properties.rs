@@ -1,0 +1,92 @@
+//! Property-based tests of the six-step compiler's end-to-end invariants.
+
+use proptest::prelude::*;
+use vital_compiler::{Compiler, CompilerConfig, RelocationTarget};
+use vital_fabric::{BlockAddr, FpgaId, PhysicalBlockId};
+use vital_netlist::hls::{synthesize, AppSpec, Operator};
+
+/// Random small accelerators (kept small so the detailed placer stays fast
+/// under dozens of proptest cases).
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                (1u32..24).prop_map(|pes| Operator::MacArray { pes }),
+                (36u32..300, 1u32..4).prop_map(|(kb, banks)| Operator::Buffer { kb, banks }),
+                (4u32..120).prop_map(|slices| Operator::Pipeline { slices }),
+            ],
+            1..5,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(ops, seed)| {
+            let mut spec = AppSpec::new(format!("p{seed}"));
+            let ids: Vec<_> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| spec.add_operator(format!("o{i}"), op))
+                .collect();
+            for w in ids.windows(2) {
+                spec.add_edge(w[0], w[1], 64).unwrap();
+            }
+            spec.add_input("in", ids[0], 64).unwrap();
+            spec.add_output("out", *ids.last().unwrap(), 64).unwrap();
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every compiled application: covers all non-I/O primitives exactly
+    /// once, respects the block capacity per image, uses distinct sites
+    /// within each image, references only channel endpoints that exist, and
+    /// binds to arbitrary physical blocks.
+    #[test]
+    fn compiled_artifacts_are_well_formed(spec in arb_spec()) {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let compiled = compiler.compile(&spec).unwrap();
+        let bs = compiled.bitstream();
+        let netlist = synthesize(&spec).unwrap();
+
+        // Coverage: placed primitive count equals the non-I/O count.
+        let non_io = netlist.primitives().iter().filter(|p| !p.kind().is_io()).count();
+        let placed: usize = bs.images().iter().map(|i| i.primitive_count).sum();
+        prop_assert_eq!(placed, non_io);
+
+        // Per-image invariants.
+        let cap = compiler.config().block_resources;
+        for img in bs.images() {
+            prop_assert!(img.resources.fits_within(&cap));
+            let mut sites: Vec<u32> = img.placement.site_of.iter().map(|&(_, s)| s).collect();
+            let n = sites.len();
+            sites.sort_unstable();
+            sites.dedup();
+            prop_assert_eq!(sites.len(), n, "duplicate sites in an image");
+            prop_assert!(img.placement.wirelength <= img.placement.initial_wirelength + 1e-9);
+        }
+
+        // Channel endpoints are valid virtual blocks.
+        let vb_count = bs.block_count() as u32;
+        for c in bs.channel_plan().channels() {
+            prop_assert!(c.from_block < vb_count);
+            prop_assert!(c.to_block < vb_count);
+            prop_assert_ne!(c.from_block, c.to_block);
+        }
+
+        // Relocation freedom: bind to scattered physical blocks.
+        let targets: Vec<RelocationTarget> = (0..bs.block_count())
+            .map(|vb| RelocationTarget {
+                virtual_block: vb as u32,
+                addr: BlockAddr::new(
+                    FpgaId::new((vb % 4) as u32),
+                    PhysicalBlockId::new((14 - vb % 15) as u32),
+                ),
+            })
+            .collect();
+        prop_assert!(bs.bind(&targets).is_ok());
+
+        // Total resources are conserved through the pipeline.
+        prop_assert_eq!(bs.total_resources(), netlist.resource_usage());
+    }
+}

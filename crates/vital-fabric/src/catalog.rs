@@ -1,0 +1,84 @@
+//! Historic device-capacity catalog backing the paper's Fig. 1b.
+//!
+//! Fig. 1b motivates ViTAL's fine-grained sharing by showing that FPGA
+//! capacity keeps growing with technology generations, which makes the
+//! per-device allocation of existing clouds waste ever more resources.
+
+use serde::{Deserialize, Serialize};
+
+/// One FPGA generation data point (largest widely-deployed part of its
+/// family, by system logic cells).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceGeneration {
+    /// Family / flagship part name.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u32,
+    /// Capacity in system logic cells (thousands).
+    pub logic_cells_k: u64,
+}
+
+/// The generation series plotted in Fig. 1b (public vendor data).
+pub fn device_generations() -> Vec<DeviceGeneration> {
+    vec![
+        DeviceGeneration {
+            name: "Virtex-II Pro",
+            year: 2002,
+            logic_cells_k: 99,
+        },
+        DeviceGeneration {
+            name: "Virtex-4 LX200",
+            year: 2004,
+            logic_cells_k: 200,
+        },
+        DeviceGeneration {
+            name: "Virtex-5 LX330",
+            year: 2006,
+            logic_cells_k: 331,
+        },
+        DeviceGeneration {
+            name: "Virtex-6 LX760",
+            year: 2009,
+            logic_cells_k: 758,
+        },
+        DeviceGeneration {
+            name: "Virtex-7 2000T",
+            year: 2011,
+            logic_cells_k: 1_954,
+        },
+        DeviceGeneration {
+            name: "UltraScale VU440",
+            year: 2014,
+            logic_cells_k: 4_432,
+        },
+        DeviceGeneration {
+            name: "UltraScale+ VU13P",
+            year: 2016,
+            logic_cells_k: 3_780,
+        },
+        DeviceGeneration {
+            name: "UltraScale+ VU37P (HBM)",
+            year: 2018,
+            logic_cells_k: 2_852,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_are_chronological() {
+        let gens = device_generations();
+        assert!(gens.windows(2).all(|w| w[0].year < w[1].year));
+    }
+
+    #[test]
+    fn capacity_grows_by_an_order_of_magnitude() {
+        let gens = device_generations();
+        let first = gens.first().unwrap().logic_cells_k;
+        let max = gens.iter().map(|g| g.logic_cells_k).max().unwrap();
+        assert!(max >= first * 20, "Fig. 1b: capacity keeps growing");
+    }
+}

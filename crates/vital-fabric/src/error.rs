@@ -1,0 +1,50 @@
+//! Error type of the fabric crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while modelling devices or partitioning them into regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// A device geometry parameter was inconsistent.
+    InvalidGeometry(String),
+    /// A floorplan request violated one of the partitioning constraints
+    /// (clock-region alignment, die-boundary crossing, reserved-region size).
+    InvalidFloorplan(String),
+    /// The design-space exploration found no feasible partition.
+    NoFeasiblePartition,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::InvalidGeometry(msg) => write!(f, "invalid device geometry: {msg}"),
+            FabricError::InvalidFloorplan(msg) => write!(f, "invalid floorplan: {msg}"),
+            FabricError::NoFeasiblePartition => {
+                write!(f, "no feasible partition satisfies the constraints")
+            }
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = FabricError::NoFeasiblePartition;
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FabricError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Identifier newtypes for FPGAs and physical blocks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one physical FPGA device in a cluster.
+///
+/// # Example
+///
+/// ```
+/// use vital_fabric::FpgaId;
+///
+/// let id = FpgaId::new(2);
+/// assert_eq!(id.index(), 2);
+/// assert_eq!(id.to_string(), "fpga2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FpgaId(u32);
+
+impl FpgaId {
+    /// Creates an FPGA identifier from a cluster-wide index.
+    pub const fn new(index: u32) -> Self {
+        FpgaId(index)
+    }
+
+    /// The cluster-wide index of this FPGA.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FpgaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fpga{}", self.0)
+    }
+}
+
+impl From<u32> for FpgaId {
+    fn from(index: u32) -> Self {
+        FpgaId(index)
+    }
+}
+
+/// Identifier of a physical block *within one FPGA* (index into the user
+/// region's array of identical blocks).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PhysicalBlockId(u32);
+
+impl PhysicalBlockId {
+    /// Creates a block identifier from a device-local index.
+    pub const fn new(index: u32) -> Self {
+        PhysicalBlockId(index)
+    }
+
+    /// The device-local index of this block.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PhysicalBlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pb{}", self.0)
+    }
+}
+
+impl From<u32> for PhysicalBlockId {
+    fn from(index: u32) -> Self {
+        PhysicalBlockId(index)
+    }
+}
+
+/// Cluster-wide address of a physical block: `(FPGA, block)`.
+///
+/// This is the unit of runtime allocation in ViTAL's system layer: the
+/// resource database tracks the status of every `BlockAddr`, and the
+/// relocation step can retarget a compiled virtual block to any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// The FPGA holding the block.
+    pub fpga: FpgaId,
+    /// The block within that FPGA's user region.
+    pub block: PhysicalBlockId,
+}
+
+impl BlockAddr {
+    /// Creates a cluster-wide block address.
+    pub const fn new(fpga: FpgaId, block: PhysicalBlockId) -> Self {
+        BlockAddr { fpga, block }
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.fpga, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let addr = BlockAddr::new(FpgaId::new(1), PhysicalBlockId::new(7));
+        assert_eq!(addr.to_string(), "fpga1:pb7");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = BlockAddr::new(FpgaId::new(0), PhysicalBlockId::new(9));
+        let b = BlockAddr::new(FpgaId::new(1), PhysicalBlockId::new(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn from_u32() {
+        assert_eq!(FpgaId::from(3).index(), 3);
+        assert_eq!(PhysicalBlockId::from(4).index(), 4);
+    }
+}

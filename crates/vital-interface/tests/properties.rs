@@ -1,0 +1,152 @@
+//! Property-based tests of the latency-insensitive interface: the paper's
+//! deadlock-freedom and back-pressure guarantees must hold for *any*
+//! topology the compiler can emit and *any* consumer stall pattern.
+
+use proptest::prelude::*;
+use vital_interface::{
+    interface_resources, plan_channels, ActorKind, BufferPolicy, ChannelSpec, CutEdge,
+    InterfaceConfig, LinkClass, NetworkSim,
+};
+
+fn arb_channel_spec() -> impl Strategy<Value = ChannelSpec> {
+    (
+        1u32..512,
+        2usize..32,
+        1u32..20,
+        1u32..4,
+        prop::sample::select(vec![
+            LinkClass::IntraDie,
+            LinkClass::InterDie,
+            LinkClass::InterFpga,
+        ]),
+    )
+        .prop_map(|(width_bits, depth, latency, ser, link)| ChannelSpec {
+            width_bits,
+            depth,
+            latency_cycles: latency,
+            serialization_interval: ser,
+            link,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A linear pipeline with arbitrary per-stage channel parameters and an
+    /// arbitrarily stalling sink always delivers every flit and never
+    /// deadlocks (§3.5.1).
+    #[test]
+    fn pipelines_never_deadlock(
+        specs in prop::collection::vec(arb_channel_spec(), 1..6),
+        flits in 1u64..200,
+        stall_period in 0u32..32,
+        stall_duty_frac in 0.0f64..0.95,
+    ) {
+        let stall_duty = (f64::from(stall_period) * stall_duty_frac) as u32;
+        let mut sim = NetworkSim::new();
+        let channels: Vec<_> = specs.iter().map(|s| sim.add_channel(*s)).collect();
+        sim.add_actor(ActorKind::Source { limit: flits }, [], [channels[0]]);
+        for w in channels.windows(2) {
+            sim.add_actor(ActorKind::Relay, [w[0]], [w[1]]);
+        }
+        sim.add_actor(
+            ActorKind::Sink { stall_period, stall_duty },
+            [*channels.last().unwrap()],
+            [],
+        );
+        let stats = sim.run_until_quiescent(3_000_000);
+        prop_assert!(!stats.deadlocked, "deadlock detected");
+        prop_assert_eq!(sim.channel(*channels.last().unwrap()).delivered(), flits);
+        // Conservation: every intermediate channel saw exactly `flits`.
+        for &c in &channels {
+            prop_assert_eq!(sim.channel(c).delivered(), flits);
+            prop_assert!(sim.channel(c).is_empty());
+        }
+    }
+
+    /// Fork/join topologies (the shape that deadlocks naive designs when
+    /// branch latencies differ) also always drain.
+    #[test]
+    fn fork_join_never_deadlocks(
+        lat_a in 1u32..30,
+        lat_b in 1u32..30,
+        depth in 2usize..8,
+        flits in 1u64..100,
+    ) {
+        let spec = |latency| ChannelSpec {
+            width_bits: 32,
+            depth,
+            latency_cycles: latency,
+            serialization_interval: 1,
+            link: LinkClass::IntraDie,
+        };
+        let mut sim = NetworkSim::new();
+        let a_in = sim.add_channel(spec(lat_a));
+        let b_in = sim.add_channel(spec(lat_b));
+        let a_out = sim.add_channel(spec(1));
+        let b_out = sim.add_channel(spec(1));
+        sim.add_actor(ActorKind::Source { limit: flits }, [], [a_in, b_in]);
+        sim.add_actor(ActorKind::Relay, [a_in], [a_out]);
+        sim.add_actor(ActorKind::Relay, [b_in], [b_out]);
+        sim.add_actor(
+            ActorKind::Sink { stall_period: 0, stall_duty: 0 },
+            [a_out, b_out],
+            [],
+        );
+        let stats = sim.run_until_quiescent(3_000_000);
+        prop_assert!(!stats.deadlocked);
+        prop_assert_eq!(sim.channel(a_out).delivered(), flits);
+        prop_assert_eq!(sim.channel(b_out).delivered(), flits);
+    }
+
+    /// Delivered latency is never below the wire latency, and with an
+    /// unstalled sink the channel sustains its serialization-limited rate.
+    #[test]
+    fn latency_and_rate_bounds(spec in arb_channel_spec()) {
+        let mut sim = NetworkSim::new();
+        let ch = sim.add_channel(spec);
+        sim.add_actor(ActorKind::Source { limit: u64::MAX }, [], [ch]);
+        sim.add_actor(ActorKind::Sink { stall_period: 0, stall_duty: 0 }, [ch], []);
+        let cycles = 5_000u64;
+        sim.run(cycles);
+        let c = sim.channel(ch);
+        prop_assert!(c.delivered() > 0);
+        prop_assert!(c.avg_latency_cycles() >= f64::from(spec.latency_cycles));
+        // Rate cannot exceed one flit per serialization interval.
+        let max_flits = cycles / u64::from(spec.serialization_interval) + 1;
+        prop_assert!(c.delivered() <= max_flits);
+    }
+}
+
+proptest! {
+    /// Channel planning conserves cut bits and never emits over-wide
+    /// channels; buffer elimination never increases resource cost.
+    #[test]
+    fn planning_conserves_bits(
+        edges in prop::collection::vec(
+            (0u32..6, 0u32..6, 1u64..2_000),
+            0..20
+        ),
+        offchip in 0.0f64..1.0,
+    ) {
+        let cuts: Vec<CutEdge> = edges
+            .iter()
+            .map(|&(from_block, to_block, bits)| CutEdge { from_block, to_block, bits })
+            .collect();
+        let cfg = InterfaceConfig::default();
+        let plan = plan_channels(&cuts, &cfg);
+        let expected: u64 = cuts
+            .iter()
+            .filter(|e| e.from_block != e.to_block)
+            .map(|e| e.bits)
+            .sum();
+        prop_assert_eq!(plan.total_cut_bits(), expected);
+        for c in plan.channels() {
+            prop_assert!(c.width_bits <= cfg.max_channel_width);
+            prop_assert!(c.width_bits > 0);
+        }
+        let all = interface_resources(&plan, BufferPolicy::BufferAll, 1.0);
+        let opt = interface_resources(&plan, BufferPolicy::EliminateIntraFpga, offchip);
+        prop_assert!(opt.lut <= all.lut || opt.bram_kb <= all.bram_kb || plan.channel_count() == 0);
+    }
+}

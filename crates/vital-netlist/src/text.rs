@@ -1,0 +1,257 @@
+//! VNL — a plain-text netlist interchange format.
+//!
+//! Real flows pass netlists between tools as files (EDIF, structural
+//! Verilog); VNL is this library's equivalent: a line-oriented format that
+//! round-trips every [`Netlist`] exactly. One primitive or net per line:
+//!
+//! ```text
+//! vnl 1
+//! netlist my-design
+//! prim lut6 u0/sum
+//! prim slice:8:16 u0/regs
+//! prim dsp u0/mul
+//! prim bram:36 u0/ram
+//! prim in ifm
+//! prim out ofm
+//! net 4 32 0           # driver=prim 4, width 32, sinks: prim 0
+//! net 0 48 2 3         # fanout of two
+//! ```
+//!
+//! Primitive ids are implicit (declaration order); `#` starts a comment.
+//! Instance names must be free of whitespace (the generated hierarchical
+//! `a/b/c` names always are).
+
+use crate::{Netlist, NetlistError, PortDirection, PrimitiveId, PrimitiveKind};
+
+/// Serializes a netlist to VNL text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Unserializable`] if any instance name contains
+/// whitespace or control characters (VNL is line/space delimited).
+pub fn to_vnl(netlist: &Netlist) -> Result<String, NetlistError> {
+    let check = |name: &str| -> Result<(), NetlistError> {
+        if name.is_empty() || name.chars().any(|c| c.is_whitespace() || c.is_control()) {
+            return Err(NetlistError::Unserializable(format!(
+                "instance name {name:?} contains whitespace or control characters"
+            )));
+        }
+        Ok(())
+    };
+    check(netlist.name())?;
+    let mut out = String::new();
+    out.push_str("vnl 1\n");
+    out.push_str(&format!("netlist {}\n", netlist.name()));
+    for p in netlist.primitives() {
+        check(p.name())?;
+        let kind = match p.kind() {
+            PrimitiveKind::Lut { inputs } => format!("lut{inputs}"),
+            PrimitiveKind::FlipFlop => "ff".to_string(),
+            PrimitiveKind::Slice { luts, ffs } => format!("slice:{luts}:{ffs}"),
+            PrimitiveKind::Dsp => "dsp".to_string(),
+            PrimitiveKind::Bram { kb } => format!("bram:{kb}"),
+            PrimitiveKind::Io {
+                direction: PortDirection::Input,
+            } => "in".to_string(),
+            PrimitiveKind::Io {
+                direction: PortDirection::Output,
+            } => "out".to_string(),
+        };
+        out.push_str(&format!("prim {kind} {}\n", p.name()));
+    }
+    for n in netlist.nets() {
+        out.push_str(&format!("net {} {}", n.driver().raw(), n.bits()));
+        for s in n.sinks() {
+            out.push_str(&format!(" {}", s.raw()));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses VNL text into a netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] describing the offending line for any
+/// syntax error, and the usual construction errors
+/// ([`NetlistError::UnknownPrimitive`] etc.) for semantically invalid
+/// content.
+pub fn from_vnl(text: &str) -> Result<Netlist, NetlistError> {
+    let err = |line: usize, msg: &str| NetlistError::Parse {
+        line,
+        message: msg.to_string(),
+    };
+    let mut netlist: Option<Netlist> = None;
+    let mut saw_header = false;
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        match keyword {
+            "vnl" => {
+                let version = tokens.next().ok_or_else(|| err(lineno, "missing version"))?;
+                if version != "1" {
+                    return Err(err(lineno, "unsupported VNL version"));
+                }
+                saw_header = true;
+            }
+            "netlist" => {
+                if !saw_header {
+                    return Err(err(lineno, "missing `vnl 1` header"));
+                }
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing netlist name"))?;
+                netlist = Some(Netlist::new(name));
+            }
+            "prim" => {
+                let n = netlist
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`prim` before `netlist`"))?;
+                let kind_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing primitive kind"))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing instance name"))?;
+                let kind = parse_kind(kind_tok).ok_or_else(|| {
+                    err(lineno, "unknown primitive kind (expected lutN/ff/slice:L:F/dsp/bram:KB/in/out)")
+                })?;
+                n.add_primitive(kind, name);
+            }
+            "net" => {
+                let n = netlist
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`net` before `netlist`"))?;
+                let driver: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "missing or invalid driver id"))?;
+                let bits: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "missing or invalid bit width"))?;
+                let mut sinks = Vec::new();
+                for t in tokens {
+                    let s: u32 = t
+                        .parse()
+                        .map_err(|_| err(lineno, "invalid sink id"))?;
+                    sinks.push(PrimitiveId::new(s));
+                }
+                n.connect(PrimitiveId::new(driver), sinks, bits)?;
+            }
+            _ => return Err(err(lineno, "unknown keyword")),
+        }
+    }
+    netlist.ok_or_else(|| err(0, "no `netlist` declaration found"))
+}
+
+fn parse_kind(tok: &str) -> Option<PrimitiveKind> {
+    match tok {
+        "ff" => return Some(PrimitiveKind::FlipFlop),
+        "dsp" => return Some(PrimitiveKind::Dsp),
+        "in" => return Some(PrimitiveKind::io(PortDirection::Input)),
+        "out" => return Some(PrimitiveKind::io(PortDirection::Output)),
+        _ => {}
+    }
+    if let Some(inputs) = tok.strip_prefix("lut") {
+        let inputs: u8 = inputs.parse().ok()?;
+        if (1..=6).contains(&inputs) {
+            return Some(PrimitiveKind::Lut { inputs });
+        }
+        return None;
+    }
+    if let Some(rest) = tok.strip_prefix("slice:") {
+        let (luts, ffs) = rest.split_once(':')?;
+        return Some(PrimitiveKind::Slice {
+            luts: luts.parse().ok()?,
+            ffs: ffs.parse().ok()?,
+        });
+    }
+    if let Some(kb) = tok.strip_prefix("bram:") {
+        return Some(PrimitiveKind::Bram {
+            kb: kb.parse().ok()?,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hls::{synthesize, AppSpec, Operator};
+
+    fn demo() -> Netlist {
+        let mut spec = AppSpec::new("demo");
+        let b = spec.add_operator("buf", Operator::Buffer { kb: 72, banks: 2 });
+        let m = spec.add_operator("mac", Operator::MacArray { pes: 3 });
+        spec.add_edge(b, m, 128).unwrap();
+        spec.add_input("ifm", m, 64).unwrap();
+        spec.add_output("ofm", m, 64).unwrap();
+        synthesize(&spec).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let n = demo();
+        let text = to_vnl(&n).unwrap();
+        let back = from_vnl(&text).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header comment\nvnl 1\nnetlist t  # trailing\n\nprim lut4 a\nprim ff b # reg\nnet 0 1 1\n";
+        let n = from_vnl(text).unwrap();
+        assert_eq!(n.name(), "t");
+        assert_eq!(n.primitive_count(), 2);
+        assert_eq!(n.net_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("vnl 2\nnetlist t\n", 1),
+            ("vnl 1\nprim lut6 a\n", 2),
+            ("vnl 1\nnetlist t\nprim lut9 a\n", 3),
+            ("vnl 1\nnetlist t\nprim lut6 a\nnet x 1 0\n", 4),
+            ("vnl 1\nnetlist t\nfrobnicate\n", 3),
+        ];
+        for (text, expect_line) in cases {
+            match from_vnl(text) {
+                Err(NetlistError::Parse { line, .. }) => {
+                    assert_eq!(line, expect_line, "for input {text:?}")
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_errors_surface_as_netlist_errors() {
+        // Net references a primitive that does not exist.
+        let text = "vnl 1\nnetlist t\nprim lut6 a\nnet 0 8 7\n";
+        assert!(matches!(
+            from_vnl(text),
+            Err(NetlistError::UnknownPrimitive(_))
+        ));
+    }
+
+    #[test]
+    fn whitespace_names_are_rejected_on_write() {
+        let mut n = Netlist::new("bad name");
+        n.add_primitive(PrimitiveKind::lut(6), "x");
+        assert!(matches!(to_vnl(&n), Err(NetlistError::Unserializable(_))));
+    }
+
+    #[test]
+    fn missing_netlist_decl_is_an_error() {
+        assert!(from_vnl("vnl 1\n").is_err());
+        assert!(from_vnl("").is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! Virtual memory over the board DRAM (paper §3.2: "User applications use
+//! virtual address to access the data stored in the off-chip DRAM, which is
+//! then translated into the physical address. The memory access from
+//! applications are monitored to ensure a secure execution environment.").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::PeriphError;
+
+/// Identifier of one tenant (a deployed application instance).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    /// Creates a tenant id.
+    pub const fn new(raw: u64) -> Self {
+        TenantId(raw)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// One tenant's address space: quota, page table, and backing data.
+#[derive(Debug, Default)]
+struct AddressSpace {
+    quota_bytes: u64,
+    /// Virtual page number -> physical page number.
+    page_table: HashMap<u64, u64>,
+    /// Physical page number -> page contents (allocated lazily on write).
+    pages: HashMap<u64, Vec<u8>>,
+    reads: u64,
+    writes: u64,
+    faults: u64,
+}
+
+/// Usage statistics of one address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Quota in bytes.
+    pub quota_bytes: u64,
+    /// Pages currently mapped.
+    pub mapped_pages: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Protection faults blocked by the monitor.
+    pub faults: u64,
+}
+
+struct Inner {
+    free_pages: u64,
+    next_phys_page: u64,
+    spaces: HashMap<TenantId, AddressSpace>,
+}
+
+/// The service region's DRAM virtualization: per-tenant translation,
+/// quota enforcement and access monitoring.
+///
+/// Thread-safe; clones of references can be shared across the runtime.
+pub struct MemoryManager {
+    page_size: u64,
+    inner: RwLock<Inner>,
+}
+
+impl fmt::Debug for MemoryManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("MemoryManager")
+            .field("page_size", &self.page_size)
+            .field("free_pages", &inner.free_pages)
+            .field("tenants", &inner.spaces.len())
+            .finish()
+    }
+}
+
+impl MemoryManager {
+    /// Creates a manager over `total_bytes` of board DRAM with the given
+    /// page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero or does not divide `total_bytes`.
+    pub fn new(total_bytes: u64, page_size: u64) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        assert_eq!(
+            total_bytes % page_size,
+            0,
+            "total bytes must be a whole number of pages"
+        );
+        MemoryManager {
+            page_size,
+            inner: RwLock::new(Inner {
+                free_pages: total_bytes / page_size,
+                next_phys_page: 0,
+                spaces: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Unreserved DRAM in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.inner.read().free_pages * self.page_size
+    }
+
+    /// Creates an address space with a `quota_bytes` reservation.
+    ///
+    /// # Errors
+    ///
+    /// * [`PeriphError::SpaceExists`] if the tenant already has a space.
+    /// * [`PeriphError::OutOfMemory`] if the quota exceeds free DRAM.
+    pub fn create_space(&self, tenant: TenantId, quota_bytes: u64) -> Result<(), PeriphError> {
+        let mut inner = self.inner.write();
+        if inner.spaces.contains_key(&tenant) {
+            return Err(PeriphError::SpaceExists(tenant));
+        }
+        let pages = quota_bytes.div_ceil(self.page_size);
+        if pages > inner.free_pages {
+            return Err(PeriphError::OutOfMemory {
+                requested: quota_bytes,
+                available: inner.free_pages * self.page_size,
+            });
+        }
+        inner.free_pages -= pages;
+        inner.spaces.insert(
+            tenant,
+            AddressSpace {
+                quota_bytes: pages * self.page_size,
+                ..AddressSpace::default()
+            },
+        );
+        Ok(())
+    }
+
+    /// Tears down a tenant's space, scrubbing its pages and returning the
+    /// reservation to the free pool. Scrubbing prevents data leakage to the
+    /// next tenant of the same physical pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeriphError::UnknownTenant`] if no space exists.
+    pub fn destroy_space(&self, tenant: TenantId) -> Result<(), PeriphError> {
+        let mut inner = self.inner.write();
+        let space = inner
+            .spaces
+            .remove(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        inner.free_pages += space.quota_bytes / self.page_size;
+        // Pages drop here — the model's scrub.
+        Ok(())
+    }
+
+    /// Translates a virtual address to a physical address, allocating the
+    /// page on first touch.
+    ///
+    /// # Errors
+    ///
+    /// * [`PeriphError::UnknownTenant`] for undeployed tenants.
+    /// * [`PeriphError::ProtectionFault`] if `vaddr` exceeds the quota —
+    ///   the monitored access is blocked.
+    pub fn translate(&self, tenant: TenantId, vaddr: u64) -> Result<u64, PeriphError> {
+        let mut inner = self.inner.write();
+        let next = inner.next_phys_page;
+        let page_size = self.page_size;
+        let space = inner
+            .spaces
+            .get_mut(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        if vaddr >= space.quota_bytes {
+            space.faults += 1;
+            return Err(PeriphError::ProtectionFault { tenant, vaddr });
+        }
+        let vpn = vaddr / page_size;
+        let (ppn, allocated) = match space.page_table.get(&vpn) {
+            Some(&p) => (p, false),
+            None => {
+                space.page_table.insert(vpn, next);
+                (next, true)
+            }
+        };
+        if allocated {
+            inner.next_phys_page += 1;
+        }
+        Ok(ppn * page_size + vaddr % page_size)
+    }
+
+    /// Writes `data` at the tenant's virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MemoryManager::translate`], checked for the
+    /// whole range.
+    pub fn write(&self, tenant: TenantId, vaddr: u64, data: &[u8]) -> Result<(), PeriphError> {
+        // Validate the whole range first so partial writes never happen.
+        if !data.is_empty() {
+            self.check_range(tenant, vaddr, data.len() as u64)?;
+        }
+        let mut inner = self.inner.write();
+        let page_size = self.page_size;
+        let mut next = inner.next_phys_page;
+        let space = inner
+            .spaces
+            .get_mut(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        for (i, &byte) in data.iter().enumerate() {
+            let va = vaddr + i as u64;
+            let vpn = va / page_size;
+            let ppn = *space.page_table.entry(vpn).or_insert_with(|| {
+                let p = next;
+                next += 1;
+                p
+            });
+            let page = space
+                .pages
+                .entry(ppn)
+                .or_insert_with(|| vec![0; page_size as usize]);
+            page[(va % page_size) as usize] = byte;
+        }
+        space.writes += 1;
+        inner.next_phys_page = next;
+        Ok(())
+    }
+
+    /// Reads into `buf` from the tenant's virtual address; untouched pages
+    /// read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MemoryManager::translate`], checked for the
+    /// whole range.
+    pub fn read(&self, tenant: TenantId, vaddr: u64, buf: &mut [u8]) -> Result<(), PeriphError> {
+        if !buf.is_empty() {
+            self.check_range(tenant, vaddr, buf.len() as u64)?;
+        }
+        let mut inner = self.inner.write();
+        let page_size = self.page_size;
+        let space = inner
+            .spaces
+            .get_mut(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        for (i, slot) in buf.iter_mut().enumerate() {
+            let va = vaddr + i as u64;
+            let vpn = va / page_size;
+            *slot = match space.page_table.get(&vpn) {
+                Some(ppn) => space
+                    .pages
+                    .get(ppn)
+                    .map(|p| p[(va % page_size) as usize])
+                    .unwrap_or(0),
+                None => 0,
+            };
+        }
+        space.reads += 1;
+        Ok(())
+    }
+
+    fn check_range(&self, tenant: TenantId, vaddr: u64, len: u64) -> Result<(), PeriphError> {
+        let mut inner = self.inner.write();
+        let space = inner
+            .spaces
+            .get_mut(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        let end = vaddr.checked_add(len);
+        match end {
+            Some(end) if end <= space.quota_bytes => Ok(()),
+            _ => {
+                space.faults += 1;
+                Err(PeriphError::ProtectionFault { tenant, vaddr })
+            }
+        }
+    }
+
+    /// Usage statistics of one tenant's space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeriphError::UnknownTenant`] if no space exists.
+    pub fn stats(&self, tenant: TenantId) -> Result<MemoryStats, PeriphError> {
+        let inner = self.inner.read();
+        let space = inner
+            .spaces
+            .get(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        Ok(MemoryStats {
+            quota_bytes: space.quota_bytes,
+            mapped_pages: space.page_table.len() as u64,
+            reads: space.reads,
+            writes: space.writes,
+            faults: space.faults,
+        })
+    }
+
+    /// Number of live address spaces.
+    pub fn tenant_count(&self) -> usize {
+        self.inner.read().spaces.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> MemoryManager {
+        MemoryManager::new(1 << 20, 4096) // 1 MiB, 256 pages
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 64 * 1024).unwrap();
+        m.write(t, 1000, b"vital").unwrap();
+        let mut buf = [0u8; 5];
+        m.read(t, 1000, &mut buf).unwrap();
+        assert_eq!(&buf, b"vital");
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 64 * 1024).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        m.write(t, 4096 - 50, &data).unwrap();
+        let mut buf = vec![0u8; 100];
+        m.read(t, 4096 - 50, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let m = mm();
+        let a = TenantId::new(1);
+        let b = TenantId::new(2);
+        m.create_space(a, 64 * 1024).unwrap();
+        m.create_space(b, 64 * 1024).unwrap();
+        m.write(a, 0, b"secret").unwrap();
+        let mut buf = [0u8; 6];
+        // Tenant B reads the same *virtual* address and sees its own
+        // (zeroed) memory, never tenant A's data.
+        m.read(b, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 6]);
+        // Physical addresses differ.
+        let pa = m.translate(a, 0).unwrap();
+        let pb = m.translate(b, 0).unwrap();
+        assert_ne!(pa / 4096, pb / 4096);
+    }
+
+    #[test]
+    fn quota_enforced_as_protection_fault() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 8192).unwrap();
+        assert!(matches!(
+            m.write(t, 8192, b"x"),
+            Err(PeriphError::ProtectionFault { .. })
+        ));
+        // Straddling the quota boundary also faults, with no partial write.
+        assert!(m.write(t, 8190, b"abcd").is_err());
+        let mut buf = [0u8; 2];
+        m.read(t, 8190, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0], "no partial write leaked");
+        assert_eq!(m.stats(t).unwrap().faults, 2);
+    }
+
+    #[test]
+    fn address_overflow_faults() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 8192).unwrap();
+        assert!(m.write(t, u64::MAX - 1, b"abc").is_err());
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let m = mm();
+        let t1 = TenantId::new(1);
+        m.create_space(t1, 512 * 1024).unwrap();
+        assert_eq!(m.free_bytes(), 512 * 1024);
+        let t2 = TenantId::new(2);
+        assert!(matches!(
+            m.create_space(t2, 768 * 1024),
+            Err(PeriphError::OutOfMemory { .. })
+        ));
+        m.destroy_space(t1).unwrap();
+        assert_eq!(m.free_bytes(), 1 << 20);
+        m.create_space(t2, 768 * 1024).unwrap();
+    }
+
+    #[test]
+    fn double_create_rejected() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 4096).unwrap();
+        assert_eq!(m.create_space(t, 4096), Err(PeriphError::SpaceExists(t)));
+    }
+
+    #[test]
+    fn destroy_scrubs_for_next_tenant() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 4096).unwrap();
+        m.write(t, 0, b"leak?").unwrap();
+        m.destroy_space(t).unwrap();
+        let t2 = TenantId::new(2);
+        m.create_space(t2, 4096).unwrap();
+        let mut buf = [0u8; 5];
+        m.read(t2, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 5]);
+    }
+
+    #[test]
+    fn unknown_tenant_errors() {
+        let m = mm();
+        let ghost = TenantId::new(9);
+        assert_eq!(m.translate(ghost, 0), Err(PeriphError::UnknownTenant(ghost)));
+        assert_eq!(m.destroy_space(ghost), Err(PeriphError::UnknownTenant(ghost)));
+        assert!(m.stats(ghost).is_err());
+    }
+
+    #[test]
+    fn concurrent_tenants_do_not_interfere() {
+        use std::sync::Arc;
+        let m = Arc::new(mm());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let t = TenantId::new(i);
+                    m.create_space(t, 64 * 1024).unwrap();
+                    let pattern = vec![i as u8 + 1; 128];
+                    for k in 0..32 {
+                        m.write(t, k * 128, &pattern).unwrap();
+                    }
+                    let mut buf = vec![0u8; 128];
+                    for k in 0..32 {
+                        m.read(t, k * 128, &mut buf).unwrap();
+                        assert_eq!(buf, pattern);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.tenant_count(), 4);
+    }
+}

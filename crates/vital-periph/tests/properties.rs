@@ -1,0 +1,112 @@
+//! Property-based tests of the peripheral virtualization: the virtual
+//! memory must behave exactly like one private flat memory per tenant, for
+//! any interleaving of tenant operations.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vital_periph::{BandwidthArbiter, MemoryManager, PeriphError, TenantId};
+
+/// One step of a randomized multi-tenant workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { tenant: u8, addr: u64, data: Vec<u8> },
+    Read { tenant: u8, addr: u64, len: usize },
+}
+
+fn arb_op(quota: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0..quota * 2, prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(tenant, addr, data)| Op::Write { tenant, addr, data }),
+        (0u8..3, 0..quota * 2, 1usize..64)
+            .prop_map(|(tenant, addr, len)| Op::Read { tenant, addr, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MMU agrees with a per-tenant reference model (a plain byte map)
+    /// on every read, and faults exactly when the reference would go out of
+    /// quota. Cross-tenant leakage is therefore impossible.
+    #[test]
+    fn memory_matches_reference_model(
+        ops in prop::collection::vec(arb_op(16 * 1024), 1..60),
+    ) {
+        let quota = 16 * 1024u64;
+        let mm = MemoryManager::new(1 << 20, 1024);
+        let mut reference: HashMap<u8, HashMap<u64, u8>> = HashMap::new();
+        for t in 0..3u8 {
+            mm.create_space(TenantId::new(u64::from(t)), quota).unwrap();
+            reference.insert(t, HashMap::new());
+        }
+        for op in ops {
+            match op {
+                Op::Write { tenant, addr, data } => {
+                    let result = mm.write(TenantId::new(u64::from(tenant)), addr, &data);
+                    let in_quota = addr
+                        .checked_add(data.len() as u64)
+                        .is_some_and(|end| end <= quota);
+                    if in_quota {
+                        prop_assert!(result.is_ok());
+                        let model = reference.get_mut(&tenant).unwrap();
+                        for (i, &b) in data.iter().enumerate() {
+                            model.insert(addr + i as u64, b);
+                        }
+                    } else {
+                        let faulted =
+                            matches!(result, Err(PeriphError::ProtectionFault { .. }));
+                        prop_assert!(faulted);
+                    }
+                }
+                Op::Read { tenant, addr, len } => {
+                    let mut buf = vec![0u8; len];
+                    let result = mm.read(TenantId::new(u64::from(tenant)), addr, &mut buf);
+                    let in_quota = addr
+                        .checked_add(len as u64)
+                        .is_some_and(|end| end <= quota);
+                    if in_quota {
+                        prop_assert!(result.is_ok());
+                        let model = &reference[&tenant];
+                        for (i, &b) in buf.iter().enumerate() {
+                            let expected = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+                            prop_assert_eq!(b, expected);
+                        }
+                    } else {
+                        let faulted =
+                            matches!(result, Err(PeriphError::ProtectionFault { .. }));
+                        prop_assert!(faulted);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The arbiter's grants never exceed capacity in total, never exceed a
+    /// tenant's demand, and are max-min fair (a tenant demanding less than
+    /// the equal share gets all of it).
+    #[test]
+    fn arbiter_grants_are_feasible_and_fair(
+        demands in prop::collection::vec(0.0f64..200.0, 1..10),
+        capacity in 1.0f64..500.0,
+    ) {
+        let arb = BandwidthArbiter::new(capacity);
+        for (i, &d) in demands.iter().enumerate() {
+            arb.request(TenantId::new(i as u64), d);
+        }
+        let grants: Vec<f64> = (0..demands.len())
+            .map(|i| arb.grant(TenantId::new(i as u64)).unwrap().granted_gbps)
+            .collect();
+        let total: f64 = grants.iter().sum();
+        prop_assert!(total <= capacity + 1e-6, "total {total} > capacity {capacity}");
+        let equal_share = capacity / demands.len() as f64;
+        for (i, (&g, &d)) in grants.iter().zip(&demands).enumerate() {
+            prop_assert!(g <= d + 1e-9, "tenant {i} granted {g} above demand {d}");
+            if d <= equal_share {
+                prop_assert!((g - d).abs() < 1e-6, "small demand {d} not fully granted ({g})");
+            }
+        }
+    }
+}

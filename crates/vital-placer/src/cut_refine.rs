@@ -1,0 +1,204 @@
+//! Cut-driven refinement of the final partition.
+//!
+//! The partition step's explicit goal is to *minimize the number of
+//! inter-block connections* (paper §3.3 step 2). The quadratic/annealing
+//! pipeline optimizes wirelength, which correlates with — but is not
+//! identical to — the cut. This pass runs a Fiduccia–Mattheyses-style
+//! greedy sweep on the final assignment: repeatedly move the cluster with
+//! the highest positive *cut gain* to a neighbouring block (capacity
+//! permitting), locking each moved cluster until the pass ends.
+
+use vital_fabric::Resources;
+
+use crate::placement::VirtualGrid;
+use crate::{Cluster, ClusterGraph, ClusterId};
+
+/// Runs `passes` FM-style sweeps over `assignment`, mutating it in place.
+/// Returns the number of moves applied.
+pub(crate) fn refine_cut(
+    clusters: &[Cluster],
+    graph: &ClusterGraph,
+    grid: &VirtualGrid,
+    assignment: &mut [Option<u32>],
+    passes: usize,
+) -> usize {
+    let cap = grid.capacity();
+    let mut usage = vec![Resources::ZERO; grid.slot_count()];
+    for (i, slot) in assignment.iter().enumerate() {
+        if let Some(s) = slot {
+            usage[*s as usize] += clusters[i].resources();
+        }
+    }
+
+    let mut total_moves = 0usize;
+    for _ in 0..passes {
+        let mut locked = vec![false; clusters.len()];
+        let mut moved_this_pass = 0usize;
+        loop {
+            // Find the best positive-gain feasible move among unlocked
+            // clusters.
+            let mut best: Option<(usize, u32, i64)> = None;
+            for (i, cluster) in clusters.iter().enumerate() {
+                if locked[i] || cluster.is_io() {
+                    continue;
+                }
+                let Some(from) = assignment[i] else { continue };
+                // Bits to each candidate slot (neighbour-occupied slots
+                // only — moving elsewhere can't reduce the cut).
+                let mut per_slot: Vec<(u32, u64)> = Vec::new();
+                let mut internal = 0u64;
+                for &(nb, w) in graph.neighbors(ClusterId(i as u32)) {
+                    let Some(s) = assignment[nb.index()] else {
+                        continue;
+                    };
+                    if s == from {
+                        internal += w;
+                    } else {
+                        match per_slot.iter_mut().find(|(slot, _)| *slot == s) {
+                            Some((_, bits)) => *bits += w,
+                            None => per_slot.push((s, w)),
+                        }
+                    }
+                }
+                for (to, external) in per_slot {
+                    // Gain = bits that stop being cut − bits that start
+                    // being cut (edges to the old block become external).
+                    let gain = external as i64 - internal as i64;
+                    if gain <= 0 {
+                        continue;
+                    }
+                    let fits =
+                        (usage[to as usize] + cluster.resources()).fits_within(&cap);
+                    if !fits {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, _, g)| gain > g) {
+                        best = Some((i, to, gain));
+                    }
+                }
+            }
+            let Some((i, to, _)) = best else { break };
+            let from = assignment[i].expect("candidate had a slot");
+            usage[from as usize] = usage[from as usize].saturating_sub(&clusters[i].resources());
+            usage[to as usize] += clusters[i].resources();
+            assignment[i] = Some(to);
+            locked[i] = true;
+            moved_this_pass += 1;
+            total_moves += 1;
+        }
+        if moved_this_pass == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack, PackingConfig};
+    use vital_netlist::hls::{synthesize, AppSpec, Operator};
+    use vital_netlist::DataflowGraph;
+
+    /// Builds a two-community netlist and a deliberately bad assignment
+    /// that splits each community across both slots.
+    #[test]
+    fn refinement_reduces_cut_and_respects_capacity() {
+        let mut spec = AppSpec::new("two-communities");
+        let a1 = spec.add_operator("a1", Operator::Pipeline { slices: 20 });
+        let a2 = spec.add_operator("a2", Operator::Pipeline { slices: 20 });
+        let b1 = spec.add_operator("b1", Operator::Pipeline { slices: 20 });
+        let b2 = spec.add_operator("b2", Operator::Pipeline { slices: 20 });
+        spec.add_edge(a1, a2, 512).unwrap();
+        spec.add_edge(b1, b2, 512).unwrap();
+        spec.add_edge(a2, b1, 8).unwrap(); // weak inter-community link
+        let netlist = synthesize(&spec).unwrap();
+        let dfg = DataflowGraph::from_netlist(&netlist);
+        let packing = pack(
+            &netlist,
+            &dfg,
+            &PackingConfig {
+                max_primitives: 20,
+                ..PackingConfig::default()
+            },
+        );
+        let graph = ClusterGraph::from_packing(&dfg, &packing);
+        let total = netlist.resource_usage();
+        let grid = VirtualGrid::uniform(2, total.scale(0.6));
+
+        // Adversarial start: alternate clusters between the two slots.
+        let mut assignment: Vec<Option<u32>> = (0..packing.cluster_count())
+            .map(|i| {
+                if packing.clusters()[i].is_io() {
+                    None
+                } else {
+                    Some((i % 2) as u32)
+                }
+            })
+            .collect();
+        let cut = |assignment: &[Option<u32>]| -> u64 {
+            graph
+                .edges()
+                .filter_map(|(a, b, w)| {
+                    let (Some(x), Some(y)) = (assignment[a.index()], assignment[b.index()])
+                    else {
+                        return None;
+                    };
+                    (x != y).then_some(w)
+                })
+                .sum()
+        };
+        let before = cut(&assignment);
+        let moves = refine_cut(packing.clusters(), &graph, &grid, &mut assignment, 4);
+        let after = cut(&assignment);
+        assert!(moves > 0, "the adversarial start must be improvable");
+        assert!(after < before, "cut {after} should drop below {before}");
+
+        // Capacity still respected.
+        let cap = grid.capacity();
+        let mut usage = vec![Resources::ZERO; grid.slot_count()];
+        for (i, slot) in assignment.iter().enumerate() {
+            if let Some(s) = slot {
+                usage[*s as usize] += packing.clusters()[i].resources();
+            }
+        }
+        assert!(usage.iter().all(|u| u.fits_within(&cap)));
+    }
+
+    #[test]
+    fn refinement_is_a_no_op_on_an_optimal_partition() {
+        let mut spec = AppSpec::new("chain");
+        let a = spec.add_operator("a", Operator::Pipeline { slices: 30 });
+        let b = spec.add_operator("b", Operator::Pipeline { slices: 30 });
+        spec.add_edge(a, b, 4).unwrap();
+        let netlist = synthesize(&spec).unwrap();
+        let dfg = DataflowGraph::from_netlist(&netlist);
+        let packing = pack(
+            &netlist,
+            &dfg,
+            &PackingConfig {
+                max_primitives: 30,
+                ..PackingConfig::default()
+            },
+        );
+        let graph = ClusterGraph::from_packing(&dfg, &packing);
+        let total = netlist.resource_usage();
+        // Tight capacity: each community fills its own slot; no move fits.
+        let grid = VirtualGrid::uniform(2, total.scale(0.55));
+        // Put each operator's clusters in their own slot (already optimal).
+        let mut assignment: Vec<Option<u32>> = (0..packing.cluster_count())
+            .map(|i| {
+                let c = &packing.clusters()[i];
+                if c.is_io() {
+                    None
+                } else {
+                    // First half of primitives belong to operator a.
+                    let first = c.members()[0].index();
+                    Some(if first < netlist.primitive_count() / 2 { 0 } else { 1 })
+                }
+            })
+            .collect();
+        let moves = refine_cut(packing.clusters(), &graph, &grid, &mut assignment, 2);
+        assert_eq!(moves, 0);
+    }
+}

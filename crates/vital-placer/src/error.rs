@@ -1,0 +1,51 @@
+//! Error type of the placer crate.
+
+use std::error::Error;
+use std::fmt;
+
+use vital_fabric::Resources;
+
+/// Errors produced by the placement/partition pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlacerError {
+    /// The netlist contains no primitives.
+    EmptyNetlist,
+    /// The netlist does not fit in the virtual-block grid even at full
+    /// utilization.
+    CapacityExceeded {
+        /// Resources the netlist needs.
+        required: Resources,
+        /// Aggregate capacity the grid provides.
+        available: Resources,
+    },
+}
+
+impl fmt::Display for PlacerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacerError::EmptyNetlist => write!(f, "netlist has no primitives to place"),
+            PlacerError::CapacityExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "netlist needs {required} but the grid provides only {available}"
+            ),
+        }
+    }
+}
+
+impl Error for PlacerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PlacerError>();
+        assert!(!PlacerError::EmptyNetlist.to_string().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The bitstream database: compiled, relocatable application images
+//! (paper Fig. 6).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use vital_compiler::AppBitstream;
+
+use crate::RuntimeError;
+
+/// Thread-safe store of compiled applications, keyed by name.
+///
+/// Because ViTAL decouples compilation from resource allocation, one entry
+/// per application suffices: the same image deploys to *any* set of free
+/// physical blocks. (Contrast with AmorphOS's high-throughput mode, which
+/// must store an image per application *combination*.)
+pub struct BitstreamDatabase {
+    entries: RwLock<HashMap<String, AppBitstream>>,
+}
+
+impl fmt::Debug for BitstreamDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BitstreamDatabase")
+            .field("entries", &self.entries.read().len())
+            .finish()
+    }
+}
+
+impl Default for BitstreamDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitstreamDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        BitstreamDatabase {
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a compiled application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::AppExists`] if the name is taken.
+    pub fn insert(&self, bitstream: AppBitstream) -> Result<(), RuntimeError> {
+        let mut entries = self.entries.write();
+        let name = bitstream.name().to_string();
+        if entries.contains_key(&name) {
+            return Err(RuntimeError::AppExists(name));
+        }
+        entries.insert(name, bitstream);
+        Ok(())
+    }
+
+    /// Replaces (or inserts) an application image; returns the old image.
+    pub fn replace(&self, bitstream: AppBitstream) -> Option<AppBitstream> {
+        self.entries
+            .write()
+            .insert(bitstream.name().to_string(), bitstream)
+    }
+
+    /// Fetches a clone of an application's image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownApp`] if not registered.
+    pub fn get(&self, name: &str) -> Result<AppBitstream, RuntimeError> {
+        self.entries
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))
+    }
+
+    /// Removes an application's image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownApp`] if not registered.
+    pub fn remove(&self, name: &str) -> Result<AppBitstream, RuntimeError> {
+        self.entries
+            .write()
+            .remove(name)
+            .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))
+    }
+
+    /// Registered application names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.entries.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered applications.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` if no applications are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Serializes the whole database to JSON (for inspection or persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(&*self.entries.read())
+    }
+
+    /// Restores a database from [`BitstreamDatabase::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let entries: HashMap<String, AppBitstream> = serde_json::from_str(json)?;
+        Ok(BitstreamDatabase {
+            entries: RwLock::new(entries),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_compiler::{Compiler, CompilerConfig};
+    use vital_netlist::hls::{AppSpec, Operator};
+
+    fn bitstream(name: &str) -> AppBitstream {
+        let mut spec = AppSpec::new(name);
+        spec.add_operator("m", Operator::MacArray { pes: 4 });
+        Compiler::new(CompilerConfig::default())
+            .compile(&spec)
+            .unwrap()
+            .into_bitstream()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let db = BitstreamDatabase::new();
+        assert!(db.is_empty());
+        db.insert(bitstream("a")).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("a").unwrap().name(), "a");
+        assert!(matches!(
+            db.insert(bitstream("a")),
+            Err(RuntimeError::AppExists(_))
+        ));
+        db.remove("a").unwrap();
+        assert!(matches!(db.get("a"), Err(RuntimeError::UnknownApp(_))));
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let db = BitstreamDatabase::new();
+        assert!(db.replace(bitstream("a")).is_none());
+        assert!(db.replace(bitstream("a")).is_some());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = BitstreamDatabase::new();
+        db.insert(bitstream("a")).unwrap();
+        db.insert(bitstream("b")).unwrap();
+        let json = db.to_json().unwrap();
+        let back = BitstreamDatabase::from_json(&json).unwrap();
+        assert_eq!(back.names(), vec!["a", "b"]);
+        assert_eq!(
+            back.get("a").unwrap().block_count(),
+            db.get("a").unwrap().block_count()
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! The system controller: ViTAL's API surface toward the higher-level
+//! cloud stack (hypervisor), paper Fig. 6.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vital_compiler::{AppBitstream, PlacedBitstream, RelocationTarget, BLOCK_CONFIG_BITS};
+use vital_periph::{BandwidthArbiter, MemoryManager, TenantId, VirtualNic, VirtualSwitch};
+
+use crate::{allocate_blocks, BitstreamDatabase, ResourceDatabase, RuntimeError};
+
+/// Configuration of the runtime: cluster shape plus peripheral capacities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// FPGAs in the cluster.
+    pub fpgas: usize,
+    /// Physical blocks per FPGA.
+    pub blocks_per_fpga: usize,
+    /// Board DRAM per FPGA in bytes.
+    pub dram_bytes_per_fpga: u64,
+    /// DRAM page size in bytes.
+    pub dram_page_bytes: u64,
+    /// DRAM channel bandwidth per FPGA in Gb/s.
+    pub dram_gbps: f64,
+    /// Default DRAM quota granted per deployment, in bytes.
+    pub default_quota_bytes: u64,
+    /// ICAP throughput used to model partial-reconfiguration time, in Gb/s.
+    pub icap_gbps: f64,
+}
+
+impl RuntimeConfig {
+    /// The paper's platform: 4 FPGAs × 15 blocks; two DIMM sites of up to
+    /// 128 GB each per board (§5.2) — modelled as 64 GiB of usable DRAM.
+    pub fn paper_cluster() -> Self {
+        RuntimeConfig {
+            fpgas: 4,
+            blocks_per_fpga: 15,
+            dram_bytes_per_fpga: 64 << 30,
+            dram_page_bytes: 2 << 20,
+            dram_gbps: 153.6, // DDR4-2400 x72, two channels
+            default_quota_bytes: 1 << 30,
+            icap_gbps: 6.4,
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+/// A live deployment returned by [`SystemController::deploy`].
+#[derive(Debug, Clone)]
+pub struct DeployHandle {
+    tenant: TenantId,
+    placed: PlacedBitstream,
+    nic: VirtualNic,
+    primary_fpga: usize,
+    reconfig: Duration,
+}
+
+impl DeployHandle {
+    /// The tenant id owning this deployment.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The bound bitstream (which physical blocks are used).
+    pub fn placed(&self) -> &PlacedBitstream {
+        &self.placed
+    }
+
+    /// The tenant's virtual NIC.
+    pub fn nic(&self) -> VirtualNic {
+        self.nic
+    }
+
+    /// The FPGA hosting the majority of the blocks (and the tenant's DRAM).
+    pub fn primary_fpga(&self) -> usize {
+        self.primary_fpga
+    }
+
+    /// Distinct FPGAs the deployment spans.
+    pub fn fpga_count(&self) -> usize {
+        self.placed.fpga_count()
+    }
+
+    /// Modelled partial-reconfiguration time for this deployment.
+    pub fn reconfig_duration(&self) -> Duration {
+        self.reconfig
+    }
+}
+
+struct TenantState {
+    handle: DeployHandle,
+}
+
+/// The ViTAL system controller.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct SystemController {
+    config: RuntimeConfig,
+    resources: ResourceDatabase,
+    bitstreams: BitstreamDatabase,
+    memory: Vec<MemoryManager>,
+    arbiters: Vec<BandwidthArbiter>,
+    switch: VirtualSwitch,
+    tenants: Mutex<HashMap<TenantId, TenantState>>,
+    next_tenant: AtomicU64,
+}
+
+impl fmt::Debug for SystemController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemController")
+            .field("config", &self.config)
+            .field("registered_apps", &self.bitstreams.len())
+            .field("live_tenants", &self.tenants.lock().len())
+            .finish()
+    }
+}
+
+impl SystemController {
+    /// Creates a controller over an idle homogeneous cluster.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let layout = vec![config.blocks_per_fpga; config.fpgas];
+        Self::with_layout(config, layout)
+    }
+
+    /// Creates a controller over a *heterogeneous* cluster: one entry per
+    /// FPGA giving its block count. Because every block is identical, the
+    /// same relocatable bitstreams deploy across mixed devices (paper §7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` is empty or contains a zero.
+    pub fn with_layout(config: RuntimeConfig, layout: Vec<usize>) -> Self {
+        let fpgas = layout.len();
+        SystemController {
+            resources: ResourceDatabase::with_layout(layout),
+            bitstreams: BitstreamDatabase::new(),
+            memory: (0..fpgas)
+                .map(|_| MemoryManager::new(config.dram_bytes_per_fpga, config.dram_page_bytes))
+                .collect(),
+            arbiters: (0..fpgas)
+                .map(|_| BandwidthArbiter::new(config.dram_gbps))
+                .collect(),
+            switch: VirtualSwitch::new(),
+            tenants: Mutex::new(HashMap::new()),
+            next_tenant: AtomicU64::new(1),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The resource database (read access for monitoring).
+    pub fn resources(&self) -> &ResourceDatabase {
+        &self.resources
+    }
+
+    /// The bitstream database.
+    pub fn bitstreams(&self) -> &BitstreamDatabase {
+        &self.bitstreams
+    }
+
+    /// The DRAM manager of one FPGA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpga` is out of range.
+    pub fn memory_of(&self, fpga: usize) -> &MemoryManager {
+        &self.memory[fpga]
+    }
+
+    /// The DRAM bandwidth arbiter of one FPGA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpga` is out of range.
+    pub fn arbiter_of(&self, fpga: usize) -> &BandwidthArbiter {
+        &self.arbiters[fpga]
+    }
+
+    /// The cluster's virtual Ethernet switch.
+    pub fn switch(&self) -> &VirtualSwitch {
+        &self.switch
+    }
+
+    /// Registers a compiled application in the bitstream database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::AppExists`] if the name is already taken.
+    pub fn register(&self, bitstream: AppBitstream) -> Result<(), RuntimeError> {
+        self.bitstreams.insert(bitstream)
+    }
+
+    /// Deploys a registered application: allocates physical blocks with the
+    /// communication-aware policy, binds the relocatable bitstream to them,
+    /// provisions DRAM and a virtual NIC, and models the per-block partial
+    /// reconfiguration.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownApp`] for unregistered names.
+    /// * [`RuntimeError::InsufficientResources`] when the cluster is full.
+    /// * [`RuntimeError::Periph`] if DRAM provisioning fails.
+    pub fn deploy(&self, name: &str) -> Result<DeployHandle, RuntimeError> {
+        self.deploy_with_quota(name, self.config.default_quota_bytes)
+    }
+
+    /// Like [`SystemController::deploy`] with an explicit DRAM quota.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemController::deploy`].
+    pub fn deploy_with_quota(
+        &self,
+        name: &str,
+        quota_bytes: u64,
+    ) -> Result<DeployHandle, RuntimeError> {
+        let bitstream = self.bitstreams.get(name)?;
+        let needed = bitstream.block_count();
+
+        let free_lists: Vec<_> = (0..self.resources.fpga_count())
+            .map(|f| self.resources.free_blocks_of(f))
+            .collect();
+        let alloc = allocate_blocks(&free_lists, needed).ok_or(
+            RuntimeError::InsufficientResources {
+                needed,
+                free: self.resources.total_free(),
+            },
+        )?;
+
+        let tenant = TenantId::new(self.next_tenant.fetch_add(1, Ordering::Relaxed));
+        if !self.resources.claim(tenant, &alloc.blocks) {
+            // Racy claim lost; report as pressure.
+            return Err(RuntimeError::InsufficientResources {
+                needed,
+                free: self.resources.total_free(),
+            });
+        }
+
+        let targets: Vec<RelocationTarget> = alloc
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(vb, &addr)| RelocationTarget {
+                virtual_block: vb as u32,
+                addr,
+            })
+            .collect();
+        let placed = match bitstream.bind(&targets) {
+            Ok(p) => p,
+            Err(e) => {
+                self.resources.release(tenant);
+                return Err(RuntimeError::Relocation(e));
+            }
+        };
+
+        // Primary FPGA = the one hosting the most blocks.
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for b in &alloc.blocks {
+            *counts.entry(b.fpga.index() as usize).or_insert(0) += 1;
+        }
+        let primary_fpga = counts
+            .into_iter()
+            .max_by_key(|&(f, n)| (n, std::cmp::Reverse(f)))
+            .map(|(f, _)| f)
+            .unwrap_or(0);
+
+        if let Err(e) = self.memory[primary_fpga].create_space(tenant, quota_bytes) {
+            self.resources.release(tenant);
+            return Err(RuntimeError::Periph(e));
+        }
+        self.arbiters[primary_fpga].request(tenant, self.config.dram_gbps / 4.0);
+        let nic = self.switch.create_nic(tenant, 64);
+
+        // Per-block partial reconfiguration over the FPGA-local ICAPs
+        // (parallel across FPGAs, sequential within one).
+        let per_block = BLOCK_CONFIG_BITS as f64 / (self.config.icap_gbps * 1.0e9);
+        let mut per_fpga: HashMap<u32, u32> = HashMap::new();
+        for b in &alloc.blocks {
+            *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
+        }
+        let worst = per_fpga.values().copied().max().unwrap_or(0);
+        let reconfig = Duration::from_secs_f64(per_block * f64::from(worst));
+
+        let handle = DeployHandle {
+            tenant,
+            placed,
+            nic,
+            primary_fpga,
+            reconfig,
+        };
+        self.tenants.lock().insert(
+            tenant,
+            TenantState {
+                handle: handle.clone(),
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Tears down a deployment: frees its blocks, scrubs its DRAM, removes
+    /// its NIC and bandwidth share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] if no such deployment exists.
+    pub fn undeploy(&self, tenant: TenantId) -> Result<(), RuntimeError> {
+        let state = self
+            .tenants
+            .lock()
+            .remove(&tenant)
+            .ok_or(RuntimeError::UnknownTenant(tenant))?;
+        self.resources.release(tenant);
+        let fpga = state.handle.primary_fpga;
+        self.memory[fpga].destroy_space(tenant)?;
+        let _ = self.arbiters[fpga].release(tenant);
+        self.switch.destroy_nic(state.handle.nic)?;
+        Ok(())
+    }
+
+    /// Defragments the cluster by *migrating* spanning deployments onto
+    /// fewer FPGAs when the current free space allows it — something only
+    /// possible because bitstreams are relocatable: migration is a pause,
+    /// a partial reconfiguration at the new location and a resume, never a
+    /// recompilation. Returns the tenants that were migrated.
+    ///
+    /// Fragmentation is the failure mode of fine-grained sharing (small
+    /// deployments pepper the cluster until large requests must span);
+    /// periodic defragmentation keeps the spanning penalty in check.
+    ///
+    /// The tenant's DRAM stays on its original primary board (served over
+    /// the ring if the logic moved away); handles returned by earlier
+    /// `deploy` calls keep their original binding snapshot — query
+    /// [`SystemController::resources`] for the live placement.
+    pub fn defragment(&self) -> Vec<TenantId> {
+        let mut migrated = Vec::new();
+        loop {
+            // Pick the most-spanning tenant that could do better.
+            let candidates: Vec<(TenantId, usize, usize)> = {
+                let tenants = self.tenants.lock();
+                tenants
+                    .iter()
+                    .map(|(&t, state)| {
+                        (
+                            t,
+                            state.handle.fpga_count(),
+                            state.handle.placed().bindings.len(),
+                        )
+                    })
+                    .filter(|&(_, fpgas, _)| fpgas > 1)
+                    .collect()
+            };
+            let mut best_move: Option<(TenantId, crate::AllocationOutcome)> = None;
+            for (tenant, current_fpgas, needed) in candidates {
+                // What could this tenant get if its own blocks were free?
+                let mut free_lists: Vec<_> = (0..self.resources.fpga_count())
+                    .map(|f| self.resources.free_blocks_of(f))
+                    .collect();
+                for b in self.resources.holdings(tenant) {
+                    free_lists[b.fpga.index() as usize].push(b);
+                }
+                for l in &mut free_lists {
+                    l.sort();
+                }
+                if let Some(alloc) = allocate_blocks(&free_lists, needed) {
+                    if alloc.fpgas_used < current_fpgas
+                        && best_move
+                            .as_ref()
+                            .is_none_or(|(_, b)| alloc.fpgas_used < b.fpgas_used)
+                    {
+                        best_move = Some((tenant, alloc));
+                    }
+                }
+            }
+            let Some((tenant, alloc)) = best_move else {
+                break;
+            };
+            // Migrate: release, re-claim, rebind.
+            let old_blocks = self.resources.release(tenant);
+            if !self.resources.claim(tenant, &alloc.blocks) {
+                // Should not happen single-threaded; restore and stop.
+                let restored = self.resources.claim(tenant, &old_blocks);
+                debug_assert!(restored, "restoring a released claim cannot fail");
+                break;
+            }
+            let mut tenants = self.tenants.lock();
+            if let Some(state) = tenants.get_mut(&tenant) {
+                let targets: Vec<RelocationTarget> = alloc
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(vb, &addr)| RelocationTarget {
+                        virtual_block: vb as u32,
+                        addr,
+                    })
+                    .collect();
+                state.handle.placed.bindings = targets;
+            }
+            migrated.push(tenant);
+        }
+        migrated
+    }
+
+    /// Live tenant ids, sorted.
+    pub fn live_tenants(&self) -> Vec<TenantId> {
+        let mut v: Vec<TenantId> = self.tenants.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_compiler::{Compiler, CompilerConfig};
+    use vital_netlist::hls::{AppSpec, Operator};
+
+    fn controller_with(names_and_pes: &[(&str, u32)]) -> SystemController {
+        let c = SystemController::new(RuntimeConfig::paper_cluster());
+        let compiler = Compiler::new(CompilerConfig::default());
+        for &(name, pes) in names_and_pes {
+            let mut spec = AppSpec::new(name);
+            spec.add_operator("m", Operator::MacArray { pes });
+            c.register(compiler.compile(&spec).unwrap().into_bitstream())
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn deploy_and_undeploy_lifecycle() {
+        let c = controller_with(&[("a", 8)]);
+        let free_before = c.resources().total_free();
+        let h = c.deploy("a").unwrap();
+        assert!(c.resources().total_free() < free_before);
+        assert_eq!(c.live_tenants(), vec![h.tenant()]);
+        assert!(h.reconfig_duration() > Duration::ZERO);
+        c.undeploy(h.tenant()).unwrap();
+        assert_eq!(c.resources().total_free(), free_before);
+        assert!(c.live_tenants().is_empty());
+    }
+
+    #[test]
+    fn unknown_app_and_tenant_errors() {
+        let c = controller_with(&[]);
+        assert!(matches!(c.deploy("nope"), Err(RuntimeError::UnknownApp(_))));
+        assert!(matches!(
+            c.undeploy(TenantId::new(42)),
+            Err(RuntimeError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn tenants_get_isolated_memory_and_nics() {
+        let c = controller_with(&[("a", 8), ("b", 8)]);
+        let ha = c.deploy("a").unwrap();
+        let hb = c.deploy("b").unwrap();
+        assert_ne!(ha.tenant(), hb.tenant());
+        assert_ne!(ha.nic().mac, hb.nic().mac);
+        // No block is shared.
+        let blocks_a: Vec<_> = ha.placed().addresses().collect();
+        let blocks_b: Vec<_> = hb.placed().addresses().collect();
+        assert!(blocks_a.iter().all(|b| !blocks_b.contains(b)));
+        // Memory writes do not interfere (same primary FPGA or not).
+        let mm_a = c.memory_of(ha.primary_fpga());
+        mm_a.write(ha.tenant(), 0, b"aaaa").unwrap();
+        let mm_b = c.memory_of(hb.primary_fpga());
+        let mut buf = [0u8; 4];
+        mm_b.read(hb.tenant(), 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn cluster_exhaustion_is_reported() {
+        let c = controller_with(&[("big", 500)]); // ~9+ blocks each
+        let mut handles = Vec::new();
+        loop {
+            match c.deploy("big") {
+                Ok(h) => handles.push(h),
+                Err(RuntimeError::InsufficientResources { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(handles.len() < 100, "runaway deployment loop");
+        }
+        assert!(!handles.is_empty());
+        // Free one and retry: should fit again.
+        c.undeploy(handles.pop().unwrap().tenant()).unwrap();
+        assert!(c.deploy("big").is_ok());
+    }
+
+    #[test]
+    fn defragment_consolidates_spanning_tenants() {
+        // DSP-bound designs: 8 blocks (3700 DSPs) and 10 blocks (4700).
+        let c = SystemController::new(RuntimeConfig::paper_cluster());
+        let compiler = Compiler::new(CompilerConfig::default());
+        for (name, dsps) in [("eight", 3_700u32), ("ten", 4_700u32)] {
+            let mut spec = AppSpec::new(name);
+            spec.add_operator(
+                "x",
+                Operator::Custom {
+                    slices: 200,
+                    dsps,
+                    brams: 0,
+                },
+            );
+            c.register(compiler.compile(&spec).unwrap().into_bitstream())
+                .unwrap();
+        }
+        // One 8-block app per FPGA leaves 7 free everywhere.
+        let fillers: Vec<_> = (0..4).map(|_| c.deploy("eight").unwrap()).collect();
+        // The 10-block app must span (no FPGA has 10 free).
+        let spanner = c.deploy("ten").unwrap();
+        assert!(spanner.fpga_count() > 1);
+        // Free one filler: a whole board opens up.
+        c.undeploy(fillers[0].tenant()).unwrap();
+        let migrated = c.defragment();
+        assert_eq!(migrated, vec![spanner.tenant()]);
+        // The live placement now sits on a single FPGA.
+        let holdings = c.resources().holdings(spanner.tenant());
+        let mut fpgas: Vec<_> = holdings.iter().map(|b| b.fpga).collect();
+        fpgas.sort_unstable();
+        fpgas.dedup();
+        assert_eq!(fpgas.len(), 1, "migrated onto one FPGA");
+        // Idempotent: nothing left to do.
+        assert!(c.defragment().is_empty());
+        // Teardown still releases everything.
+        c.undeploy(spanner.tenant()).unwrap();
+        for f in fillers.into_iter().skip(1) {
+            c.undeploy(f.tenant()).unwrap();
+        }
+    }
+
+    #[test]
+    fn heterogeneous_cluster_deploys_across_mixed_devices() {
+        // Two big boards and one small one; the same bitstreams deploy
+        // everywhere because blocks are identical.
+        let c = SystemController::with_layout(RuntimeConfig::paper_cluster(), vec![15, 15, 4]);
+        let compiler = Compiler::new(CompilerConfig::default());
+        let mut spec = AppSpec::new("het");
+        spec.add_operator("m", Operator::MacArray { pes: 100 }); // ~2 blocks
+        c.register(compiler.compile(&spec).unwrap().into_bitstream())
+            .unwrap();
+        let mut handles = Vec::new();
+        while let Ok(h) = c.deploy("het") {
+            handles.push(h);
+        }
+        // 34 blocks / 2 per deployment -> 17 instances, some on the small
+        // board.
+        assert!(handles.len() >= 16, "deployed {}", handles.len());
+        let used_small = handles
+            .iter()
+            .any(|h| h.placed().addresses().any(|a| a.fpga.index() == 2));
+        assert!(used_small, "the small board must participate");
+    }
+
+    #[test]
+    fn deployments_can_span_fpgas_under_pressure() {
+        let c = controller_with(&[("big", 560)]); // 10 blocks (DSP-bound)
+        let mut spanned = false;
+        let mut handles = Vec::new();
+        while let Ok(h) = c.deploy("big") {
+            spanned |= h.fpga_count() > 1;
+            handles.push(h);
+        }
+        assert!(
+            spanned,
+            "10-block apps on 15-block FPGAs must eventually span"
+        );
+    }
+}

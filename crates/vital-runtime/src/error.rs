@@ -1,0 +1,82 @@
+//! Error type of the runtime crate.
+
+use std::error::Error;
+use std::fmt;
+
+use vital_compiler::CompileError;
+use vital_periph::{PeriphError, TenantId};
+
+/// Errors raised by the system controller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// No bitstream with that name is registered.
+    UnknownApp(String),
+    /// A bitstream with that name is already registered.
+    AppExists(String),
+    /// The cluster does not currently have enough free blocks.
+    InsufficientResources {
+        /// Blocks the application needs.
+        needed: usize,
+        /// Blocks currently free.
+        free: usize,
+    },
+    /// No deployment exists for that tenant.
+    UnknownTenant(TenantId),
+    /// A peripheral-virtualization operation failed.
+    Periph(PeriphError),
+    /// Binding the bitstream to physical blocks failed.
+    Relocation(CompileError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownApp(name) => write!(f, "unknown application {name:?}"),
+            RuntimeError::AppExists(name) => {
+                write!(f, "application {name:?} is already registered")
+            }
+            RuntimeError::InsufficientResources { needed, free } => {
+                write!(f, "insufficient resources: need {needed} blocks, {free} free")
+            }
+            RuntimeError::UnknownTenant(t) => write!(f, "no deployment for {t}"),
+            RuntimeError::Periph(e) => write!(f, "peripheral error: {e}"),
+            RuntimeError::Relocation(e) => write!(f, "relocation error: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Periph(e) => Some(e),
+            RuntimeError::Relocation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PeriphError> for RuntimeError {
+    fn from(e: PeriphError) -> Self {
+        RuntimeError::Periph(e)
+    }
+}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Relocation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RuntimeError>();
+        let e = RuntimeError::Periph(PeriphError::UnknownNic(5));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,62 @@
+//! The ViTAL system layer (paper §3.4, Fig. 6): a system controller that
+//! performs runtime resource management over the virtualized cluster.
+//!
+//! The controller owns two databases:
+//!
+//! * the **resource database** ([`ResourceDatabase`]) — the status of every
+//!   physical block of every FPGA,
+//! * the **bitstream database** ([`BitstreamDatabase`]) — the compiled,
+//!   relocatable [`vital_compiler::AppBitstream`] of every application.
+//!
+//! Deployment uses the **communication-aware multi-round policy**
+//! ([`allocate_blocks`]): round 1 looks for a single FPGA with enough free
+//! blocks (best-fit, to limit fragmentation); each following round admits
+//! one more FPGA, keeping the majority of blocks on a primary device to
+//! minimize inter-FPGA traffic. Blocks are programmed with per-block
+//! partial reconfiguration, so co-running applications are never disturbed.
+//!
+//! Isolation (paper §3.4): a physical block is never shared between
+//! applications, each tenant gets a private DRAM address space and virtual
+//! NIC, and undeploy scrubs both.
+//!
+//! [`VitalScheduler`] adapts the same policy to the `vital-cluster`
+//! discrete-event simulator for the paper's §5.5 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use vital_runtime::{SystemController, RuntimeConfig};
+//! use vital_compiler::{Compiler, CompilerConfig};
+//! use vital_netlist::hls::{AppSpec, Operator};
+//!
+//! // Compile an app and register it in the bitstream database.
+//! let mut spec = AppSpec::new("demo");
+//! spec.add_operator("m", Operator::MacArray { pes: 8 });
+//! let bitstream = Compiler::new(CompilerConfig::default())
+//!     .compile(&spec)?
+//!     .into_bitstream();
+//!
+//! let controller = SystemController::new(RuntimeConfig::paper_cluster());
+//! controller.register(bitstream)?;
+//! let handle = controller.deploy("demo")?;
+//! assert!(handle.fpga_count() >= 1);
+//! controller.undeploy(handle.tenant())?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstream_db;
+mod controller;
+mod error;
+mod policy;
+mod resource_db;
+mod scheduler;
+
+pub use bitstream_db::BitstreamDatabase;
+pub use controller::{DeployHandle, RuntimeConfig, SystemController};
+pub use error::RuntimeError;
+pub use policy::{allocate_blocks, AllocationOutcome};
+pub use resource_db::{BlockState, ResourceDatabase};
+pub use scheduler::VitalScheduler;

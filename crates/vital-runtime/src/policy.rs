@@ -1,0 +1,136 @@
+//! The communication-aware multi-round allocation policy (paper §3.4).
+//!
+//! Round 1 searches for a *single* FPGA with enough free blocks; each
+//! following round admits one more FPGA. Within a round the policy is
+//! best-fit (fewest leftover blocks) to limit fragmentation, and when
+//! spanning is unavoidable it keeps the majority of blocks on the primary
+//! FPGA so inter-FPGA traffic stays minimal.
+
+use vital_fabric::BlockAddr;
+
+/// The result of an allocation attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationOutcome {
+    /// The chosen blocks, grouped primary-FPGA-first.
+    pub blocks: Vec<BlockAddr>,
+    /// How many FPGAs the allocation spans (the round that succeeded).
+    pub fpgas_used: usize,
+}
+
+/// Allocates `needed` blocks from per-FPGA free lists using the multi-round
+/// policy. `free_lists[f]` must contain the free blocks of FPGA `f`.
+///
+/// Returns `None` when the cluster does not have `needed` free blocks in
+/// total.
+pub fn allocate_blocks(free_lists: &[Vec<BlockAddr>], needed: usize) -> Option<AllocationOutcome> {
+    if needed == 0 {
+        return Some(AllocationOutcome {
+            blocks: Vec::new(),
+            fpgas_used: 0,
+        });
+    }
+    let total_free: usize = free_lists.iter().map(Vec::len).sum();
+    if total_free < needed {
+        return None;
+    }
+
+    // Round 1: one FPGA, best fit (smallest sufficient free count).
+    let single = free_lists
+        .iter()
+        .enumerate()
+        .filter(|(_, free)| free.len() >= needed)
+        .min_by_key(|(_, free)| free.len());
+    if let Some((f, free)) = single {
+        let _ = f;
+        return Some(AllocationOutcome {
+            blocks: free[..needed].to_vec(),
+            fpgas_used: 1,
+        });
+    }
+
+    // Rounds 2..=N: admit more FPGAs, preferring those with the most free
+    // blocks so the primary device holds the largest share.
+    let mut order: Vec<usize> = (0..free_lists.len()).collect();
+    order.sort_by_key(|&f| std::cmp::Reverse(free_lists[f].len()));
+    for round in 2..=free_lists.len() {
+        let chosen = &order[..round];
+        let available: usize = chosen.iter().map(|&f| free_lists[f].len()).sum();
+        if available < needed {
+            continue;
+        }
+        let mut blocks = Vec::with_capacity(needed);
+        for &f in chosen {
+            let take = free_lists[f].len().min(needed - blocks.len());
+            blocks.extend_from_slice(&free_lists[f][..take]);
+            if blocks.len() == needed {
+                break;
+            }
+        }
+        let mut fpgas: Vec<_> = blocks.iter().map(|b| b.fpga).collect();
+        fpgas.sort_unstable();
+        fpgas.dedup();
+        return Some(AllocationOutcome {
+            fpgas_used: fpgas.len(),
+            blocks,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_fabric::{FpgaId, PhysicalBlockId};
+
+    fn free(f: u32, blocks: &[u32]) -> Vec<BlockAddr> {
+        blocks
+            .iter()
+            .map(|&b| BlockAddr::new(FpgaId::new(f), PhysicalBlockId::new(b)))
+            .collect()
+    }
+
+    #[test]
+    fn round_one_prefers_single_fpga_best_fit() {
+        let lists = vec![free(0, &[0, 1, 2, 3, 4]), free(1, &[0, 1, 2])];
+        // Needs 3: FPGA 1 is the tighter fit.
+        let out = allocate_blocks(&lists, 3).unwrap();
+        assert_eq!(out.fpgas_used, 1);
+        assert!(out.blocks.iter().all(|b| b.fpga == FpgaId::new(1)));
+    }
+
+    #[test]
+    fn spans_only_when_no_single_fpga_fits() {
+        let lists = vec![free(0, &[0, 1, 2, 3]), free(1, &[0, 1, 2])];
+        let out = allocate_blocks(&lists, 6).unwrap();
+        assert_eq!(out.fpgas_used, 2);
+        // Majority on the larger (primary) FPGA.
+        let on_zero = out.blocks.iter().filter(|b| b.fpga == FpgaId::new(0)).count();
+        assert_eq!(on_zero, 4);
+    }
+
+    #[test]
+    fn uses_minimum_number_of_fpgas() {
+        let lists = vec![
+            free(0, &[0, 1]),
+            free(1, &[0, 1, 2]),
+            free(2, &[0]),
+            free(3, &[0, 1]),
+        ];
+        // Needs 5: two largest FPGAs (1 and 0/3) suffice -> 2 FPGAs.
+        let out = allocate_blocks(&lists, 5).unwrap();
+        assert_eq!(out.fpgas_used, 2);
+    }
+
+    #[test]
+    fn fails_when_cluster_is_too_full() {
+        let lists = vec![free(0, &[0]), free(1, &[])];
+        assert!(allocate_blocks(&lists, 2).is_none());
+    }
+
+    #[test]
+    fn zero_need_is_trivially_satisfied() {
+        let out = allocate_blocks(&[], 0).unwrap();
+        assert!(out.blocks.is_empty());
+        assert_eq!(out.fpgas_used, 0);
+    }
+}

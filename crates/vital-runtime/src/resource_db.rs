@@ -1,0 +1,251 @@
+//! The resource database: status of every physical block (paper Fig. 6).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use vital_fabric::{BlockAddr, FpgaId, PhysicalBlockId};
+use vital_periph::TenantId;
+
+/// The state of one physical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BlockState {
+    /// Available for allocation.
+    #[default]
+    Free,
+    /// Occupied by a tenant's virtual block.
+    Active(TenantId),
+}
+
+struct Inner {
+    states: Vec<Vec<BlockState>>,
+    tenants: HashMap<TenantId, Vec<BlockAddr>>,
+}
+
+/// Thread-safe bookkeeping of the cluster's physical blocks.
+///
+/// The invariant the database maintains is ViTAL's isolation guarantee:
+/// **one physical block is never shared between tenants** (§3.4).
+pub struct ResourceDatabase {
+    layout: Vec<usize>,
+    inner: RwLock<Inner>,
+}
+
+impl fmt::Debug for ResourceDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResourceDatabase")
+            .field("layout", &self.layout)
+            .field("tenants", &self.inner.read().tenants.len())
+            .finish()
+    }
+}
+
+impl ResourceDatabase {
+    /// Creates a database for `fpgas` devices of `blocks_per_fpga` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(fpgas: usize, blocks_per_fpga: usize) -> Self {
+        assert!(fpgas > 0 && blocks_per_fpga > 0, "cluster must be non-empty");
+        Self::with_layout(vec![blocks_per_fpga; fpgas])
+    }
+
+    /// Creates a database over a *heterogeneous* cluster: one entry per
+    /// FPGA giving its block count (paper §7 notes ViTAL extends to mixed
+    /// clusters — only the blocks themselves must stay identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` is empty or any FPGA has zero blocks.
+    pub fn with_layout(layout: Vec<usize>) -> Self {
+        assert!(
+            !layout.is_empty() && layout.iter().all(|&n| n > 0),
+            "cluster must be non-empty"
+        );
+        ResourceDatabase {
+            inner: RwLock::new(Inner {
+                states: layout.iter().map(|&n| vec![BlockState::Free; n]).collect(),
+                tenants: HashMap::new(),
+            }),
+            layout,
+        }
+    }
+
+    /// Number of FPGAs tracked.
+    pub fn fpga_count(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Blocks per FPGA (the maximum, for heterogeneous layouts).
+    pub fn blocks_per_fpga(&self) -> usize {
+        self.layout.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Blocks of one specific FPGA.
+    pub fn blocks_of(&self, fpga: usize) -> usize {
+        self.layout.get(fpga).copied().unwrap_or(0)
+    }
+
+    /// The state of one block (`None` if out of range).
+    pub fn state(&self, addr: BlockAddr) -> Option<BlockState> {
+        self.inner
+            .read()
+            .states
+            .get(addr.fpga.index() as usize)?
+            .get(addr.block.index() as usize)
+            .copied()
+    }
+
+    /// Free blocks per FPGA, as counts.
+    pub fn free_counts(&self) -> Vec<usize> {
+        let inner = self.inner.read();
+        inner
+            .states
+            .iter()
+            .map(|f| f.iter().filter(|s| **s == BlockState::Free).count())
+            .collect()
+    }
+
+    /// Free block addresses of one FPGA.
+    pub fn free_blocks_of(&self, fpga: usize) -> Vec<BlockAddr> {
+        let inner = self.inner.read();
+        inner
+            .states
+            .get(fpga)
+            .map(|blocks| {
+                blocks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == BlockState::Free)
+                    .map(|(i, _)| {
+                        BlockAddr::new(FpgaId::new(fpga as u32), PhysicalBlockId::new(i as u32))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total free blocks.
+    pub fn total_free(&self) -> usize {
+        self.free_counts().iter().sum()
+    }
+
+    /// Atomically claims `blocks` for `tenant`. Either all blocks are
+    /// claimed or none are.
+    ///
+    /// Returns `false` (claiming nothing) if any block is out of range,
+    /// already active, or listed twice.
+    pub fn claim(&self, tenant: TenantId, blocks: &[BlockAddr]) -> bool {
+        let mut inner = self.inner.write();
+        // Validate first.
+        for (i, b) in blocks.iter().enumerate() {
+            if blocks[..i].contains(b) {
+                return false;
+            }
+            let ok = inner
+                .states
+                .get(b.fpga.index() as usize)
+                .and_then(|f| f.get(b.block.index() as usize))
+                .is_some_and(|s| *s == BlockState::Free);
+            if !ok {
+                return false;
+            }
+        }
+        for b in blocks {
+            inner.states[b.fpga.index() as usize][b.block.index() as usize] =
+                BlockState::Active(tenant);
+        }
+        inner.tenants.entry(tenant).or_default().extend(blocks);
+        true
+    }
+
+    /// Releases every block held by `tenant`, returning them.
+    pub fn release(&self, tenant: TenantId) -> Vec<BlockAddr> {
+        let mut inner = self.inner.write();
+        let blocks = inner.tenants.remove(&tenant).unwrap_or_default();
+        for b in &blocks {
+            inner.states[b.fpga.index() as usize][b.block.index() as usize] = BlockState::Free;
+        }
+        blocks
+    }
+
+    /// The blocks currently held by `tenant`.
+    pub fn holdings(&self, tenant: TenantId) -> Vec<BlockAddr> {
+        self.inner
+            .read()
+            .tenants
+            .get(&tenant)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(f: u32, b: u32) -> BlockAddr {
+        BlockAddr::new(FpgaId::new(f), PhysicalBlockId::new(b))
+    }
+
+    #[test]
+    fn claim_and_release_roundtrip() {
+        let db = ResourceDatabase::new(2, 4);
+        let t = TenantId::new(1);
+        assert!(db.claim(t, &[addr(0, 0), addr(1, 3)]));
+        assert_eq!(db.state(addr(0, 0)), Some(BlockState::Active(t)));
+        assert_eq!(db.total_free(), 6);
+        assert_eq!(db.holdings(t).len(), 2);
+        let released = db.release(t);
+        assert_eq!(released.len(), 2);
+        assert_eq!(db.total_free(), 8);
+    }
+
+    #[test]
+    fn claim_is_atomic() {
+        let db = ResourceDatabase::new(1, 2);
+        let a = TenantId::new(1);
+        let b = TenantId::new(2);
+        assert!(db.claim(a, &[addr(0, 1)]));
+        // Second claim includes a busy block: nothing must change.
+        assert!(!db.claim(b, &[addr(0, 0), addr(0, 1)]));
+        assert_eq!(db.state(addr(0, 0)), Some(BlockState::Free));
+        assert!(db.holdings(b).is_empty());
+    }
+
+    #[test]
+    fn claim_rejects_duplicates_and_out_of_range() {
+        let db = ResourceDatabase::new(1, 2);
+        let t = TenantId::new(1);
+        assert!(!db.claim(t, &[addr(0, 0), addr(0, 0)]));
+        assert!(!db.claim(t, &[addr(5, 0)]));
+        assert_eq!(db.total_free(), 2);
+    }
+
+    #[test]
+    fn blocks_never_shared_between_tenants() {
+        let db = ResourceDatabase::new(1, 1);
+        assert!(db.claim(TenantId::new(1), &[addr(0, 0)]));
+        assert!(!db.claim(TenantId::new(2), &[addr(0, 0)]));
+    }
+
+    #[test]
+    fn heterogeneous_layout_is_ragged() {
+        let db = ResourceDatabase::with_layout(vec![2, 5, 1]);
+        assert_eq!(db.fpga_count(), 3);
+        assert_eq!(db.blocks_of(1), 5);
+        assert_eq!(db.total_free(), 8);
+        // Out-of-range block on the small FPGA is rejected.
+        assert!(!db.claim(TenantId::new(1), &[addr(2, 1)]));
+        assert!(db.claim(TenantId::new(1), &[addr(2, 0), addr(1, 4)]));
+        assert_eq!(db.total_free(), 6);
+    }
+
+    #[test]
+    fn release_unknown_tenant_is_empty() {
+        let db = ResourceDatabase::new(1, 1);
+        assert!(db.release(TenantId::new(9)).is_empty());
+    }
+}

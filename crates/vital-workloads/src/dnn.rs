@@ -1,0 +1,264 @@
+//! DNNweaver-style accelerator generator matched to the paper's Table 2.
+//!
+//! Each benchmark is built from a repeated *compute tile* — a MAC array fed
+//! by weight/activation buffers and followed by an activation pipeline —
+//! and the small/medium/large variants instantiate more tiles (more
+//! processing units, exactly the knob DNNweaver exposes). Tile resource
+//! content is calibrated so each variant lands on the paper's Table 2
+//! LUT/DSP/BRAM numbers.
+
+use serde::{Deserialize, Serialize};
+use vital_fabric::Resources;
+use vital_netlist::hls::{AppSpec, Operator, SLICE_LUTS};
+
+/// Accelerator variant size (the paper's S/M/L design points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Size {
+    /// Small design (fewest processing units).
+    Small,
+    /// Medium design.
+    Medium,
+    /// Large design.
+    Large,
+}
+
+impl Size {
+    /// All sizes in ascending order.
+    pub const ALL: [Size; 3] = [Size::Small, Size::Medium, Size::Large];
+
+    /// One-letter label used by Table 3's compositions.
+    pub fn letter(self) -> char {
+        match self {
+            Size::Small => 'S',
+            Size::Medium => 'M',
+            Size::Large => 'L',
+        }
+    }
+}
+
+/// One DNN benchmark: a compute-tile template plus per-size tile counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnBenchmark {
+    name: &'static str,
+    /// LUTs per tile.
+    tile_lut: u32,
+    /// DSPs per tile.
+    tile_dsp: u32,
+    /// BRAM kilobits per tile.
+    tile_bram_kb: u32,
+    /// Tiles per size variant `[S, M, L]`.
+    tiles: [u32; 3],
+}
+
+impl DnnBenchmark {
+    /// The benchmark name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of compute tiles for a variant.
+    pub fn tile_count(&self, size: Size) -> u32 {
+        match size {
+            Size::Small => self.tiles[0],
+            Size::Medium => self.tiles[1],
+            Size::Large => self.tiles[2],
+        }
+    }
+
+    /// The Table 2 resource target of a variant (what the paper's
+    /// DNNweaver-generated design used).
+    pub fn expected_resources(&self, size: Size) -> Resources {
+        let k = u64::from(self.tile_count(size));
+        Resources::new(
+            k * u64::from(self.tile_lut),
+            2 * k * u64::from(self.tile_lut), // DFF ~ 2x LUT throughout Table 2
+            k * u64::from(self.tile_dsp),
+            k * u64::from(self.tile_bram_kb),
+        )
+    }
+
+    /// Synthesizable specification of a variant: `tile_count` chained
+    /// compute tiles plus top-level DRAM-stream ports.
+    pub fn spec(&self, size: Size) -> AppSpec {
+        let k = self.tile_count(size);
+        let mut spec = AppSpec::new(format!("{}-{}", self.name, size.letter()));
+        let mut prev = None;
+        for t in 0..k {
+            // One tile: weights buffer -> MAC array -> activation pipeline.
+            let pes = self.tile_dsp;
+            let mac = spec.add_operator(format!("t{t}/mac"), Operator::MacArray { pes });
+            let buf = spec.add_operator(
+                format!("t{t}/weights"),
+                Operator::Buffer {
+                    kb: self.tile_bram_kb,
+                    banks: 4,
+                },
+            );
+            // Slices not already spent on the MAC array and buffer banks.
+            let mac_luts = pes * 4 * u32::from(SLICE_LUTS);
+            let buf_luts = 4 * u32::from(SLICE_LUTS);
+            let rest = self.tile_lut.saturating_sub(mac_luts + buf_luts);
+            let act = spec.add_operator(
+                format!("t{t}/act"),
+                Operator::Pipeline {
+                    slices: (rest / u32::from(SLICE_LUTS)).max(1),
+                },
+            );
+            spec.add_edge(buf, mac, 256).expect("non-zero width");
+            spec.add_edge(mac, act, 128).expect("non-zero width");
+            if let Some(p) = prev {
+                spec.add_edge(p, buf, 128).expect("non-zero width");
+            } else {
+                spec.add_input("ifm", buf, 256).expect("non-zero width");
+            }
+            prev = Some(act);
+        }
+        if let Some(p) = prev {
+            spec.add_output("ofm", p, 256).expect("non-zero width");
+        }
+        spec
+    }
+
+    /// Standalone throughput model of a variant in ops/s: two MACs per DSP
+    /// per cycle at the ~265 MHz post-P&R clock.
+    pub fn throughput_ops(&self, size: Size) -> f64 {
+        let dsp = self.expected_resources(size).dsp as f64;
+        dsp * 2.0 * 265.0e6
+    }
+}
+
+/// The seven-benchmark suite of Table 2, with tile parameters calibrated so
+/// each S/M/L variant reproduces the paper's resource usage (the tile count
+/// equals the paper's `#Block` column — one tile fills one virtual block at
+/// the ~30 % routability fill).
+pub fn benchmarks() -> Vec<DnnBenchmark> {
+    vec![
+        DnnBenchmark {
+            name: "lenet",
+            tile_lut: 23_500,
+            tile_dsp: 42,
+            tile_bram_kb: 2_600,
+            tiles: [1, 4, 7],
+        },
+        DnnBenchmark {
+            name: "cifar10",
+            tile_lut: 27_600,
+            tile_dsp: 52,
+            tile_bram_kb: 3_060,
+            tiles: [2, 5, 8],
+        },
+        DnnBenchmark {
+            name: "mlp",
+            tile_lut: 23_300,
+            tile_dsp: 48,
+            tile_bram_kb: 3_000,
+            tiles: [1, 3, 9],
+        },
+        DnnBenchmark {
+            name: "alexnet",
+            tile_lut: 26_900,
+            tile_dsp: 52,
+            tile_bram_kb: 3_130,
+            tiles: [3, 7, 10],
+        },
+        DnnBenchmark {
+            name: "svhn",
+            tile_lut: 23_000,
+            tile_dsp: 42,
+            tile_bram_kb: 2_660,
+            tiles: [2, 5, 8],
+        },
+        DnnBenchmark {
+            name: "lstm",
+            tile_lut: 24_900,
+            tile_dsp: 50,
+            tile_bram_kb: 3_130,
+            tiles: [1, 3, 6],
+        },
+        DnnBenchmark {
+            name: "vgg",
+            tile_lut: 25_700,
+            tile_dsp: 48,
+            tile_bram_kb: 3_000,
+            tiles: [3, 5, 10],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_netlist::hls::synthesize;
+
+    #[test]
+    fn suite_has_seven_benchmarks_with_three_sizes() {
+        let suite = benchmarks();
+        assert_eq!(suite.len(), 7);
+        for b in &suite {
+            let mut last = 0;
+            for s in Size::ALL {
+                let tiles = b.tile_count(s);
+                assert!(tiles > last, "{}: sizes must grow", b.name());
+                last = tiles;
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_resources_match_table2_targets() {
+        for b in benchmarks() {
+            for s in Size::ALL {
+                let netlist = synthesize(&b.spec(s)).unwrap();
+                netlist.validate().unwrap();
+                let got = netlist.resource_usage();
+                let want = b.expected_resources(s);
+                let lut_err = (got.lut as f64 - want.lut as f64).abs() / want.lut as f64;
+                assert!(
+                    lut_err < 0.02,
+                    "{} {:?}: LUT {} vs target {}",
+                    b.name(),
+                    s,
+                    got.lut,
+                    want.lut
+                );
+                assert_eq!(got.dsp, want.dsp, "{} {s:?} DSP", b.name());
+                let bram_err =
+                    (got.bram_kb as f64 - want.bram_kb as f64).abs() / want.bram_kb as f64;
+                assert!(
+                    bram_err < 0.10,
+                    "{} {:?}: BRAM {} vs target {}",
+                    b.name(),
+                    s,
+                    got.bram_kb,
+                    want.bram_kb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_counts_track_paper_within_one() {
+        // Table 2's #Block column is structural (one processing tile per
+        // block); the resource-driven sizing rule lands within one block of
+        // it for every variant. (No single fill threshold reproduces all 21
+        // rows exactly — see DESIGN.md.)
+        let block = Resources::new(79_200, 158_400, 580, 4_320);
+        for b in benchmarks() {
+            for s in Size::ALL {
+                let blocks = b.expected_resources(s).blocks_needed(&block, 0.33) as i64;
+                let paper = i64::from(b.tile_count(s));
+                assert!(
+                    (blocks - paper).abs() <= 1,
+                    "{} {s:?}: sized {blocks} vs paper {paper}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_size() {
+        let b = &benchmarks()[0];
+        assert!(b.throughput_ops(Size::Large) > b.throughput_ops(Size::Small));
+    }
+}

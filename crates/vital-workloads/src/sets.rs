@@ -1,0 +1,250 @@
+//! Workload-set generation (paper Table 3 / §5.1 third benchmark).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vital_cluster::AppRequest;
+use vital_fabric::Resources;
+
+use crate::{benchmarks, Size};
+
+/// One of the paper's ten workload compositions (Table 3): the probability
+/// of drawing a small/medium/large accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadComposition {
+    /// Set index (1-based, as in Table 3).
+    pub index: u32,
+    /// Probability of a small design.
+    pub small: f64,
+    /// Probability of a medium design.
+    pub medium: f64,
+    /// Probability of a large design.
+    pub large: f64,
+}
+
+impl WorkloadComposition {
+    /// The ten compositions of Table 3.
+    pub fn table3() -> Vec<WorkloadComposition> {
+        let mk = |index, small, medium, large| WorkloadComposition {
+            index,
+            small,
+            medium,
+            large,
+        };
+        vec![
+            mk(1, 1.0, 0.0, 0.0),
+            mk(2, 0.0, 1.0, 0.0),
+            mk(3, 0.0, 0.0, 1.0),
+            mk(4, 0.5, 0.5, 0.0),
+            mk(5, 0.5, 0.0, 0.5),
+            mk(6, 0.0, 0.5, 0.5),
+            mk(7, 0.33, 0.33, 0.34),
+            mk(8, 0.2, 0.2, 0.6),
+            mk(9, 0.2, 0.6, 0.2),
+            mk(10, 0.6, 0.2, 0.2),
+        ]
+    }
+
+    /// Draws a size according to the composition.
+    fn draw(&self, rng: &mut StdRng) -> Size {
+        let x: f64 = rng.gen();
+        if x < self.small {
+            Size::Small
+        } else if x < self.small + self.medium {
+            Size::Medium
+        } else {
+            Size::Large
+        }
+    }
+}
+
+/// How block demand is derived from a benchmark's resources — must match
+/// the compiler's sizing rule so the simulated demand equals what the real
+/// bitstreams would require.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingModel {
+    /// Resources of one physical block.
+    pub block: Resources,
+    /// Effective fill margin.
+    pub margin: f64,
+}
+
+impl Default for SizingModel {
+    fn default() -> Self {
+        SizingModel {
+            block: Resources::new(79_200, 158_400, 580, 4_320),
+            margin: 0.33,
+        }
+    }
+}
+
+/// Parameters of one synthetic workload set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of requests in the set.
+    pub requests: usize,
+    /// Mean interarrival time in seconds (arrivals are exponential, the
+    /// "random time interval" of §5.1).
+    pub mean_interarrival_s: f64,
+    /// Mean job execution time in seconds (jobs draw uniformly from
+    /// `0.5x..1.5x` this value).
+    pub mean_service_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            requests: 60,
+            mean_interarrival_s: 0.5,
+            mean_service_s: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a *bursty* workload set: requests arrive in back-to-back
+/// bursts of `burst` jobs separated by long idle gaps (mean
+/// `idle_gap_s`). Cloud arrival processes are rarely smooth; bursts stress
+/// the queueing behaviour of a policy far harder than the exponential
+/// arrivals of [`generate_workload_set`] at the same average rate.
+pub fn generate_bursty_workload_set(
+    composition: &WorkloadComposition,
+    params: &WorkloadParams,
+    sizing: &SizingModel,
+    burst: usize,
+    idle_gap_s: f64,
+) -> Vec<AppRequest> {
+    let mut out = generate_workload_set(composition, params, sizing);
+    // Re-time the same jobs: bursts of `burst` simultaneous arrivals.
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9e37_79b9));
+    let mut t = 0.0f64;
+    for (i, r) in out.iter_mut().enumerate() {
+        if i > 0 && i % burst.max(1) == 0 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -idle_gap_s * u.ln();
+        }
+        r.arrival_s = t;
+    }
+    out
+}
+
+/// Generates one workload set: a sequence of DNN jobs drawn from the seven
+/// Table 2 benchmarks with sizes per `composition`, arriving with random
+/// (exponential) gaps.
+pub fn generate_workload_set(
+    composition: &WorkloadComposition,
+    params: &WorkloadParams,
+    sizing: &SizingModel,
+) -> Vec<AppRequest> {
+    let suite = benchmarks();
+    let mut rng = StdRng::seed_from_u64(params.seed ^ u64::from(composition.index) << 32);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(params.requests);
+    for i in 0..params.requests {
+        let bench = &suite[rng.gen_range(0..suite.len())];
+        let size = composition.draw(&mut rng);
+        let blocks = bench
+            .expected_resources(size)
+            .blocks_needed(&sizing.block, sizing.margin) as u32;
+        let throughput = bench.throughput_ops(size);
+        let service: f64 = params.mean_service_s * rng.gen_range(0.5..1.5);
+        let work = throughput * service;
+        // Exponential interarrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -params.mean_interarrival_s * u.ln();
+        out.push(
+            AppRequest::new(
+                i as u64,
+                format!("{}-{}", bench.name(), size.letter()),
+                blocks,
+                work,
+            )
+            .with_throughput(throughput)
+            .with_comm_intensity(rng.gen_range(0.1..0.5))
+            .arriving_at(t),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_ten_normalized_compositions() {
+        let sets = WorkloadComposition::table3();
+        assert_eq!(sets.len(), 10);
+        for c in &sets {
+            let sum = c.small + c.medium + c.large;
+            assert!((sum - 1.0).abs() < 1e-9, "set {} sums to {sum}", c.index);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_ordered() {
+        let c = WorkloadComposition::table3()[6];
+        let p = WorkloadParams::default();
+        let s = SizingModel::default();
+        let a = generate_workload_set(&c, &p, &s);
+        let b = generate_workload_set(&c, &p, &s);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.requests);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+
+    #[test]
+    fn all_small_set_uses_few_blocks() {
+        let c = WorkloadComposition::table3()[0]; // 100% S
+        let reqs = generate_workload_set(&c, &WorkloadParams::default(), &SizingModel::default());
+        assert!(reqs.iter().all(|r| r.blocks_needed <= 4));
+    }
+
+    #[test]
+    fn all_large_set_uses_many_blocks() {
+        let c = WorkloadComposition::table3()[2]; // 100% L
+        let reqs = generate_workload_set(&c, &WorkloadParams::default(), &SizingModel::default());
+        assert!(reqs.iter().all(|r| r.blocks_needed >= 6));
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_in_groups() {
+        let c = WorkloadComposition::table3()[6];
+        let p = WorkloadParams::default();
+        let s = SizingModel::default();
+        let burst = 5usize;
+        let reqs = generate_bursty_workload_set(&c, &p, &s, burst, 10.0);
+        assert_eq!(reqs.len(), p.requests);
+        // Within a burst, arrivals are simultaneous.
+        for chunk in reqs.chunks(burst) {
+            assert!(chunk.windows(2).all(|w| w[0].arrival_s == w[1].arrival_s));
+        }
+        // Across bursts, time advances.
+        assert!(reqs[0].arrival_s < reqs[burst].arrival_s);
+        // Same jobs as the smooth set, different timing.
+        let smooth = generate_workload_set(&c, &p, &s);
+        assert_eq!(
+            reqs.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            smooth.iter().map(|r| &r.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn seeds_change_the_set() {
+        let c = WorkloadComposition::table3()[6];
+        let s = SizingModel::default();
+        let a = generate_workload_set(&c, &WorkloadParams::default(), &s);
+        let b = generate_workload_set(
+            &c,
+            &WorkloadParams {
+                seed: 43,
+                ..WorkloadParams::default()
+            },
+            &s,
+        );
+        assert_ne!(a, b);
+    }
+}

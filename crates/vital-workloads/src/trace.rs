@@ -1,0 +1,69 @@
+//! Workload-trace persistence: serialize generated sets so an experiment's
+//! exact request stream can be archived and replayed (the paper averages
+//! several generated sets per condition, §5.1 — traces make those runs
+//! auditable).
+
+use serde::{Deserialize, Serialize};
+use vital_cluster::AppRequest;
+
+use crate::WorkloadComposition;
+
+/// A workload set plus the provenance needed to regenerate or audit it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// The Table 3 composition the set was drawn from.
+    pub composition: WorkloadComposition,
+    /// Generator seed.
+    pub seed: u64,
+    /// The request stream.
+    pub requests: Vec<AppRequest>,
+}
+
+impl WorkloadTrace {
+    /// Serializes the trace to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a trace from [`WorkloadTrace::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_workload_set, SizingModel, WorkloadParams};
+
+    #[test]
+    fn trace_roundtrips_exactly() {
+        let composition = WorkloadComposition::table3()[4];
+        let params = WorkloadParams {
+            seed: 77,
+            ..WorkloadParams::default()
+        };
+        let requests = generate_workload_set(&composition, &params, &SizingModel::default());
+        let trace = WorkloadTrace {
+            composition,
+            seed: params.seed,
+            requests,
+        };
+        let json = trace.to_json().unwrap();
+        let back = WorkloadTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(WorkloadTrace::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! `vitalctl` — a scriptable console for the ViTAL system controller
+//! (the API surface of paper Fig. 6, driven interactively).
+//!
+//! Reads commands from stdin (one per line; `#` comments allowed):
+//!
+//! ```text
+//! compile  <name> <S|M|L>    # compile a Table 2 benchmark and register it
+//! deploy   <name>            # allocate blocks + partial reconfiguration
+//! undeploy <tenant-id>       # tear a deployment down
+//! defrag                     # migrate spanning tenants onto fewer FPGAs
+//! status                     # occupancy map + live tenants
+//! quit
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! printf 'compile lenet S\ndeploy lenet-S\nstatus\nquit\n' | cargo run --bin vitalctl
+//! ```
+
+use std::io::BufRead;
+
+use vital::fabric::{BlockAddr, FpgaId, PhysicalBlockId};
+use vital::periph::TenantId;
+use vital::prelude::*;
+use vital::runtime::BlockState;
+use vital::workloads::benchmarks;
+
+fn print_status(stack: &VitalStack) {
+    let db = stack.controller().resources();
+    println!("cluster occupancy ('.' = free, digit = tenant id % 10):");
+    for f in 0..db.fpga_count() {
+        let mut row = String::new();
+        for b in 0..db.blocks_of(f) {
+            let addr = BlockAddr::new(FpgaId::new(f as u32), PhysicalBlockId::new(b as u32));
+            row.push(match db.state(addr) {
+                Some(BlockState::Active(t)) => {
+                    char::from_digit((t.raw() % 10) as u32, 10).unwrap_or('?')
+                }
+                _ => '.',
+            });
+        }
+        println!("  fpga{f}: {row}");
+    }
+    let tenants = stack.controller().live_tenants();
+    println!(
+        "{} blocks free, {} live tenant(s): {}",
+        db.total_free(),
+        tenants.len(),
+        tenants
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+fn main() {
+    let stack = VitalStack::new();
+    let suite = benchmarks();
+    println!(
+        "vitalctl: {} FPGAs x {} blocks; type 'status' or see --help in the source header",
+        stack.controller().resources().fpga_count(),
+        stack.controller().resources().blocks_per_fpga()
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let cmd = tokens.next().unwrap_or("");
+        match cmd {
+            "compile" => {
+                let (Some(name), Some(size)) = (tokens.next(), tokens.next()) else {
+                    println!("usage: compile <benchmark> <S|M|L>");
+                    continue;
+                };
+                let size = match size {
+                    "S" | "s" => Size::Small,
+                    "M" | "m" => Size::Medium,
+                    "L" | "l" => Size::Large,
+                    other => {
+                        println!("unknown size {other:?} (use S, M or L)");
+                        continue;
+                    }
+                };
+                let Some(bench) = suite.iter().find(|b| b.name() == name) else {
+                    println!(
+                        "unknown benchmark {name:?}; available: {}",
+                        suite
+                            .iter()
+                            .map(|b| b.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    continue;
+                };
+                let spec = bench.spec(size);
+                print!("compiling {} ... ", spec.name());
+                match stack.compile_and_register(&spec) {
+                    Ok(compiled) => println!(
+                        "ok: {} blocks, {:?} compile time",
+                        compiled.bitstream().block_count(),
+                        compiled.timings().total()
+                    ),
+                    Err(e) => println!("failed: {e}"),
+                }
+            }
+            "deploy" => {
+                let Some(name) = tokens.next() else {
+                    println!("usage: deploy <name>");
+                    continue;
+                };
+                match stack.deploy(name) {
+                    Ok(h) => println!(
+                        "deployed as {} on {} FPGA(s), reconfig {:?}",
+                        h.tenant(),
+                        h.fpga_count(),
+                        h.reconfig_duration()
+                    ),
+                    Err(e) => println!("deploy failed: {e}"),
+                }
+            }
+            "undeploy" => {
+                let tenant = tokens.next().and_then(|t| {
+                    t.trim_start_matches("tenant").parse::<u64>().ok()
+                });
+                let Some(raw) = tenant else {
+                    println!("usage: undeploy <tenant-id>");
+                    continue;
+                };
+                match stack.undeploy(TenantId::new(raw)) {
+                    Ok(()) => println!("tenant{raw} undeployed"),
+                    Err(e) => println!("undeploy failed: {e}"),
+                }
+            }
+            "defrag" => {
+                let migrated = stack.controller().defragment();
+                if migrated.is_empty() {
+                    println!("nothing to defragment");
+                } else {
+                    println!(
+                        "migrated {} tenant(s): {}",
+                        migrated.len(),
+                        migrated
+                            .iter()
+                            .map(|t| t.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            "status" => print_status(&stack),
+            "quit" | "exit" => break,
+            other => println!("unknown command {other:?} (compile/deploy/undeploy/defrag/status/quit)"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,18 @@
+use vital::baselines::*;
+use vital::cluster::*;
+use vital::prelude::*;
+use vital::workloads::*;
+fn main() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    let comps = WorkloadComposition::table3();
+    for set in [3usize, 7, 10] {
+        let reqs = generate_workload_set(&comps[set-1], &WorkloadParams{requests:50, mean_interarrival_s:0.4, mean_service_s:2.0, seed:5}, &SizingModel::default());
+        let v = sim.run(&mut VitalScheduler::new(), reqs.clone());
+        let h = sim.run(&mut AmorphOsHighThroughput::new(), reqs.clone());
+        let b = sim.run(&mut PerDeviceBaseline::new(), reqs);
+        println!("set {set}: util v={:.3} h={:.3} b={:.3} | block v={:.3} h={:.3} b={:.3} | resp v={:.2} h={:.2} b={:.2}",
+          v.effective_utilization, h.effective_utilization, b.effective_utilization,
+          v.block_utilization, h.block_utilization, b.block_utilization,
+          v.avg_response_s(), h.avg_response_s(), b.avg_response_s());
+    }
+}

@@ -1,0 +1,77 @@
+//! Inspect the compilation pipeline's intermediate artifacts: synthesize a
+//! Table 2 benchmark, print its netlist statistics, dump it to the VNL text
+//! format, parse it back, and show the partition the compiler produced.
+//!
+//! ```text
+//! cargo run --example netlist_inspect [benchmark] [size]
+//! # e.g.  cargo run --example netlist_inspect lenet M
+//! ```
+
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::synthesize;
+use vital::netlist::text::{from_vnl, to_vnl};
+use vital::workloads::{benchmarks, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "lenet".into());
+    let size = match args.next().as_deref() {
+        Some("M") | Some("m") => Size::Medium,
+        Some("L") | Some("l") => Size::Large,
+        _ => Size::Small,
+    };
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name:?}; try one of the Table 2 names"))?;
+
+    // Front end: synthesize to the netlist IR.
+    let spec = bench.spec(size);
+    let netlist = synthesize(&spec)?;
+    let stats = netlist.stats();
+    println!("== {} ==", spec.name());
+    println!("primitives : {}", stats.primitives);
+    println!("nets       : {} (avg fanout {:.2})", stats.nets, stats.avg_fanout);
+    println!("resources  : {}", stats.resources);
+    println!("I/O ports  : {}", stats.io_ports);
+
+    // Interchange: VNL round-trip.
+    let vnl = to_vnl(&netlist)?;
+    let lines = vnl.lines().count();
+    println!("\nVNL dump: {} lines, {} bytes; first lines:", lines, vnl.len());
+    for line in vnl.lines().take(6) {
+        println!("  {line}");
+    }
+    let back = from_vnl(&vnl)?;
+    assert_eq!(netlist, back);
+    println!("  ... (round-trips exactly)");
+
+    // Back end: the six-step compiler.
+    println!("\ncompiling through the six-step flow ...");
+    let compiled = Compiler::new(CompilerConfig::default()).compile(&spec)?;
+    let bs = compiled.bitstream();
+    println!("virtual blocks: {}", bs.block_count());
+    for img in bs.images() {
+        println!(
+            "  vb{}: {} primitives, {}, {:.0} MHz",
+            img.virtual_block,
+            img.primitive_count,
+            img.resources,
+            img.placement.achieved_mhz
+        );
+    }
+    println!(
+        "interface: {} channels, {} bits/firing cut, acyclic: {}",
+        bs.channel_plan().channel_count(),
+        compiled.cut_bits(),
+        bs.channel_plan().is_acyclic()
+    );
+    let t = compiled.timings().breakdown();
+    println!(
+        "compile time: {:?} ({:.1}% P&R, {:.1}% custom tools)",
+        compiled.timings().total(),
+        t.commercial_pnr() * 100.0,
+        t.custom_tools() * 100.0
+    );
+    Ok(())
+}

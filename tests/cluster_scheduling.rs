@@ -1,0 +1,117 @@
+//! System-layer integration on the cluster simulator: ViTAL's policy vs the
+//! per-device baseline and both AmorphOS modes, on Table 3 workload sets.
+
+use vital::baselines::{AmorphOsHighThroughput, AmorphOsLowLatency, PerDeviceBaseline};
+use vital::cluster::{ClusterConfig, ClusterSim};
+use vital::prelude::*;
+use vital::workloads::{SizingModel, WorkloadParams};
+
+fn workload(set_index: usize, requests: usize, seed: u64) -> Vec<AppRequest> {
+    let comps = WorkloadComposition::table3();
+    generate_workload_set(
+        &comps[set_index - 1],
+        &WorkloadParams {
+            requests,
+            mean_interarrival_s: 0.4,
+            mean_service_s: 2.0,
+            seed,
+        },
+        &SizingModel::default(),
+    )
+}
+
+#[test]
+fn every_policy_completes_every_request() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    let reqs = workload(7, 40, 1);
+    for report in [
+        sim.run(&mut VitalScheduler::new(), reqs.clone()),
+        sim.run(&mut PerDeviceBaseline::new(), reqs.clone()),
+        sim.run(&mut AmorphOsHighThroughput::new(), reqs.clone()),
+        sim.run(&mut AmorphOsLowLatency::new(), reqs.clone()),
+    ] {
+        assert_eq!(report.completed(), 40, "policy {}", report.policy);
+    }
+}
+
+#[test]
+fn vital_beats_the_baseline_on_every_composition() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    for set in 1..=10 {
+        let reqs = workload(set, 40, set as u64);
+        let vital = sim.run(&mut VitalScheduler::new(), reqs.clone());
+        let base = sim.run(&mut PerDeviceBaseline::new(), reqs);
+        assert!(
+            vital.avg_response_s() < base.avg_response_s(),
+            "set {set}: vital {} vs baseline {}",
+            vital.avg_response_s(),
+            base.avg_response_s()
+        );
+    }
+}
+
+#[test]
+fn only_vital_spans_fpgas() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    let reqs = workload(3, 40, 3); // all-large: spanning matters most
+    let vital = sim.run(&mut VitalScheduler::new(), reqs.clone());
+    let ht = sim.run(&mut AmorphOsHighThroughput::new(), reqs.clone());
+    let base = sim.run(&mut PerDeviceBaseline::new(), reqs);
+    assert_eq!(ht.spanning_fraction(), 0.0);
+    assert_eq!(base.spanning_fraction(), 0.0);
+    assert!(
+        vital.spanning_fraction() > 0.0,
+        "ViTAL should span on the all-large set"
+    );
+}
+
+#[test]
+fn vital_improves_concurrency_over_the_baseline() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    let reqs = workload(10, 50, 4); // small-heavy: concurrency shines
+    let vital = sim.run(&mut VitalScheduler::new(), reqs.clone());
+    let base = sim.run(&mut PerDeviceBaseline::new(), reqs);
+    // Paper §5.5: 2.3x more concurrent applications than the baseline.
+    assert!(
+        vital.avg_concurrency > 1.5 * base.avg_concurrency,
+        "vital {} vs baseline {}",
+        vital.avg_concurrency,
+        base.avg_concurrency
+    );
+}
+
+#[test]
+fn utilization_ordering_matches_fig2() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    // Utilization only ranks systems under saturation: with slack, the
+    // faster system drains its queue and sits idle between arrivals.
+    let reqs = generate_workload_set(
+        &WorkloadComposition::table3()[6],
+        &WorkloadParams {
+            requests: 50,
+            mean_interarrival_s: 0.08,
+            mean_service_s: 2.0,
+            seed: 5,
+        },
+        &SizingModel::default(),
+    );
+    let vital = sim.run(&mut VitalScheduler::new(), reqs.clone());
+    let ht = sim.run(&mut AmorphOsHighThroughput::new(), reqs.clone());
+    let base = sim.run(&mut PerDeviceBaseline::new(), reqs);
+    // Effective utilization: ViTAL >= AmorphOS-HT > baseline.
+    assert!(ht.effective_utilization > base.effective_utilization);
+    assert!(vital.effective_utilization >= ht.effective_utilization * 0.95);
+}
+
+#[test]
+fn interface_overhead_is_negligible() {
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    let reqs = workload(3, 40, 6);
+    let vital = sim.run(&mut VitalScheduler::new(), reqs);
+    // Paper §5.5: < 0.03 % of execution time.
+    assert!(
+        vital.max_interface_overhead() < 3.0e-4,
+        "overhead {}",
+        vital.max_interface_overhead()
+    );
+}
