@@ -1,0 +1,460 @@
+//! Hermetic stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the compat `serde` crate's value-tree data model. The input item is
+//! parsed directly from the `proc_macro` token stream (the environment has
+//! no `syn`/`quote`), which restricts derives to non-generic structs and
+//! enums — exactly the shapes this workspace uses. Representation follows
+//! upstream serde's JSON conventions: named structs become maps, newtype
+//! wrappers are transparent, unit enum variants become strings, and data
+//! variants become single-entry maps keyed by the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => serialize_struct(name, shape),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => deserialize_struct(name, shape),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute or doc comment: consume the bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`/`pub(super)`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut tokens, "struct name");
+                reject_generics(tokens.peek(), &name);
+                let shape = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                    other => {
+                        panic!("serde_derive: unexpected token after `struct {name}`: {other:?}")
+                    }
+                };
+                return Item::Struct { name, shape };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut tokens, "enum name");
+                reject_generics(tokens.peek(), &name);
+                let body = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+                };
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(body),
+                };
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn reject_generics(peeked: Option<&TokenTree>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = peeked {
+        if p.as_char() == '<' {
+            panic!("serde_derive (compat): generic type `{name}` is not supported");
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut impl Iterator<Item = TokenTree>, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, got {other:?}"),
+    }
+}
+
+/// Parses `a: T, pub b: U<V, W>, ...` into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility ahead of the field name.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = expect_ident(&mut tokens, "field name");
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct/variant (`u32, Vec<T>, ...`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut segment_has_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        arity += 1;
+                        segment_has_tokens = false;
+                    }
+                }
+                _ => segment_has_tokens = true,
+            },
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        let name = expect_ident(&mut tokens, "variant name");
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a discriminant (`= expr`) and the trailing comma.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+fn serialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Seq(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({fields})),\n\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\
+                 \"expected {n}-element sequence for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                fields = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                ),
+                Shape::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::to_value(f0))]),"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Seq(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Map(vec![{entries}]))]),",
+                        entries = entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n}}\n}}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(inner)?)),"
+                )),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match inner {{\n\
+                         ::serde::Value::Seq(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vname}({fields})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError(format!(\
+                         \"expected {n}-element sequence for {name}::{vname}, got {{}}\", \
+                         other.kind()))),\n\
+                         }},",
+                        fields = items.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?")
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                        items.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n\
+         {unit}\n\
+         other => ::std::result::Result::Err(::serde::DeError(format!(\
+         \"unknown variant {{other}} of {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+         let (tag, inner) = &entries[0];\n\
+         match tag.as_str() {{\n\
+         {data}\n\
+         other => ::std::result::Result::Err(::serde::DeError(format!(\
+         \"unknown variant {{other}} of {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::DeError(format!(\
+         \"expected variant of {name}, got {{}}\", other.kind()))),\n\
+         }}\n}}\n}}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n")
+    )
+}

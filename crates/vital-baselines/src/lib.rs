@@ -42,7 +42,9 @@ impl Scheduler for PerDeviceBaseline {
 
     fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
         let mut out = Vec::new();
-        let mut idle: Vec<usize> = (0..view.fpga_count()).filter(|&f| view.fpga_idle(f)).collect();
+        let mut idle: Vec<usize> = (0..view.fpga_count())
+            .filter(|&f| view.fpga_idle(f))
+            .collect();
         for p in pending {
             // Every request gets a whole device, however small the app is.
             let Some(f) = idle.pop() else { break };

@@ -1,0 +1,80 @@
+//! Criterion benches of the compile flow: serial vs parallel local P&R,
+//! and the cold-compile vs cache-hit registration paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::runtime::{RuntimeConfig, SystemController};
+
+/// A design spanning several virtual blocks so step 4 has real fan-out.
+fn multi_block_spec(name: &str) -> AppSpec {
+    let mut spec = AppSpec::new(name);
+    let buf = spec.add_operator("w", Operator::Buffer { kb: 720, banks: 4 });
+    let mac = spec.add_operator("mac", Operator::MacArray { pes: 64 });
+    spec.add_edge(buf, mac, 256).unwrap();
+    let mut prev = mac;
+    for i in 0..56 {
+        let p = spec.add_operator(format!("p{i}"), Operator::Pipeline { slices: 200 });
+        spec.add_edge(prev, p, 64).unwrap();
+        prev = p;
+    }
+    spec.add_input("ifm", mac, 128).unwrap();
+    spec.add_output("ofm", prev, 128).unwrap();
+    spec
+}
+
+fn bench_parallel_pnr(c: &mut Criterion) {
+    let spec = multi_block_spec("bench");
+    let mut group = c.benchmark_group("compile/local_pnr");
+    group.sample_size(10);
+    for workers in [1usize, 0] {
+        let compiler = Compiler::new(CompilerConfig {
+            workers,
+            ..CompilerConfig::default()
+        });
+        let label = if workers == 1 { "serial" } else { "parallel" };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| compiler.compile(&spec).expect("design compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let spec = multi_block_spec("bench-cache");
+    let compiler = Compiler::new(CompilerConfig::default());
+    let mut group = c.benchmark_group("compile/cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let controller = SystemController::new(RuntimeConfig::paper_cluster());
+            controller
+                .register_compiled(&compiler, &spec)
+                .expect("cold registration")
+        });
+    });
+    let warm_controller = SystemController::new(RuntimeConfig::paper_cluster());
+    warm_controller
+        .register_compiled(&compiler, &spec)
+        .expect("priming registration");
+    group.bench_function("hit", |b| {
+        b.iter(|| {
+            let outcome = warm_controller
+                .register_compiled(&compiler, &spec)
+                .expect("warm registration");
+            assert!(outcome.cache_hit);
+            outcome
+        });
+    });
+    group.finish();
+    let stats = warm_controller.bitstreams().cache_stats();
+    println!(
+        "compile/cache counters: {} hits / {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_parallel_pnr, bench_cache);
+criterion_main!(benches);

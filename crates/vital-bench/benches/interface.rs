@@ -10,7 +10,11 @@ fn bench_channel_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel_sim");
     let cycles = 10_000u64;
     group.throughput(Throughput::Elements(cycles));
-    for link in [LinkClass::IntraDie, LinkClass::InterDie, LinkClass::InterFpga] {
+    for link in [
+        LinkClass::IntraDie,
+        LinkClass::InterDie,
+        LinkClass::InterFpga,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{link:?}")),
             &link,
@@ -39,30 +43,35 @@ fn bench_pipeline_network(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_network");
     group.sample_size(20);
     for stages in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
-            b.iter(|| {
-                let mut sim = NetworkSim::new();
-                let mut channels = Vec::new();
-                for _ in 0..=stages {
-                    channels.push(sim.add_channel(ChannelSpec::for_link(LinkClass::IntraDie, 64)));
-                }
-                sim.add_actor(ActorKind::Source { limit: 2_000 }, [], [channels[0]]);
-                for s in 0..stages {
-                    sim.add_actor(ActorKind::Relay, [channels[s]], [channels[s + 1]]);
-                }
-                sim.add_actor(
-                    ActorKind::Sink {
-                        stall_period: 0,
-                        stall_duty: 0,
-                    },
-                    [channels[stages]],
-                    [],
-                );
-                let stats = sim.run_until_quiescent(1_000_000);
-                assert!(!stats.deadlocked);
-                stats
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    let mut sim = NetworkSim::new();
+                    let mut channels = Vec::new();
+                    for _ in 0..=stages {
+                        channels
+                            .push(sim.add_channel(ChannelSpec::for_link(LinkClass::IntraDie, 64)));
+                    }
+                    sim.add_actor(ActorKind::Source { limit: 2_000 }, [], [channels[0]]);
+                    for s in 0..stages {
+                        sim.add_actor(ActorKind::Relay, [channels[s]], [channels[s + 1]]);
+                    }
+                    sim.add_actor(
+                        ActorKind::Sink {
+                            stall_period: 0,
+                            stall_duty: 0,
+                        },
+                        [channels[stages]],
+                        [],
+                    );
+                    let stats = sim.run_until_quiescent(1_000_000);
+                    assert!(!stats.deadlocked);
+                    stats
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -31,9 +31,13 @@ fn bench_compile_suite(c: &mut Criterion) {
     let compiler = Compiler::new(CompilerConfig::default());
     for bench in benchmarks().into_iter().take(3) {
         let spec = bench.spec(Size::Small);
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &spec, |b, spec| {
-            b.iter(|| compiler.compile(spec).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| compiler.compile(spec).unwrap());
+            },
+        );
     }
     group.finish();
 }

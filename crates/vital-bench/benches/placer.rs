@@ -94,5 +94,10 @@ fn bench_global_router(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cg_solver, bench_full_placer, bench_global_router);
+criterion_group!(
+    benches,
+    bench_cg_solver,
+    bench_full_placer,
+    bench_global_router
+);
 criterion_main!(benches);

@@ -78,11 +78,11 @@ fn averaged(mk: &mut dyn FnMut() -> Box<dyn Scheduler>, sets: &[usize]) -> (f64,
 
 fn main() {
     let sets = [3usize, 6, 7, 10];
-    println!("== Ablations (workload sets {sets:?}, {} seeds each) ==\n", FIG9_SEEDS.len());
     println!(
-        "{:<26} {:>10} {:>10}",
-        "variant", "avg resp", "spanning"
+        "== Ablations (workload sets {sets:?}, {} seeds each) ==\n",
+        FIG9_SEEDS.len()
     );
+    println!("{:<26} {:>10} {:>10}", "variant", "avg resp", "spanning");
 
     let rows: Vec<(&str, (f64, f64))> = vec![
         (
@@ -143,12 +143,13 @@ fn main() {
             mean_service_s: 2.0,
             seed,
         };
-        let reqs =
-            generate_bursty_workload_set(&comp, &params, &SizingModel::default(), 8, 2.4);
+        let reqs = generate_bursty_workload_set(&comp, &params, &SizingModel::default(), 8, 2.4);
         vital_r += sim
             .run(&mut VitalScheduler::new(), reqs.clone())
             .avg_response_s();
-        base_r += sim.run(&mut PerDeviceBaseline::new(), reqs).avg_response_s();
+        base_r += sim
+            .run(&mut PerDeviceBaseline::new(), reqs)
+            .avg_response_s();
     }
     let n = FIG9_SEEDS.len() as f64;
     println!(

@@ -1,0 +1,115 @@
+//! Serial-vs-parallel local P&R and the content-addressed compile cache.
+//!
+//! Compiles one multi-block design twice — once with the serial step-4
+//! path (`workers = 1`), once with the machine's available parallelism —
+//! verifies the outputs are bit-identical, and reports the observed
+//! stage speedup. Then replays the design through the system controller
+//! to show the cache path: the second registration runs zero P&R.
+//!
+//! The speedup is *reported*, not asserted: on a single-core host the
+//! parallel path degenerates to ~1x (the determinism contract still
+//! holds). The one-worker cost and critical path are printed so the
+//! ideal speedup on a wider machine can be read off directly.
+
+use vital::cluster::CompileMetrics;
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::runtime::{RuntimeConfig, SystemController};
+
+/// A design big enough to spread over several virtual blocks (>= 4 at the
+/// default ~26k-LUT effective fill), so step 4 has real fan-out.
+fn multi_block_spec(name: &str) -> AppSpec {
+    let mut spec = AppSpec::new(name);
+    let buf = spec.add_operator("w", Operator::Buffer { kb: 720, banks: 4 });
+    let mac = spec.add_operator("mac", Operator::MacArray { pes: 64 });
+    spec.add_edge(buf, mac, 256).unwrap();
+    let mut prev = mac;
+    for i in 0..56 {
+        let p = spec.add_operator(format!("p{i}"), Operator::Pipeline { slices: 200 });
+        spec.add_edge(prev, p, 64).unwrap();
+        prev = p;
+    }
+    spec.add_input("ifm", mac, 128).unwrap();
+    spec.add_output("ofm", prev, 128).unwrap();
+    spec
+}
+
+fn main() {
+    let spec = multi_block_spec("speedup");
+
+    let serial_compiler = Compiler::new(CompilerConfig {
+        workers: 1,
+        ..CompilerConfig::default()
+    });
+    let parallel_compiler = Compiler::new(CompilerConfig::default()); // workers = 0: all cores
+
+    println!("== serial vs parallel local P&R ==\n");
+    let serial = serial_compiler.compile(&spec).expect("design compiles");
+    let parallel = parallel_compiler.compile(&spec).expect("design compiles");
+    let blocks = serial.bitstream().block_count();
+    assert!(
+        blocks >= 4,
+        "speedup design must span >= 4 blocks, got {blocks}"
+    );
+
+    // Determinism contract: every worker count produces the same bits.
+    assert_eq!(
+        serial.bitstream(),
+        parallel.bitstream(),
+        "parallel P&R must be bit-identical to serial"
+    );
+    assert_eq!(serial.bitstream().digest(), parallel.bitstream().digest());
+
+    let st = serial.timings();
+    let pt = parallel.timings();
+    let speedup = st.local_pnr.as_secs_f64() / pt.local_pnr.as_secs_f64().max(1e-12);
+    println!("virtual blocks       : {blocks}");
+    println!(
+        "serial   (1 worker)  : stage {:?}, per-block work {:?}",
+        st.local_pnr,
+        st.serial_pnr_work()
+    );
+    println!(
+        "parallel ({} workers) : stage {:?}, critical path {:?}",
+        pt.workers,
+        pt.local_pnr,
+        pt.max_block_pnr()
+    );
+    println!("observed speedup     : {speedup:.2}x (bit-identical output)");
+    println!(
+        "ideal speedup        : {:.2}x (one-worker cost over critical path)",
+        st.serial_pnr_work().as_secs_f64() / pt.max_block_pnr().as_secs_f64().max(1e-12)
+    );
+
+    println!("\n== compile cache ==\n");
+    let controller = SystemController::new(RuntimeConfig::paper_cluster());
+    let cold = controller
+        .register_compiled(&parallel_compiler, &spec)
+        .expect("cold registration");
+    let warm = controller
+        .register_compiled(&parallel_compiler, &multi_block_spec("speedup-replay"))
+        .expect("warm registration");
+    assert!(!cold.cache_hit && warm.cache_hit && warm.timings.is_none());
+    let stats = controller.bitstreams().cache_stats();
+    println!("digest               : {}", cold.digest);
+    println!(
+        "cold compile, then identical netlist under a new name: {} hit / {} miss \
+         ({:.0}% hit rate; the replay ran zero P&R)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+
+    let metrics = CompileMetrics {
+        designs: 1,
+        workers: pt.workers,
+        serial_pnr_s: st.local_pnr.as_secs_f64(),
+        wall_pnr_s: pt.local_pnr.as_secs_f64(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    };
+    println!(
+        "compile metrics      : {}",
+        serde_json::to_string(&metrics).expect("metrics serialize")
+    );
+}

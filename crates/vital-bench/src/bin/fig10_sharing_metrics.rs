@@ -49,7 +49,14 @@ fn main() {
     // Free the second app and deploy a new instance of the fourth: its
     // virtual blocks relocate into the freed physical blocks.
     let (freed_name, freed) = handles.remove(1);
-    println!("undeploying {freed_name} frees {:?}", freed.placed().addresses().map(|a| a.to_string()).collect::<Vec<_>>());
+    println!(
+        "undeploying {freed_name} frees {:?}",
+        freed
+            .placed()
+            .addresses()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+    );
     stack.undeploy(freed.tenant()).expect("tenant is live");
     let again = stack
         .deploy(&handles[2].0)
@@ -57,7 +64,11 @@ fn main() {
     println!(
         "redeploying {} lands on {:?} — same bitstream, new physical blocks, no recompilation\n",
         handles[2].0,
-        again.placed().addresses().map(|a| a.to_string()).collect::<Vec<_>>()
+        again
+            .placed()
+            .addresses()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Cluster occupancy map.
@@ -113,7 +124,10 @@ fn main() {
         let mut frac = 0.0;
         for &seed in &FIG9_SEEDS {
             frac += sim
-                .run(&mut VitalScheduler::new(), vital_bench::fig9_workload(set, seed))
+                .run(
+                    &mut VitalScheduler::new(),
+                    vital_bench::fig9_workload(set, seed),
+                )
                 .spanning_fraction();
         }
         spans.push(frac / FIG9_SEEDS.len() as f64);

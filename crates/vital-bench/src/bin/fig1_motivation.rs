@@ -14,7 +14,10 @@ fn main() {
     let vu13p = DeviceModel::vu13p();
     let capacity = vu13p.total_resources();
 
-    println!("== Fig. 1a: application resource usage, normalized to {} ==\n", vu13p.name());
+    println!(
+        "== Fig. 1a: application resource usage, normalized to {} ==\n",
+        vu13p.name()
+    );
     println!(
         "{:<14} {:>7} {:>7} {:>7} {:>7}   (bottleneck)",
         "application", "LUT%", "FF%", "DSP%", "BRAM%"

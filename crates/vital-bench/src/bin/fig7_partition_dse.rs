@@ -61,7 +61,10 @@ fn main() {
             b.resources()
         );
     }
-    println!("  ... ({} identical blocks total)", best.user_blocks().len());
+    println!(
+        "  ... ({} identical blocks total)",
+        best.user_blocks().len()
+    );
     for r in best.reserved_regions() {
         println!("  region[{}]: {} ({})", r.kind, r.resources, r.note);
     }

@@ -17,11 +17,14 @@ fn main() {
     let block = compiler.config().block_resources;
     let margin = compiler.config().fill_margin;
 
-    println!("== Table 2: benchmark resource usage ({}) ==\n", if full_compile {
-        "#Block from the full compiler"
-    } else {
-        "#Block from the sizing rule; pass --compile for the full flow"
-    });
+    println!(
+        "== Table 2: benchmark resource usage ({}) ==\n",
+        if full_compile {
+            "#Block from the full compiler"
+        } else {
+            "#Block from the sizing rule; pass --compile for the full flow"
+        }
+    );
     println!(
         "{:<12} {:>4} {:>10} {:>10} {:>6} {:>9} {:>7} {:>12}",
         "benchmark", "size", "LUT", "DFF", "DSP", "BRAM(Mb)", "#Block", "paper#Block"

@@ -4,9 +4,7 @@
 //! measured with the random-traffic benchmark (paper benchmark set 1).
 
 use vital::fabric::{DeviceModel, Floorplan};
-use vital::interface::{
-    measure_channel, ActorKind, ChannelSpec, LinkClass, NetworkSim, CLOCK_MHZ,
-};
+use vital::interface::{measure_channel, ActorKind, ChannelSpec, LinkClass, NetworkSim, CLOCK_MHZ};
 use vital::workloads::random_traffic_sinks;
 
 fn main() {
@@ -15,7 +13,10 @@ fn main() {
     let block = plan.block_resources();
 
     println!("== Table 4: bare-metal performance ==\n");
-    println!("resources provided by a physical block ({} per FPGA):", plan.user_blocks().len());
+    println!(
+        "resources provided by a physical block ({} per FPGA):",
+        plan.user_blocks().len()
+    );
     println!(
         "  {:>8} LUTs   {:>8} DFFs   {:>5} DSPs   {:.2} Mb BRAM",
         block.lut,
@@ -62,8 +63,8 @@ fn main() {
         );
         let stats = sim.run(20_000);
         assert!(!stats.deadlocked, "random traffic must never deadlock");
-        let delivered_bits =
-            sim.channel(ch).delivered() * u64::from(ChannelSpec::saturating(LinkClass::InterFpga).width_bits);
+        let delivered_bits = sim.channel(ch).delivered()
+            * u64::from(ChannelSpec::saturating(LinkClass::InterFpga).width_bits);
         let gbps = delivered_bits as f64 / (20_000.0 / (CLOCK_MHZ * 1.0e6)) / 1.0e9;
         worst = worst.min(gbps);
         best = best.max(gbps);

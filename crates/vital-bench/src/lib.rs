@@ -13,6 +13,7 @@
 //! | `table4_baremetal` | Table 4 (block resources; link bandwidth/latency) |
 //! | `fig7_partition_dse` | Fig. 7 + §5.3 (partition DSE, reserved resources, buffer elimination) |
 //! | `fig8_compile_breakdown` | Fig. 8 + §5.4 (compile-time breakdown, partition quality, AmorphOS combinations) |
+//! | `compile_speedup` | serial-vs-parallel local P&R speedup + compile-cache hit rates |
 //! | `fig9_response_time` | Fig. 9 (normalized response time, 10 workload sets × 4 systems) |
 //! | `fig10_sharing_metrics` | Fig. 10 + §5.5 (relocation map, utilization, concurrency, spanning, overhead) |
 //!

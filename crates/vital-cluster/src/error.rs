@@ -72,6 +72,8 @@ mod tests {
     fn error_traits() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ClusterError>();
-        assert!(!ClusterError::NotPending(RequestId(1)).to_string().is_empty());
+        assert!(!ClusterError::NotPending(RequestId(1))
+            .to_string()
+            .is_empty());
     }
 }

@@ -64,7 +64,7 @@ mod sim;
 mod state;
 
 pub use error::ClusterError;
-pub use metrics::{RequestOutcome, SimReport};
+pub use metrics::{CompileMetrics, RequestOutcome, SimReport};
 pub use request::{AppRequest, RequestId};
 pub use ring::RingNetwork;
 pub use sim::ClusterSim;

@@ -99,7 +99,11 @@ impl SimReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let mut v: Vec<f64> = self.outcomes.iter().map(RequestOutcome::response_s).collect();
+        let mut v: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::response_s)
+            .collect();
         v.sort_by(|a, b| a.total_cmp(b));
         v[((v.len() - 1) as f64 * 0.95).round() as usize]
     }
@@ -125,6 +129,50 @@ impl SimReport {
             .iter()
             .map(|o| o.interface_overhead_fraction)
             .fold(0.0, f64::max)
+    }
+}
+
+/// Compile-side metrics of a benchmark run: local-P&R parallelism and the
+/// content-addressed compile cache's hit/miss counters. Produced by the
+/// compile-layer reports/benches and carried next to the QoS metrics so a
+/// whole evaluation run serializes as one record. Plain integers/floats
+/// here — the cluster layer sits below the runtime and must not depend on
+/// its types.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompileMetrics {
+    /// Designs compiled (cache misses included).
+    pub designs: usize,
+    /// Worker threads the local-P&R stage ran with.
+    pub workers: usize,
+    /// Sum of per-block local-P&R times (the stage's one-worker cost), s.
+    pub serial_pnr_s: f64,
+    /// Wall-clock local-P&R time actually observed, s.
+    pub wall_pnr_s: f64,
+    /// Compile-cache hits (deploys that skipped P&R entirely).
+    pub cache_hits: u64,
+    /// Compile-cache misses (deploys that paid for a full compile).
+    pub cache_misses: u64,
+}
+
+impl CompileMetrics {
+    /// Observed local-P&R speedup over the serial path (1 when nothing was
+    /// measured).
+    pub fn pnr_speedup(&self) -> f64 {
+        if self.wall_pnr_s <= 0.0 || self.serial_pnr_s <= 0.0 {
+            1.0
+        } else {
+            self.serial_pnr_s / self.wall_pnr_s
+        }
+    }
+
+    /// Fraction of cache probes served from the cache (0 when never probed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -177,10 +225,7 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let r = report(vec![
-            outcome(1, 0.0, 2.0, 1),
-            outcome(2, 1.0, 5.0, 2),
-        ]);
+        let r = report(vec![outcome(1, 0.0, 2.0, 1), outcome(2, 1.0, 5.0, 2)]);
         assert_eq!(r.completed(), 2);
         assert!((r.avg_response_s() - 3.0).abs() < 1e-12);
         assert_eq!(r.spanning_fraction(), 0.5);
@@ -193,5 +238,23 @@ mod tests {
         assert_eq!(r.avg_response_s(), 0.0);
         assert_eq!(r.spanning_fraction(), 0.0);
         assert_eq!(r.p95_response_s(), 0.0);
+    }
+
+    #[test]
+    fn compile_metrics_derive_rates() {
+        let m = CompileMetrics {
+            designs: 4,
+            workers: 4,
+            serial_pnr_s: 8.0,
+            wall_pnr_s: 2.5,
+            cache_hits: 3,
+            cache_misses: 1,
+        };
+        assert!((m.pnr_speedup() - 3.2).abs() < 1e-12);
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+        // Unmeasured runs degrade gracefully.
+        let zero = CompileMetrics::default();
+        assert_eq!(zero.pnr_speedup(), 1.0);
+        assert_eq!(zero.cache_hit_rate(), 0.0);
     }
 }

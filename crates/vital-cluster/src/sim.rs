@@ -85,7 +85,10 @@ impl ClusterSim {
     ///
     /// Panics if `blocks_per_fpga` is empty.
     pub fn heterogeneous(config: ClusterConfig, blocks_per_fpga: Vec<usize>) -> Self {
-        assert!(!blocks_per_fpga.is_empty(), "cluster needs at least one FPGA");
+        assert!(
+            !blocks_per_fpga.is_empty(),
+            "cluster needs at least one FPGA"
+        );
         ClusterSim {
             config,
             layout: blocks_per_fpga,
@@ -168,7 +171,11 @@ impl ClusterSim {
             push(&mut events, r.arrival_s, EventKind::Arrival(i));
         }
         for f in faults {
-            push(&mut events, f.fail_at_s, EventKind::FpgaFail(f.fpga as usize));
+            push(
+                &mut events,
+                f.fail_at_s,
+                EventKind::FpgaFail(f.fpga as usize),
+            );
             if let Some(repair) = f.repair_at_s {
                 push(&mut events, repair, EventKind::FpgaRepair(f.fpga as usize));
             }
@@ -334,8 +341,7 @@ impl ClusterSim {
                     busy_blocks += d.blocks.len();
                     needed_blocks += p.request.blocks_needed as usize;
 
-                    let (service_s, overhead_fraction) =
-                        self.service_time(&p.request, &d.blocks);
+                    let (service_s, overhead_fraction) = self.service_time(&p.request, &d.blocks);
                     let reconfig_s = self.reconfig_time(&d);
                     if d.reconfig == ReconfigKind::FullDevice {
                         // Full-device programming pauses every co-running
@@ -542,7 +548,9 @@ mod tests {
 
     fn requests(n: u64, blocks: u32, work: f64) -> Vec<AppRequest> {
         (0..n)
-            .map(|i| AppRequest::new(i, format!("app{i}"), blocks, work).arriving_at(i as f64 * 0.1))
+            .map(|i| {
+                AppRequest::new(i, format!("app{i}"), blocks, work).arriving_at(i as f64 * 0.1)
+            })
             .collect()
     }
 
@@ -715,9 +723,7 @@ mod tests {
             }
         }
         let sim = ClusterSim::new(ClusterConfig::paper_cluster());
-        let err = sim
-            .try_run(&mut Broken, requests(1, 2, 1.0e9))
-            .unwrap_err();
+        let err = sim.try_run(&mut Broken, requests(1, 2, 1.0e9)).unwrap_err();
         assert!(matches!(err, ClusterError::InsufficientBlocks { .. }));
     }
 

@@ -220,9 +220,7 @@ impl ClusterView {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.is_none())
-            .map(|(i, _)| {
-                BlockAddr::new(FpgaId::new(fpga as u32), PhysicalBlockId::new(i as u32))
-            })
+            .map(|(i, _)| BlockAddr::new(FpgaId::new(fpga as u32), PhysicalBlockId::new(i as u32)))
             .collect()
     }
 
@@ -245,7 +243,8 @@ impl ClusterView {
     /// `true` if the FPGA hosts no instance at all (an offline FPGA is
     /// never idle-available).
     pub fn fpga_idle(&self, fpga: usize) -> bool {
-        self.blocks_per_fpga_of(fpga) > 0 && self.free_count_of(fpga) == self.blocks_per_fpga_of(fpga)
+        self.blocks_per_fpga_of(fpga) > 0
+            && self.free_count_of(fpga) == self.blocks_per_fpga_of(fpga)
     }
 
     /// Distinct instances currently running on one FPGA.

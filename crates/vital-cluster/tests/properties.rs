@@ -58,22 +58,20 @@ impl Scheduler for SpanningFirstFit {
 }
 
 fn arb_requests() -> impl Strategy<Value = Vec<AppRequest>> {
-    prop::collection::vec(
-        (1u32..=15, 0.1f64..5.0, 0.0f64..10.0, 0.0f64..1.0),
-        1..25,
+    prop::collection::vec((1u32..=15, 0.1f64..5.0, 0.0f64..10.0, 0.0f64..1.0), 1..25).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (blocks, service, arrival, comm))| {
+                    AppRequest::new(i as u64, format!("r{i}"), blocks, service * 1.0e9)
+                        .with_throughput(1.0e9)
+                        .with_comm_intensity(comm)
+                        .arriving_at(arrival)
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (blocks, service, arrival, comm))| {
-                AppRequest::new(i as u64, format!("r{i}"), blocks, service * 1.0e9)
-                    .with_throughput(1.0e9)
-                    .with_comm_intensity(comm)
-                    .arriving_at(arrival)
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -25,6 +25,11 @@ pub struct CompilerConfig {
     pub interface: InterfaceConfig,
     /// Local place-and-route effort.
     pub pnr: PnrConfig,
+    /// Worker threads for step 4 (per-block local P&R): `0` uses the
+    /// machine's available parallelism, `1` forces the serial path. The
+    /// produced bitstream is bit-identical for every worker count because
+    /// each block's P&R is seeded independently (`pnr.seed ^ block`).
+    pub workers: usize,
 }
 
 impl CompilerConfig {
@@ -42,6 +47,18 @@ impl CompilerConfig {
     pub fn effective_block_capacity(&self) -> Resources {
         self.block_resources.block_fill(self.fill_margin)
     }
+
+    /// The worker count step 4 actually runs with when placing `blocks`
+    /// virtual blocks: the configured [`workers`](Self::workers) (or the
+    /// machine's available parallelism for `0`), capped at the number of
+    /// blocks and never below one.
+    pub fn effective_workers(&self, blocks: usize) -> usize {
+        let configured = match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        configured.min(blocks).max(1)
+    }
 }
 
 impl Default for CompilerConfig {
@@ -55,6 +72,7 @@ impl Default for CompilerConfig {
             placer: PlacerConfig::default(),
             interface: InterfaceConfig::default(),
             pnr: PnrConfig::default(),
+            workers: 0,
         }
     }
 }
@@ -69,6 +87,24 @@ mod tests {
         assert_eq!(cfg.block_resources.lut, 79_200);
         let eff = cfg.effective_block_capacity();
         assert!(eff.lut > 20_000 && eff.lut < 30_000);
+    }
+
+    #[test]
+    fn effective_workers_is_capped_and_positive() {
+        let cfg = CompilerConfig {
+            workers: 8,
+            ..CompilerConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(3), 3);
+        assert_eq!(cfg.effective_workers(100), 8);
+        assert_eq!(cfg.effective_workers(0), 1);
+        let serial = CompilerConfig {
+            workers: 1,
+            ..CompilerConfig::default()
+        };
+        assert_eq!(serial.effective_workers(64), 1);
+        let auto = CompilerConfig::default();
+        assert!(auto.effective_workers(64) >= 1);
     }
 
     #[test]

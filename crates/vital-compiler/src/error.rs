@@ -33,7 +33,10 @@ impl fmt::Display for CompileError {
             CompileError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
             CompileError::Partition(e) => write!(f, "partition failed: {e}"),
             CompileError::PlacementInfeasible { block, reason } => {
-                write!(f, "local P&R infeasible for virtual block {block}: {reason}")
+                write!(
+                    f,
+                    "local P&R infeasible for virtual block {block}: {reason}"
+                )
             }
             CompileError::IncompatibleRelocation(msg) => {
                 write!(f, "incompatible relocation target: {msg}")

@@ -6,7 +6,7 @@ use vital_fabric::{BlockAddr, Resources};
 use vital_interface::ChannelPlan;
 
 use crate::pnr::{LocalPlacement, RoutingResult};
-use crate::CompileError;
+use crate::{CompileError, NetlistDigest};
 
 /// Estimated configuration bits of one physical block's partial bitstream
 /// (a 60-row band of an XCVU37P is roughly 1/16 of the ~1.3 Gb full-device
@@ -47,6 +47,7 @@ pub struct RelocationTarget {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppBitstream {
     name: String,
+    digest: NetlistDigest,
     images: Vec<BlockImage>,
     channel_plan: ChannelPlan,
     routing: RoutingResult,
@@ -56,6 +57,7 @@ pub struct AppBitstream {
 impl AppBitstream {
     pub(crate) fn new(
         name: String,
+        digest: NetlistDigest,
         images: Vec<BlockImage>,
         channel_plan: ChannelPlan,
         routing: RoutingResult,
@@ -67,6 +69,7 @@ impl AppBitstream {
             .min(300.0);
         AppBitstream {
             name,
+            digest,
             images,
             channel_plan,
             routing,
@@ -81,6 +84,23 @@ impl AppBitstream {
     /// The application name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Content digest of the compile input that produced this bitstream.
+    /// Equal digests mean the images are interchangeable, whatever the
+    /// registered name — the key of the compile cache.
+    pub fn digest(&self) -> NetlistDigest {
+        self.digest
+    }
+
+    /// A copy registered under a different application name. The images
+    /// are reused as-is (content addressing makes them interchangeable);
+    /// no recompilation happens.
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        AppBitstream {
+            name: name.into(),
+            ..self.clone()
+        }
     }
 
     /// The per-virtual-block images.
@@ -215,6 +235,7 @@ mod tests {
         };
         AppBitstream::new(
             "t".into(),
+            NetlistDigest::from_raw(0x7e57),
             vec![image(0), image(1)],
             plan_channels(&[], &InterfaceConfig::default()),
             RoutingResult {

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod digest;
 mod error;
 mod image;
 mod pipeline;
@@ -51,6 +52,7 @@ pub mod route;
 mod timing;
 
 pub use config::CompilerConfig;
+pub use digest::NetlistDigest;
 pub use error::CompileError;
 pub use image::{AppBitstream, BlockImage, PlacedBitstream, RelocationTarget, BLOCK_CONFIG_BITS};
 pub use pipeline::{CompiledApp, Compiler};

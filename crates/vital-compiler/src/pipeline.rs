@@ -1,16 +1,20 @@
 //! The compiler driver: runs the six steps in order and measures each.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use vital_fabric::DeviceModel;
 use vital_interface::{plan_channels, ChannelPlan, CutEdge};
 use vital_netlist::hls::{synthesize, AppSpec};
-use vital_netlist::DataflowGraph;
+use vital_netlist::{DataflowGraph, Netlist, PrimitiveId};
 use vital_placer::{Placer, VirtualGrid};
 
 use crate::image::{AppBitstream, BlockImage};
-use crate::pnr::{place_block, SiteModel};
-use crate::{CompileError, CompilerConfig, StageTimings};
+use crate::pnr::{place_block, LocalPlacement, SiteModel};
+use crate::{CompileError, CompilerConfig, NetlistDigest, StageTimings};
+
+/// Outcome of local P&R for one virtual block, with its wall time.
+type BlockPnr = (Result<LocalPlacement, CompileError>, Duration);
 
 /// The result of compiling one application.
 #[derive(Debug, Clone)]
@@ -95,6 +99,7 @@ impl Compiler {
         let t = Instant::now();
         let netlist = synthesize(spec)?;
         netlist.validate()?;
+        let digest = NetlistDigest::of(&netlist, &self.config);
         timings.synthesis = t.elapsed();
 
         // Step 2: partition (placement-based, §4).
@@ -139,11 +144,13 @@ impl Compiler {
         let cut_bits: u64 = cuts.iter().map(|c| c.bits).sum();
         timings.interface_gen = t.elapsed();
 
-        // Step 4: local place-and-route per virtual block.
+        // Step 4: local place-and-route per virtual block. Blocks are
+        // independent (each seeds its own RNG from `pnr.seed ^ block`), so
+        // they fan out across a scoped thread pool; results are collected
+        // in block order and are bit-identical to the serial path.
         let t = Instant::now();
         let dfg = DataflowGraph::from_netlist(&netlist);
-        let mut prims_per_vb: Vec<Vec<vital_netlist::PrimitiveId>> =
-            vec![Vec::new(); next_vb as usize];
+        let mut prims_per_vb: Vec<Vec<PrimitiveId>> = vec![Vec::new(); next_vb as usize];
         for prim in netlist.primitives() {
             if prim.kind().is_io() {
                 continue;
@@ -154,16 +161,13 @@ impl Compiler {
                 }
             }
         }
+        let workers = self.config.effective_workers(prims_per_vb.len());
+        let placed = self.place_all_blocks(&netlist, &dfg, &prims_per_vb, workers);
         let mut images = Vec::with_capacity(prims_per_vb.len());
-        for (vb, prims) in prims_per_vb.iter().enumerate() {
-            let local = place_block(
-                &netlist,
-                &dfg,
-                vb as u32,
-                prims,
-                &self.site_model,
-                &self.config.pnr,
-            )?;
+        timings.per_block_pnr = Vec::with_capacity(prims_per_vb.len());
+        for ((vb, prims), (local, block_time)) in prims_per_vb.iter().enumerate().zip(placed) {
+            let local = local?;
+            timings.per_block_pnr.push(block_time);
             let resources = prims
                 .iter()
                 .map(|&p| {
@@ -180,6 +184,7 @@ impl Compiler {
                 placement: local,
             });
         }
+        timings.workers = workers;
         timings.local_pnr = t.elapsed();
 
         // Step 5: relocation — verify the images are position independent
@@ -217,13 +222,85 @@ impl Compiler {
         );
         timings.global_pnr = t.elapsed();
 
-        let bitstream = AppBitstream::new(spec.name().to_string(), images, plan, routing);
+        let bitstream = AppBitstream::new(spec.name().to_string(), digest, images, plan, routing);
         Ok(CompiledApp {
             bitstream,
             timings,
             cut_bits,
             anchoring_iterations: placement.iterations(),
         })
+    }
+
+    /// The content digest compiling `spec` would stamp on the bitstream,
+    /// computed from synthesis output alone — no partitioning or P&R runs.
+    /// The system layer uses this to probe the compile cache before paying
+    /// for steps 2–6.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis/validation failures, exactly as
+    /// [`compile`](Self::compile) would.
+    pub fn digest_of(&self, spec: &AppSpec) -> Result<NetlistDigest, CompileError> {
+        let netlist = synthesize(spec)?;
+        netlist.validate()?;
+        Ok(NetlistDigest::of(&netlist, &self.config))
+    }
+
+    /// Runs local P&R for every virtual block on `workers` threads,
+    /// returning results in virtual-block order with per-block wall times.
+    ///
+    /// Blocks are claimed from a shared atomic counter, so threads stay
+    /// busy regardless of per-block cost skew. Ordering the results by
+    /// block afterwards makes the output — including which error surfaces
+    /// first when several blocks fail — independent of thread scheduling.
+    fn place_all_blocks(
+        &self,
+        netlist: &Netlist,
+        dfg: &DataflowGraph,
+        prims_per_vb: &[Vec<PrimitiveId>],
+        workers: usize,
+    ) -> Vec<BlockPnr> {
+        let place_one = |vb: usize| {
+            let t = Instant::now();
+            let result = place_block(
+                netlist,
+                dfg,
+                vb as u32,
+                &prims_per_vb[vb],
+                &self.site_model,
+                &self.config.pnr,
+            );
+            (result, t.elapsed())
+        };
+
+        if workers <= 1 {
+            return (0..prims_per_vb.len()).map(place_one).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut by_block: Vec<(usize, BlockPnr)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let vb = next.fetch_add(1, Ordering::Relaxed);
+                            if vb >= prims_per_vb.len() {
+                                break;
+                            }
+                            out.push((vb, place_one(vb)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("local P&R worker panicked"))
+                .collect()
+        });
+        by_block.sort_unstable_by_key(|&(vb, _)| vb);
+        by_block.into_iter().map(|(_, r)| r).collect()
     }
 }
 
@@ -277,7 +354,11 @@ mod tests {
         let s = spec(32, 10);
         let compiled = Compiler::default().compile(&s).unwrap();
         let netlist = synthesize(&s).unwrap();
-        let non_io = netlist.primitives().iter().filter(|p| !p.kind().is_io()).count();
+        let non_io = netlist
+            .primitives()
+            .iter()
+            .filter(|p| !p.kind().is_io())
+            .count();
         let placed: usize = compiled
             .bitstream()
             .images()
@@ -301,12 +382,14 @@ mod tests {
         let compiled = Compiler::default().compile(&spec(64, 40)).unwrap();
         let bs = compiled.bitstream();
         let routing = bs.routing();
-        assert_eq!(routing.global.routed.len(), bs.channel_plan().channel_count());
+        assert_eq!(
+            routing.global.routed.len(),
+            bs.channel_plan().channel_count()
+        );
         assert!(
             routing.global.converged,
             "peak load {} over {}",
-            routing.global.max_edge_load_bits,
-            routing.global.edge_capacity_bits
+            routing.global.max_edge_load_bits, routing.global.edge_capacity_bits
         );
         // Paths are non-empty and bit-weighted wirelength is consistent.
         if bs.channel_plan().channel_count() > 0 {

@@ -264,20 +264,14 @@ pub fn place_block(
         (f64::from(a.x) - f64::from(b.x)).abs() + (f64::from(a.y) - f64::from(b.y)).abs()
     };
     let edge_len = |e: &(u32, u32, f64), site_of_local: &[u32]| -> f64 {
-        e.2 * dist(
-            site_of_local[e.0 as usize],
-            site_of_local[e.1 as usize],
-        )
+        e.2 * dist(site_of_local[e.0 as usize], site_of_local[e.1 as usize])
     };
 
     // Annealing: hill-climb phase with a temperature expressed in units of
     // the average edge weight, followed by greedy (zero-temperature)
     // passes; the initial compact assignment is kept if it was never
     // improved upon.
-    let initial_wirelength: f64 = edges
-        .iter()
-        .map(|e| edge_len(e, &site_of_local))
-        .sum();
+    let initial_wirelength: f64 = edges.iter().map(|e| edge_len(e, &site_of_local)).sum();
     let mut best_assignment = site_of_local.clone();
     let mut best_occupant = occupant.clone();
     let mut best_wirelength = initial_wirelength;
@@ -369,12 +363,7 @@ pub fn place_block(
     let wirelength: f64 = edges.iter().map(|e| edge_len(e, &site_of_local)).sum();
     let max_edge = edges
         .iter()
-        .map(|e| {
-            dist(
-                site_of_local[e.0 as usize],
-                site_of_local[e.1 as usize],
-            )
-        })
+        .map(|e| dist(site_of_local[e.0 as usize], site_of_local[e.1 as usize]))
         .fold(0.0, f64::max);
     // Analytic timing: base logic delay plus ~12 ps per routed tile of the
     // longest edge, capped at the shell clock.
@@ -541,8 +530,7 @@ mod tests {
         let device = DeviceModel::xcvu37p();
         let sites = SiteModel::for_block(&device, 60);
         let prims = block_prims(&n);
-        let annealed =
-            place_block(&n, &dfg, 0, &prims, &sites, &PnrConfig::default()).unwrap();
+        let annealed = place_block(&n, &dfg, 0, &prims, &sites, &PnrConfig::default()).unwrap();
         assert!(
             annealed.wirelength <= annealed.initial_wirelength,
             "annealed {} vs initial {}",

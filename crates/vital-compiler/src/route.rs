@@ -171,9 +171,7 @@ pub fn route_global(
             }
             paths[i] = path;
         }
-        let overused = load
-            .iter()
-            .any(|&l| l > cfg.edge_capacity_bits);
+        let overused = load.iter().any(|&l| l > cfg.edge_capacity_bits);
         if !overused {
             break;
         }
@@ -312,8 +310,7 @@ mod tests {
         assert!(
             routing.converged,
             "peak {} over {}",
-            routing.max_edge_load_bits,
-            routing.edge_capacity_bits
+            routing.max_edge_load_bits, routing.edge_capacity_bits
         );
         // Some channel detoured via the second row (path longer than 2).
         assert!(routing.routed.iter().any(|r| r.path.len() > 2));

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceGeneration {
     /// Family / flagship part name.
-    pub name: &'static str,
+    pub name: String,
     /// Year of introduction.
     pub year: u32,
     /// Capacity in system logic cells (thousands).
@@ -22,42 +22,42 @@ pub struct DeviceGeneration {
 pub fn device_generations() -> Vec<DeviceGeneration> {
     vec![
         DeviceGeneration {
-            name: "Virtex-II Pro",
+            name: "Virtex-II Pro".to_string(),
             year: 2002,
             logic_cells_k: 99,
         },
         DeviceGeneration {
-            name: "Virtex-4 LX200",
+            name: "Virtex-4 LX200".to_string(),
             year: 2004,
             logic_cells_k: 200,
         },
         DeviceGeneration {
-            name: "Virtex-5 LX330",
+            name: "Virtex-5 LX330".to_string(),
             year: 2006,
             logic_cells_k: 331,
         },
         DeviceGeneration {
-            name: "Virtex-6 LX760",
+            name: "Virtex-6 LX760".to_string(),
             year: 2009,
             logic_cells_k: 758,
         },
         DeviceGeneration {
-            name: "Virtex-7 2000T",
+            name: "Virtex-7 2000T".to_string(),
             year: 2011,
             logic_cells_k: 1_954,
         },
         DeviceGeneration {
-            name: "UltraScale VU440",
+            name: "UltraScale VU440".to_string(),
             year: 2014,
             logic_cells_k: 4_432,
         },
         DeviceGeneration {
-            name: "UltraScale+ VU13P",
+            name: "UltraScale+ VU13P".to_string(),
             year: 2016,
             logic_cells_k: 3_780,
         },
         DeviceGeneration {
-            name: "UltraScale+ VU37P (HBM)",
+            name: "UltraScale+ VU37P (HBM)".to_string(),
             year: 2018,
             logic_cells_k: 2_852,
         },

@@ -450,7 +450,10 @@ mod tests {
         let plan = Floorplan::builder(&device()).build().unwrap();
         assert_eq!(plan.user_blocks().len(), 15); // 5 bands x 3 dies
         assert!(plan.blocks_identical());
-        assert_eq!(plan.block_resources(), Resources::new(79_200, 158_400, 580, 4_320));
+        assert_eq!(
+            plan.block_resources(),
+            Resources::new(79_200, 158_400, 580, 4_320)
+        );
     }
 
     #[test]
@@ -465,7 +468,10 @@ mod tests {
 
     #[test]
     fn clock_skew_constraint_rejects_sub_region_blocks() {
-        let err = Floorplan::builder(&device()).block_rows(30).build().unwrap_err();
+        let err = Floorplan::builder(&device())
+            .block_rows(30)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, FabricError::InvalidFloorplan(_)));
     }
 
@@ -473,13 +479,19 @@ mod tests {
     fn die_boundary_constraint_rejects_non_dividing_heights() {
         // 120 is a multiple of the 60-row clock region but does not divide
         // the 300-row die.
-        let err = Floorplan::builder(&device()).block_rows(120).build().unwrap_err();
+        let err = Floorplan::builder(&device())
+            .block_rows(120)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, FabricError::InvalidFloorplan(_)));
     }
 
     #[test]
     fn full_die_blocks_are_allowed() {
-        let plan = Floorplan::builder(&device()).block_rows(300).build().unwrap();
+        let plan = Floorplan::builder(&device())
+            .block_rows(300)
+            .build()
+            .unwrap();
         assert_eq!(plan.user_blocks().len(), 3);
         assert!(plan.blocks_identical());
     }
@@ -488,7 +500,10 @@ mod tests {
     fn column_split_rejected_for_non_periodic_layout() {
         // The XCVU37P layout's tail group breaks the periodicity, exactly the
         // commercial-silicon heterogeneity the paper calls out.
-        let err = Floorplan::builder(&device()).column_splits(2).build().unwrap_err();
+        let err = Floorplan::builder(&device())
+            .column_splits(2)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, FabricError::InvalidFloorplan(_)));
     }
 
@@ -519,7 +534,10 @@ mod tests {
         let b = Floorplan::builder(&device()).build().unwrap();
         assert!(a.blocks_compatible(&b));
         // A full-die partition of the same device is NOT compatible.
-        let coarse = Floorplan::builder(&device()).block_rows(300).build().unwrap();
+        let coarse = Floorplan::builder(&device())
+            .block_rows(300)
+            .build()
+            .unwrap();
         assert!(!a.blocks_compatible(&coarse));
         // A different device with a different column mix is not compatible.
         let other = Floorplan::builder(&DeviceModel::vu13p()).build().unwrap();

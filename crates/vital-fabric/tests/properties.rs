@@ -4,7 +4,12 @@ use proptest::prelude::*;
 use vital_fabric::{DeviceModel, Floorplan, Resources};
 
 fn arb_resources() -> impl Strategy<Value = Resources> {
-    (0u64..1_000_000, 0u64..2_000_000, 0u64..10_000, 0u64..400_000)
+    (
+        0u64..1_000_000,
+        0u64..2_000_000,
+        0u64..10_000,
+        0u64..400_000,
+    )
         .prop_map(|(lut, ff, dsp, bram_kb)| Resources::new(lut, ff, dsp, bram_kb))
 }
 

@@ -155,8 +155,7 @@ impl Channel {
     /// `true` if the sender holds a credit and the serialization window is
     /// open: pushing now will not overflow the receiver FIFO.
     pub fn can_push(&self, now: u64) -> bool {
-        now >= self.next_inject_allowed
-            && self.in_flight.len() + self.fifo.len() < self.spec.depth
+        now >= self.next_inject_allowed && self.in_flight.len() + self.fifo.len() < self.spec.depth
     }
 
     /// Injects one flit at cycle `now`.
@@ -311,7 +310,8 @@ mod tests {
         );
         // Latency: the other way around.
         assert!(
-            LinkClass::InterFpga.latency_cycles(&links) > LinkClass::InterDie.latency_cycles(&links)
+            LinkClass::InterFpga.latency_cycles(&links)
+                > LinkClass::InterDie.latency_cycles(&links)
         );
     }
 

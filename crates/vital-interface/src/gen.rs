@@ -359,16 +359,32 @@ mod tests {
     fn acyclicity_detection() {
         let chain = plan_channels(
             &[
-                CutEdge { from_block: 0, to_block: 1, bits: 8 },
-                CutEdge { from_block: 1, to_block: 2, bits: 8 },
+                CutEdge {
+                    from_block: 0,
+                    to_block: 1,
+                    bits: 8,
+                },
+                CutEdge {
+                    from_block: 1,
+                    to_block: 2,
+                    bits: 8,
+                },
             ],
             &InterfaceConfig::default(),
         );
         assert!(chain.is_acyclic());
         let cycle = plan_channels(
             &[
-                CutEdge { from_block: 0, to_block: 1, bits: 8 },
-                CutEdge { from_block: 1, to_block: 0, bits: 8 },
+                CutEdge {
+                    from_block: 0,
+                    to_block: 1,
+                    bits: 8,
+                },
+                CutEdge {
+                    from_block: 1,
+                    to_block: 0,
+                    bits: 8,
+                },
             ],
             &InterfaceConfig::default(),
         );

@@ -111,7 +111,10 @@ impl NetworkSim {
         let inputs: Vec<ChannelId> = inputs.into_iter().collect();
         let outputs: Vec<ChannelId> = outputs.into_iter().collect();
         for c in inputs.iter().chain(&outputs) {
-            assert!(c.index() < self.channels.len(), "channel {c:?} out of range");
+            assert!(
+                c.index() < self.channels.len(),
+                "channel {c:?} out of range"
+            );
         }
         let id = ActorId(self.actors.len() as u32);
         self.actors.push(Actor {
@@ -295,11 +298,7 @@ impl NetworkSim {
         let horizon = u64::from(self.max_stall_period());
         let mut probe = self.clone();
         for _ in 0..=horizon {
-            if probe
-                .actors
-                .iter()
-                .any(|a| probe.can_fire(a))
-            {
+            if probe.actors.iter().any(|a| probe.can_fire(a)) {
                 return false;
             }
             probe.cycle += 1;
@@ -488,7 +487,11 @@ mod tests {
         let stats = sim.run(1000);
         assert!(!stats.deadlocked);
         // After warm-up the relay fires nearly every cycle.
-        assert!(sim.duty_cycle(relay) > 0.95, "duty {}", sim.duty_cycle(relay));
+        assert!(
+            sim.duty_cycle(relay) > 0.95,
+            "duty {}",
+            sim.duty_cycle(relay)
+        );
     }
 
     #[test]
@@ -580,17 +583,39 @@ mod tests {
         use crate::{plan_channels, CutEdge, InterfaceConfig};
         // A 4-block pipeline with a side channel.
         let cuts = [
-            CutEdge { from_block: 0, to_block: 1, bits: 256 },
-            CutEdge { from_block: 1, to_block: 2, bits: 256 },
-            CutEdge { from_block: 2, to_block: 3, bits: 64 },
-            CutEdge { from_block: 0, to_block: 3, bits: 32 },
+            CutEdge {
+                from_block: 0,
+                to_block: 1,
+                bits: 256,
+            },
+            CutEdge {
+                from_block: 1,
+                to_block: 2,
+                bits: 256,
+            },
+            CutEdge {
+                from_block: 2,
+                to_block: 3,
+                bits: 64,
+            },
+            CutEdge {
+                from_block: 0,
+                to_block: 3,
+                bits: 32,
+            },
         ];
         let plan = plan_channels(&cuts, &InterfaceConfig::default());
         let flits = 200u64;
         assert!(plan.is_acyclic());
         let (mut sim, channels) = network_from_plan(
             &plan,
-            |a, b| if a.abs_diff(b) > 1 { LinkClass::InterFpga } else { LinkClass::InterDie },
+            |a, b| {
+                if a.abs_diff(b) > 1 {
+                    LinkClass::InterFpga
+                } else {
+                    LinkClass::InterDie
+                }
+            },
             flits,
             BlockModel::Pipeline,
         );
@@ -607,8 +632,16 @@ mod tests {
         // A cyclic block graph, as real partitions of deep pipelines
         // produce: 0 <-> 1.
         let cuts = [
-            CutEdge { from_block: 0, to_block: 1, bits: 128 },
-            CutEdge { from_block: 1, to_block: 0, bits: 128 },
+            CutEdge {
+                from_block: 0,
+                to_block: 1,
+                bits: 128,
+            },
+            CutEdge {
+                from_block: 1,
+                to_block: 0,
+                bits: 128,
+            },
         ];
         let plan = plan_channels(&cuts, &InterfaceConfig::default());
         assert!(!plan.is_acyclic());

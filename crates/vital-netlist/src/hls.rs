@@ -362,7 +362,12 @@ fn lower_mac_array(n: &mut Netlist, name: &str, pes: u32) -> Result<LoweredOp, N
     })
 }
 
-fn lower_buffer(n: &mut Netlist, name: &str, kb: u32, banks: u32) -> Result<LoweredOp, NetlistError> {
+fn lower_buffer(
+    n: &mut Netlist,
+    name: &str,
+    kb: u32,
+    banks: u32,
+) -> Result<LoweredOp, NetlistError> {
     let brams_total = kb.div_ceil(36).max(1);
     let per_bank = brams_total.div_ceil(banks);
     let mut prev_addr: Option<PrimitiveId> = None;

@@ -194,8 +194,13 @@ mod tests {
         assert_eq!(PrimitiveKind::FlipFlop.resources().ff, 1);
         assert_eq!(PrimitiveKind::Dsp.resources().dsp, 1);
         assert_eq!(PrimitiveKind::bram36().resources().bram_kb, 36);
-        assert_eq!(PrimitiveKind::slice(8, 16).resources(), Resources::new(8, 16, 0, 0));
-        assert!(PrimitiveKind::io(PortDirection::Input).resources().is_zero());
+        assert_eq!(
+            PrimitiveKind::slice(8, 16).resources(),
+            Resources::new(8, 16, 0, 0)
+        );
+        assert!(PrimitiveKind::io(PortDirection::Input)
+            .resources()
+            .is_zero());
     }
 
     #[test]

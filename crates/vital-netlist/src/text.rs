@@ -94,7 +94,9 @@ pub fn from_vnl(text: &str) -> Result<Netlist, NetlistError> {
         let keyword = tokens.next().expect("non-empty line has a token");
         match keyword {
             "vnl" => {
-                let version = tokens.next().ok_or_else(|| err(lineno, "missing version"))?;
+                let version = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing version"))?;
                 if version != "1" {
                     return Err(err(lineno, "unsupported VNL version"));
                 }
@@ -120,7 +122,10 @@ pub fn from_vnl(text: &str) -> Result<Netlist, NetlistError> {
                     .next()
                     .ok_or_else(|| err(lineno, "missing instance name"))?;
                 let kind = parse_kind(kind_tok).ok_or_else(|| {
-                    err(lineno, "unknown primitive kind (expected lutN/ff/slice:L:F/dsp/bram:KB/in/out)")
+                    err(
+                        lineno,
+                        "unknown primitive kind (expected lutN/ff/slice:L:F/dsp/bram:KB/in/out)",
+                    )
                 })?;
                 n.add_primitive(kind, name);
             }
@@ -138,9 +143,7 @@ pub fn from_vnl(text: &str) -> Result<Netlist, NetlistError> {
                     .ok_or_else(|| err(lineno, "missing or invalid bit width"))?;
                 let mut sinks = Vec::new();
                 for t in tokens {
-                    let s: u32 = t
-                        .parse()
-                        .map_err(|_| err(lineno, "invalid sink id"))?;
+                    let s: u32 = t.parse().map_err(|_| err(lineno, "invalid sink id"))?;
                     sinks.push(PrimitiveId::new(s));
                 }
                 n.connect(PrimitiveId::new(driver), sinks, bits)?;

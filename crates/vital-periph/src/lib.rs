@@ -39,8 +39,8 @@
 
 mod arbiter;
 mod dma;
-mod ethernet;
 mod error;
+mod ethernet;
 mod vmem;
 
 pub use arbiter::{BandwidthArbiter, ShareGrant};

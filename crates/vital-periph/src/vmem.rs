@@ -433,8 +433,14 @@ mod tests {
     fn unknown_tenant_errors() {
         let m = mm();
         let ghost = TenantId::new(9);
-        assert_eq!(m.translate(ghost, 0), Err(PeriphError::UnknownTenant(ghost)));
-        assert_eq!(m.destroy_space(ghost), Err(PeriphError::UnknownTenant(ghost)));
+        assert_eq!(
+            m.translate(ghost, 0),
+            Err(PeriphError::UnknownTenant(ghost))
+        );
+        assert_eq!(
+            m.destroy_space(ghost),
+            Err(PeriphError::UnknownTenant(ghost))
+        );
         assert!(m.stats(ghost).is_err());
     }
 

@@ -10,16 +10,31 @@ use vital_periph::{BandwidthArbiter, MemoryManager, PeriphError, TenantId};
 /// One step of a randomized multi-tenant workload.
 #[derive(Debug, Clone)]
 enum Op {
-    Write { tenant: u8, addr: u64, data: Vec<u8> },
-    Read { tenant: u8, addr: u64, len: usize },
+    Write {
+        tenant: u8,
+        addr: u64,
+        data: Vec<u8>,
+    },
+    Read {
+        tenant: u8,
+        addr: u64,
+        len: usize,
+    },
 }
 
 fn arb_op(quota: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..3, 0..quota * 2, prop::collection::vec(any::<u8>(), 1..64))
+        (
+            0u8..3,
+            0..quota * 2,
+            prop::collection::vec(any::<u8>(), 1..64)
+        )
             .prop_map(|(tenant, addr, data)| Op::Write { tenant, addr, data }),
-        (0u8..3, 0..quota * 2, 1usize..64)
-            .prop_map(|(tenant, addr, len)| Op::Read { tenant, addr, len }),
+        (0u8..3, 0..quota * 2, 1usize..64).prop_map(|(tenant, addr, len)| Op::Read {
+            tenant,
+            addr,
+            len
+        }),
     ]
 }
 

@@ -168,8 +168,8 @@ pub fn pack(netlist: &Netlist, dfg: &DataflowGraph, cfg: &PackingConfig) -> Pack
         // links_in[v] = |S2| for candidate v.
         let mut links_in: HashMap<u32, usize> = HashMap::new();
         let absorb_frontier = |p: PrimitiveId,
-                                   cluster_of: &[Option<ClusterId>],
-                                   links_in: &mut HashMap<u32, usize>| {
+                               cluster_of: &[Option<ClusterId>],
+                               links_in: &mut HashMap<u32, usize>| {
             for e in dfg.neighbors(p) {
                 if cluster_of[e.other.index()].is_none() {
                     *links_in.entry(e.other.raw()).or_insert(0) += 1;
@@ -265,8 +265,7 @@ fn merge_small_clusters(
         let target = link_bits
             .into_iter()
             .filter(|&(t, _)| {
-                packing.clusters[t as usize].members.len() + members.len()
-                    <= cfg.max_primitives * 2
+                packing.clusters[t as usize].members.len() + members.len() <= cfg.max_primitives * 2
             })
             .max_by_key(|&(t, bits)| (bits, std::cmp::Reverse(t)))
             .map(|(t, _)| ClusterId(t));

@@ -231,7 +231,11 @@ impl Placer {
 
         let final_positions = positions_of(
             &assignment,
-            &qp.x.iter().zip(&qp.y).map(|(&x, &y)| (x, y)).collect::<Vec<_>>(),
+            &qp.x
+                .iter()
+                .zip(&qp.y)
+                .map(|(&x, &y)| (x, y))
+                .collect::<Vec<_>>(),
             grid,
         );
         let legal = check_legal(&assignment, packing.clusters(), grid);

@@ -34,11 +34,10 @@ fn check_packing_complete(netlist: &vital_netlist::Netlist, packing: &Packing) -
         return false;
     }
     // Membership is consistent with the assignment map.
-    packing.clusters().iter().all(|c| {
-        c.members()
-            .iter()
-            .all(|&m| packing.cluster_of(m) == c.id())
-    })
+    packing
+        .clusters()
+        .iter()
+        .all(|c| c.members().iter().all(|&m| packing.cluster_of(m) == c.id()))
 }
 
 proptest! {

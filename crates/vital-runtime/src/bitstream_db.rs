@@ -1,13 +1,58 @@
 //! The bitstream database: compiled, relocatable application images
-//! (paper Fig. 6).
+//! (paper Fig. 6), doubling as a content-addressed compile cache.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
-use vital_compiler::AppBitstream;
+use serde::{Deserialize, Serialize};
+use vital_compiler::{AppBitstream, NetlistDigest};
 
 use crate::RuntimeError;
+
+/// Hit/miss counters of the content-addressed compile cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Digest probes that found an already-compiled image.
+    pub hits: u64,
+    /// Digest probes that found nothing (a full compile followed).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes served from the cache (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Name and digest indices, kept consistent under one lock.
+struct Inner {
+    by_name: HashMap<String, AppBitstream>,
+    /// Digest → name of a registered bitstream carrying that digest.
+    by_digest: HashMap<NetlistDigest, String>,
+}
+
+impl Inner {
+    /// Re-derives the digest index after bulk edits (deserialization,
+    /// removals). First name in sorted order wins, so the index is
+    /// deterministic.
+    fn rebuild_digest_index(&mut self) {
+        self.by_digest.clear();
+        let mut names: Vec<&String> = self.by_name.keys().collect();
+        names.sort();
+        for name in names {
+            let digest = self.by_name[name].digest();
+            self.by_digest.entry(digest).or_insert_with(|| name.clone());
+        }
+    }
+}
 
 /// Thread-safe store of compiled applications, keyed by name.
 ///
@@ -15,14 +60,22 @@ use crate::RuntimeError;
 /// per application suffices: the same image deploys to *any* set of free
 /// physical blocks. (Contrast with AmorphOS's high-throughput mode, which
 /// must store an image per application *combination*.)
+///
+/// Entries are additionally indexed by their [`NetlistDigest`], making the
+/// database a compile cache: [`get_by_digest`](Self::get_by_digest) answers
+/// "has this exact netlist + configuration been compiled before?" so the
+/// system controller can skip place-and-route entirely on repeat deploys.
 pub struct BitstreamDatabase {
-    entries: RwLock<HashMap<String, AppBitstream>>,
+    inner: RwLock<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl fmt::Debug for BitstreamDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BitstreamDatabase")
-            .field("entries", &self.entries.read().len())
+            .field("entries", &self.inner.read().by_name.len())
+            .field("cache", &self.cache_stats())
             .finish()
     }
 }
@@ -37,7 +90,12 @@ impl BitstreamDatabase {
     /// Creates an empty database.
     pub fn new() -> Self {
         BitstreamDatabase {
-            entries: RwLock::new(HashMap::new()),
+            inner: RwLock::new(Inner {
+                by_name: HashMap::new(),
+                by_digest: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -47,20 +105,53 @@ impl BitstreamDatabase {
     ///
     /// Returns [`RuntimeError::AppExists`] if the name is taken.
     pub fn insert(&self, bitstream: AppBitstream) -> Result<(), RuntimeError> {
-        let mut entries = self.entries.write();
+        let mut inner = self.inner.write();
         let name = bitstream.name().to_string();
-        if entries.contains_key(&name) {
+        if inner.by_name.contains_key(&name) {
             return Err(RuntimeError::AppExists(name));
         }
-        entries.insert(name, bitstream);
+        inner
+            .by_digest
+            .entry(bitstream.digest())
+            .or_insert_with(|| name.clone());
+        inner.by_name.insert(name, bitstream);
         Ok(())
+    }
+
+    /// Idempotent registration: inserting a bitstream whose name is already
+    /// taken by a **byte-identical** image succeeds and returns the stored
+    /// entry, so replaying a deploy script is harmless. Only a *conflicting*
+    /// image under the same name is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::AppExists`] if the name is taken by a
+    /// different image.
+    pub fn insert_or_get(&self, bitstream: AppBitstream) -> Result<AppBitstream, RuntimeError> {
+        let mut inner = self.inner.write();
+        let name = bitstream.name().to_string();
+        if let Some(existing) = inner.by_name.get(&name) {
+            if *existing == bitstream {
+                return Ok(existing.clone());
+            }
+            return Err(RuntimeError::AppExists(name));
+        }
+        inner
+            .by_digest
+            .entry(bitstream.digest())
+            .or_insert_with(|| name.clone());
+        inner.by_name.insert(name, bitstream.clone());
+        Ok(bitstream)
     }
 
     /// Replaces (or inserts) an application image; returns the old image.
     pub fn replace(&self, bitstream: AppBitstream) -> Option<AppBitstream> {
-        self.entries
-            .write()
-            .insert(bitstream.name().to_string(), bitstream)
+        let mut inner = self.inner.write();
+        let old = inner
+            .by_name
+            .insert(bitstream.name().to_string(), bitstream);
+        inner.rebuild_digest_index();
+        old
     }
 
     /// Fetches a clone of an application's image.
@@ -69,11 +160,42 @@ impl BitstreamDatabase {
     ///
     /// Returns [`RuntimeError::UnknownApp`] if not registered.
     pub fn get(&self, name: &str) -> Result<AppBitstream, RuntimeError> {
-        self.entries
+        self.inner
             .read()
+            .by_name
             .get(name)
             .cloned()
             .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))
+    }
+
+    /// Probes the compile cache: a registered image whose compile input had
+    /// this digest, whatever name it was registered under. Counts a cache
+    /// hit or miss (see [`cache_stats`](Self::cache_stats)).
+    pub fn get_by_digest(&self, digest: NetlistDigest) -> Option<AppBitstream> {
+        let inner = self.inner.read();
+        let found = inner
+            .by_digest
+            .get(&digest)
+            .and_then(|name| inner.by_name.get(name))
+            .cloned();
+        match found {
+            Some(bs) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bs)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Hit/miss counters accumulated by [`get_by_digest`](Self::get_by_digest).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Removes an application's image.
@@ -82,27 +204,32 @@ impl BitstreamDatabase {
     ///
     /// Returns [`RuntimeError::UnknownApp`] if not registered.
     pub fn remove(&self, name: &str) -> Result<AppBitstream, RuntimeError> {
-        self.entries
-            .write()
+        let mut inner = self.inner.write();
+        let removed = inner
+            .by_name
             .remove(name)
-            .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))
+            .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))?;
+        // Another entry may share the digest; re-derive the index rather
+        // than leaving it pointing at the removed name.
+        inner.rebuild_digest_index();
+        Ok(removed)
     }
 
     /// Registered application names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.entries.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().by_name.keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of registered applications.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.inner.read().by_name.len()
     }
 
     /// `true` if no applications are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.inner.read().by_name.is_empty()
     }
 
     /// Serializes the whole database to JSON (for inspection or persistence).
@@ -111,18 +238,26 @@ impl BitstreamDatabase {
     ///
     /// Returns a [`serde_json::Error`] if serialization fails.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(&*self.entries.read())
+        serde_json::to_string(&self.inner.read().by_name)
     }
 
-    /// Restores a database from [`BitstreamDatabase::to_json`] output.
+    /// Restores a database from [`BitstreamDatabase::to_json`] output. The
+    /// digest index is rebuilt; cache counters start at zero.
     ///
     /// # Errors
     ///
     /// Returns a [`serde_json::Error`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let entries: HashMap<String, AppBitstream> = serde_json::from_str(json)?;
+        let by_name: HashMap<String, AppBitstream> = serde_json::from_str(json)?;
+        let mut inner = Inner {
+            by_name,
+            by_digest: HashMap::new(),
+        };
+        inner.rebuild_digest_index();
         Ok(BitstreamDatabase {
-            entries: RwLock::new(entries),
+            inner: RwLock::new(inner),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
     }
 }
@@ -133,13 +268,17 @@ mod tests {
     use vital_compiler::{Compiler, CompilerConfig};
     use vital_netlist::hls::{AppSpec, Operator};
 
-    fn bitstream(name: &str) -> AppBitstream {
+    fn bitstream_sized(name: &str, pes: u32) -> AppBitstream {
         let mut spec = AppSpec::new(name);
-        spec.add_operator("m", Operator::MacArray { pes: 4 });
+        spec.add_operator("m", Operator::MacArray { pes });
         Compiler::new(CompilerConfig::default())
             .compile(&spec)
             .unwrap()
             .into_bitstream()
+    }
+
+    fn bitstream(name: &str) -> AppBitstream {
+        bitstream_sized(name, 4)
     }
 
     #[test]
@@ -165,6 +304,54 @@ mod tests {
     }
 
     #[test]
+    fn insert_or_get_is_idempotent_for_identical_images() {
+        let db = BitstreamDatabase::new();
+        let bs = bitstream("a");
+        let stored = db.insert_or_get(bs.clone()).unwrap();
+        assert_eq!(stored, bs);
+        // Replaying the exact same registration is a no-op, not an error.
+        let again = db.insert_or_get(bs.clone()).unwrap();
+        assert_eq!(again, bs);
+        assert_eq!(db.len(), 1);
+        // A *different* image under the same name still conflicts.
+        let conflicting = bitstream_sized("a", 16);
+        assert!(matches!(
+            db.insert_or_get(conflicting),
+            Err(RuntimeError::AppExists(_))
+        ));
+    }
+
+    #[test]
+    fn digest_lookup_hits_across_names_and_counts() {
+        let db = BitstreamDatabase::new();
+        let a = bitstream("a");
+        let digest = a.digest();
+        assert!(db.get_by_digest(digest).is_none()); // miss on empty
+        db.insert(a).unwrap();
+        // Same netlist registered under another name shares the digest.
+        db.insert(bitstream("b").renamed("b2")).unwrap();
+        let hit = db.get_by_digest(digest).expect("digest is registered");
+        assert_eq!(hit.digest(), digest);
+        let stats = db.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_repoints_digest_index_to_surviving_entry() {
+        let db = BitstreamDatabase::new();
+        let a = bitstream("a");
+        let digest = a.digest();
+        db.insert(a.clone()).unwrap();
+        db.insert(a.renamed("copy")).unwrap();
+        db.remove("a").unwrap();
+        let hit = db.get_by_digest(digest).expect("copy still carries it");
+        assert_eq!(hit.name(), "copy");
+        db.remove("copy").unwrap();
+        assert!(db.get_by_digest(digest).is_none());
+    }
+
+    #[test]
     fn json_roundtrip() {
         let db = BitstreamDatabase::new();
         db.insert(bitstream("a")).unwrap();
@@ -176,5 +363,8 @@ mod tests {
             back.get("a").unwrap().block_count(),
             db.get("a").unwrap().block_count()
         );
+        // The digest index survives the roundtrip.
+        let digest = db.get("a").unwrap().digest();
+        assert!(back.get_by_digest(digest).is_some());
     }
 }

@@ -7,7 +7,11 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use vital_compiler::{AppBitstream, PlacedBitstream, RelocationTarget, BLOCK_CONFIG_BITS};
+use vital_compiler::{
+    AppBitstream, Compiler, NetlistDigest, PlacedBitstream, RelocationTarget, StageTimings,
+    BLOCK_CONFIG_BITS,
+};
+use vital_netlist::hls::AppSpec;
 use vital_periph::{BandwidthArbiter, MemoryManager, TenantId, VirtualNic, VirtualSwitch};
 
 use crate::{allocate_blocks, BitstreamDatabase, ResourceDatabase, RuntimeError};
@@ -93,6 +97,17 @@ impl DeployHandle {
     pub fn reconfig_duration(&self) -> Duration {
         self.reconfig
     }
+}
+
+/// What [`SystemController::register_compiled`] did for a spec.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// Content digest of the spec's compile input.
+    pub digest: NetlistDigest,
+    /// `true` if a cached image was reused and no place-and-route ran.
+    pub cache_hit: bool,
+    /// Stage timings of the compile that ran; `None` on a cache hit.
+    pub timings: Option<StageTimings>,
 }
 
 struct TenantState {
@@ -202,6 +217,46 @@ impl SystemController {
         self.bitstreams.insert(bitstream)
     }
 
+    /// Compiles and registers `spec` under its name — unless a registered
+    /// bitstream already carries the same content digest, in which case the
+    /// cached images are reused verbatim and **no place-and-route runs**
+    /// (only the cheap synthesis needed to compute the digest). This is
+    /// the compile-cache fast path: a repeat deploy of an identical netlist
+    /// goes straight to allocation.
+    ///
+    /// Registration is idempotent for byte-identical images (see
+    /// [`BitstreamDatabase::insert_or_get`]), so replaying the same spec is
+    /// harmless.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Compile`] if synthesis or compilation fails.
+    /// * [`RuntimeError::AppExists`] if the name is taken by a different
+    ///   image.
+    pub fn register_compiled(
+        &self,
+        compiler: &Compiler,
+        spec: &AppSpec,
+    ) -> Result<CompileOutcome, RuntimeError> {
+        let digest = compiler.digest_of(spec).map_err(RuntimeError::Compile)?;
+        if let Some(cached) = self.bitstreams.get_by_digest(digest) {
+            self.bitstreams.insert_or_get(cached.renamed(spec.name()))?;
+            return Ok(CompileOutcome {
+                digest,
+                cache_hit: true,
+                timings: None,
+            });
+        }
+        let compiled = compiler.compile(spec).map_err(RuntimeError::Compile)?;
+        let timings = compiled.timings().clone();
+        self.bitstreams.insert_or_get(compiled.into_bitstream())?;
+        Ok(CompileOutcome {
+            digest,
+            cache_hit: false,
+            timings: Some(timings),
+        })
+    }
+
     /// Deploys a registered application: allocates physical blocks with the
     /// communication-aware policy, binds the relocatable bitstream to them,
     /// provisions DRAM and a virtual NIC, and models the per-block partial
@@ -232,12 +287,11 @@ impl SystemController {
         let free_lists: Vec<_> = (0..self.resources.fpga_count())
             .map(|f| self.resources.free_blocks_of(f))
             .collect();
-        let alloc = allocate_blocks(&free_lists, needed).ok_or(
-            RuntimeError::InsufficientResources {
+        let alloc =
+            allocate_blocks(&free_lists, needed).ok_or(RuntimeError::InsufficientResources {
                 needed,
                 free: self.resources.total_free(),
-            },
-        )?;
+            })?;
 
         let tenant = TenantId::new(self.next_tenant.fetch_add(1, Ordering::Relaxed));
         if !self.resources.claim(tenant, &alloc.blocks) {
@@ -562,6 +616,33 @@ mod tests {
             .iter()
             .any(|h| h.placed().addresses().any(|a| a.fpga.index() == 2));
         assert!(used_small, "the small board must participate");
+    }
+
+    #[test]
+    fn register_compiled_reuses_cached_images() {
+        let c = SystemController::new(RuntimeConfig::paper_cluster());
+        let compiler = Compiler::new(CompilerConfig::default());
+        let spec_named = |name: &str| {
+            let mut spec = AppSpec::new(name);
+            spec.add_operator("m", Operator::MacArray { pes: 8 });
+            spec
+        };
+        let cold = c.register_compiled(&compiler, &spec_named("orig")).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.timings.is_some());
+        // Identical netlist under another name: cached images, zero P&R.
+        let warm = c.register_compiled(&compiler, &spec_named("copy")).unwrap();
+        assert!(warm.cache_hit);
+        assert!(warm.timings.is_none());
+        assert_eq!(warm.digest, cold.digest);
+        assert_eq!(c.bitstreams().get("copy").unwrap().digest(), cold.digest);
+        // Replaying a spec is idempotent, and both names deploy.
+        let replay = c.register_compiled(&compiler, &spec_named("copy")).unwrap();
+        assert!(replay.cache_hit);
+        let h = c.deploy("copy").unwrap();
+        c.undeploy(h.tenant()).unwrap();
+        let stats = c.bitstreams().cache_stats();
+        assert!(stats.hits >= 2 && stats.misses >= 1, "stats {stats:?}");
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub enum RuntimeError {
     Periph(PeriphError),
     /// Binding the bitstream to physical blocks failed.
     Relocation(CompileError),
+    /// Compiling an application on behalf of the controller failed.
+    Compile(CompileError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -37,11 +39,15 @@ impl fmt::Display for RuntimeError {
                 write!(f, "application {name:?} is already registered")
             }
             RuntimeError::InsufficientResources { needed, free } => {
-                write!(f, "insufficient resources: need {needed} blocks, {free} free")
+                write!(
+                    f,
+                    "insufficient resources: need {needed} blocks, {free} free"
+                )
             }
             RuntimeError::UnknownTenant(t) => write!(f, "no deployment for {t}"),
             RuntimeError::Periph(e) => write!(f, "peripheral error: {e}"),
             RuntimeError::Relocation(e) => write!(f, "relocation error: {e}"),
+            RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
         }
     }
 }
@@ -51,6 +57,7 @@ impl Error for RuntimeError {
         match self {
             RuntimeError::Periph(e) => Some(e),
             RuntimeError::Relocation(e) => Some(e),
+            RuntimeError::Compile(e) => Some(e),
             _ => None,
         }
     }

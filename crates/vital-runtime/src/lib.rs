@@ -54,8 +54,8 @@ mod policy;
 mod resource_db;
 mod scheduler;
 
-pub use bitstream_db::BitstreamDatabase;
-pub use controller::{DeployHandle, RuntimeConfig, SystemController};
+pub use bitstream_db::{BitstreamDatabase, CacheStats};
+pub use controller::{CompileOutcome, DeployHandle, RuntimeConfig, SystemController};
 pub use error::RuntimeError;
 pub use policy::{allocate_blocks, AllocationOutcome};
 pub use resource_db::{BlockState, ResourceDatabase};

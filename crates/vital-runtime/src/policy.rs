@@ -104,7 +104,11 @@ mod tests {
         let out = allocate_blocks(&lists, 6).unwrap();
         assert_eq!(out.fpgas_used, 2);
         // Majority on the larger (primary) FPGA.
-        let on_zero = out.blocks.iter().filter(|b| b.fpga == FpgaId::new(0)).count();
+        let on_zero = out
+            .blocks
+            .iter()
+            .filter(|b| b.fpga == FpgaId::new(0))
+            .count();
         assert_eq!(on_zero, 4);
     }
 

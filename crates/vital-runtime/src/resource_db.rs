@@ -48,7 +48,10 @@ impl ResourceDatabase {
     ///
     /// Panics if either dimension is zero.
     pub fn new(fpgas: usize, blocks_per_fpga: usize) -> Self {
-        assert!(fpgas > 0 && blocks_per_fpga > 0, "cluster must be non-empty");
+        assert!(
+            fpgas > 0 && blocks_per_fpga > 0,
+            "cluster must be non-empty"
+        );
         Self::with_layout(vec![blocks_per_fpga; fpgas])
     }
 

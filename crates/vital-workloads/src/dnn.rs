@@ -39,7 +39,7 @@ impl Size {
 /// One DNN benchmark: a compute-tile template plus per-size tile counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DnnBenchmark {
-    name: &'static str,
+    name: String,
     /// LUTs per tile.
     tile_lut: u32,
     /// DSPs per tile.
@@ -52,8 +52,8 @@ pub struct DnnBenchmark {
 
 impl DnnBenchmark {
     /// The benchmark name.
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Number of compute tiles for a variant.
@@ -134,49 +134,49 @@ impl DnnBenchmark {
 pub fn benchmarks() -> Vec<DnnBenchmark> {
     vec![
         DnnBenchmark {
-            name: "lenet",
+            name: "lenet".to_string(),
             tile_lut: 23_500,
             tile_dsp: 42,
             tile_bram_kb: 2_600,
             tiles: [1, 4, 7],
         },
         DnnBenchmark {
-            name: "cifar10",
+            name: "cifar10".to_string(),
             tile_lut: 27_600,
             tile_dsp: 52,
             tile_bram_kb: 3_060,
             tiles: [2, 5, 8],
         },
         DnnBenchmark {
-            name: "mlp",
+            name: "mlp".to_string(),
             tile_lut: 23_300,
             tile_dsp: 48,
             tile_bram_kb: 3_000,
             tiles: [1, 3, 9],
         },
         DnnBenchmark {
-            name: "alexnet",
+            name: "alexnet".to_string(),
             tile_lut: 26_900,
             tile_dsp: 52,
             tile_bram_kb: 3_130,
             tiles: [3, 7, 10],
         },
         DnnBenchmark {
-            name: "svhn",
+            name: "svhn".to_string(),
             tile_lut: 23_000,
             tile_dsp: 42,
             tile_bram_kb: 2_660,
             tiles: [2, 5, 8],
         },
         DnnBenchmark {
-            name: "lstm",
+            name: "lstm".to_string(),
             tile_lut: 24_900,
             tile_dsp: 50,
             tile_bram_kb: 3_130,
             tiles: [1, 3, 6],
         },
         DnnBenchmark {
-            name: "vgg",
+            name: "vgg".to_string(),
             tile_lut: 25_700,
             tile_dsp: 48,
             tile_bram_kb: 3_000,

@@ -126,9 +126,9 @@ fn main() {
                 }
             }
             "undeploy" => {
-                let tenant = tokens.next().and_then(|t| {
-                    t.trim_start_matches("tenant").parse::<u64>().ok()
-                });
+                let tenant = tokens
+                    .next()
+                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
                 let Some(raw) = tenant else {
                     println!("usage: undeploy <tenant-id>");
                     continue;
@@ -156,7 +156,9 @@ fn main() {
             }
             "status" => print_status(&stack),
             "quit" | "exit" => break,
-            other => println!("unknown command {other:?} (compile/deploy/undeploy/defrag/status/quit)"),
+            other => {
+                println!("unknown command {other:?} (compile/deploy/undeploy/defrag/status/quit)")
+            }
         }
     }
     println!("bye");

@@ -8,7 +8,7 @@ use vital_compiler::{CompileError, CompiledApp, Compiler, CompilerConfig};
 use vital_netlist::hls::AppSpec;
 use vital_netlist::NetlistError;
 use vital_periph::TenantId;
-use vital_runtime::{DeployHandle, RuntimeConfig, RuntimeError, SystemController};
+use vital_runtime::{CompileOutcome, DeployHandle, RuntimeConfig, RuntimeError, SystemController};
 
 /// Unified error type of the facade.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +106,20 @@ impl VitalStack {
     /// Propagates compilation failures and name collisions.
     pub fn compile_and_register(&self, spec: &AppSpec) -> Result<CompiledApp, VitalError> {
         let compiled = self.compiler.compile(spec)?;
-        self.controller
-            .register(compiled.bitstream().clone())?;
+        self.controller.register(compiled.bitstream().clone())?;
         Ok(compiled)
+    }
+
+    /// Compiles and registers `spec`, reusing a cached image when one with
+    /// the same content digest is already registered — the compile-cache
+    /// fast path (see [`SystemController::register_compiled`]). On a hit,
+    /// no place-and-route runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures and conflicting-name collisions.
+    pub fn compile_or_reuse(&self, spec: &AppSpec) -> Result<CompileOutcome, VitalError> {
+        Ok(self.controller.register_compiled(&self.compiler, spec)?)
     }
 
     /// Deploys a registered application (see
@@ -195,6 +206,21 @@ mod tests {
             stack.compile_and_register(&spec),
             Err(VitalError::Runtime(RuntimeError::AppExists(_)))
         ));
+    }
+
+    #[test]
+    fn compile_or_reuse_hits_the_cache() {
+        let stack = VitalStack::new();
+        let mut spec = AppSpec::new("cold");
+        spec.add_operator("m", Operator::MacArray { pes: 12 });
+        let cold = stack.compile_or_reuse(&spec).unwrap();
+        assert!(!cold.cache_hit);
+        let mut same = AppSpec::new("warm");
+        same.add_operator("m", Operator::MacArray { pes: 12 });
+        let warm = stack.compile_or_reuse(&same).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.digest, cold.digest);
+        assert!(stack.deploy("warm").is_ok());
     }
 
     #[test]

@@ -31,14 +31,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = netlist.stats();
     println!("== {} ==", spec.name());
     println!("primitives : {}", stats.primitives);
-    println!("nets       : {} (avg fanout {:.2})", stats.nets, stats.avg_fanout);
+    println!(
+        "nets       : {} (avg fanout {:.2})",
+        stats.nets, stats.avg_fanout
+    );
     println!("resources  : {}", stats.resources);
     println!("I/O ports  : {}", stats.io_ports);
 
     // Interchange: VNL round-trip.
     let vnl = to_vnl(&netlist)?;
     let lines = vnl.lines().count();
-    println!("\nVNL dump: {} lines, {} bytes; first lines:", lines, vnl.len());
+    println!(
+        "\nVNL dump: {} lines, {} bytes; first lines:",
+        lines,
+        vnl.len()
+    );
     for line in vnl.lines().take(6) {
         println!("  {line}");
     }
@@ -54,10 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for img in bs.images() {
         println!(
             "  vb{}: {} primitives, {}, {:.0} MHz",
-            img.virtual_block,
-            img.primitive_count,
-            img.resources,
-            img.placement.achieved_mhz
+            img.virtual_block, img.primitive_count, img.resources, img.placement.achieved_mhz
         );
     }
     println!(

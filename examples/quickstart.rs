@@ -57,6 +57,9 @@ fn main() -> Result<(), VitalError> {
     // 4. Tear down.
     stack.undeploy(first.tenant())?;
     stack.undeploy(second.tenant())?;
-    println!("cluster idle again: {} blocks free", stack.controller().resources().total_free());
+    println!(
+        "cluster idle again: {} blocks free",
+        stack.controller().resources().total_free()
+    );
     Ok(())
 }

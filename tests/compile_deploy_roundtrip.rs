@@ -17,7 +17,11 @@ fn compiled_suite() -> &'static Vec<CompiledApp> {
         let compiler = Compiler::new(CompilerConfig::default());
         benchmarks()
             .iter()
-            .map(|b| compiler.compile(&b.spec(Size::Small)).expect("suite compiles"))
+            .map(|b| {
+                compiler
+                    .compile(&b.spec(Size::Small))
+                    .expect("suite compiles")
+            })
             .collect()
     })
 }

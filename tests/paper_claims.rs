@@ -44,7 +44,10 @@ fn response_time_reduction_vs_baseline_is_large() {
         &seeds,
     );
     let base = averaged_response(
-        &mut |reqs| sim.run(&mut PerDeviceBaseline::new(), reqs).avg_response_s(),
+        &mut |reqs| {
+            sim.run(&mut PerDeviceBaseline::new(), reqs)
+                .avg_response_s()
+        },
         &seeds,
     );
     let reduction = 1.0 - vital / base;
@@ -103,7 +106,9 @@ fn all_large_set_is_amorphos_worst_case() {
         amorphos_r += sim
             .run(&mut AmorphOsHighThroughput::new(), reqs.clone())
             .avg_response_s();
-        base_r += sim.run(&mut PerDeviceBaseline::new(), reqs).avg_response_s();
+        base_r += sim
+            .run(&mut PerDeviceBaseline::new(), reqs)
+            .avg_response_s();
     }
     // AmorphOS degenerates toward the baseline (10-block apps cannot be
     // combined on 15-block FPGAs two at a time), ViTAL still wins clearly.
@@ -133,7 +138,10 @@ fn spanning_rate_is_in_the_paper_band() {
             },
             &SizingModel::default(),
         );
-        rates.push(sim.run(&mut VitalScheduler::new(), reqs).spanning_fraction());
+        rates.push(
+            sim.run(&mut VitalScheduler::new(), reqs)
+                .spanning_fraction(),
+        );
     }
     let max = rates.iter().copied().fold(0.0, f64::max);
     assert!(max > 0.05, "spanning rates {rates:?} (paper: 5-40%)");
