@@ -15,6 +15,7 @@
 //! | `fig8_compile_breakdown` | Fig. 8 + §5.4 (compile-time breakdown, partition quality, AmorphOS combinations) |
 //! | `compile_speedup` | serial-vs-parallel local P&R speedup + compile-cache hit rates |
 //! | `fig9_response_time` | Fig. 9 (normalized response time, 10 workload sets × 4 systems) |
+//! | `fig9_failures` | Fig. 9 companion (goodput + terminal failures under injected faults) |
 //! | `fig10_sharing_metrics` | Fig. 10 + §5.5 (relocation map, utilization, concurrency, spanning, overhead) |
 //!
 //! Run them all with `cargo run -p vital-bench --bin <name> --release`.

@@ -64,11 +64,11 @@ mod sim;
 mod state;
 
 pub use error::ClusterError;
-pub use metrics::{CompileMetrics, RequestOutcome, SimReport};
+pub use metrics::{CompileMetrics, FailedOutcome, RequestOutcome, SimReport};
 pub use request::{AppRequest, RequestId};
 pub use ring::RingNetwork;
 pub use sim::ClusterSim;
 pub use state::{
-    ClusterConfig, ClusterView, Deployment, FaultSpec, InstanceId, PendingRequest, ReconfigKind,
-    Scheduler,
+    ClusterConfig, ClusterView, Deployment, FaultEvent, FaultPlan, FaultSpec, InstanceId,
+    PendingRequest, ReconfigKind, RetryPolicy, Scheduler,
 };

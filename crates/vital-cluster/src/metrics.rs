@@ -51,6 +51,25 @@ impl RequestOutcome {
     }
 }
 
+/// Terminal record of a request that exhausted its retry budget: every
+/// deployment attempt was interrupted by an injected fault and the
+/// [`RetryPolicy`](crate::RetryPolicy) gave up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedOutcome {
+    /// The request.
+    pub id: RequestId,
+    /// Application name.
+    pub name: String,
+    /// Arrival time (s).
+    pub arrival_s: f64,
+    /// When the final attempt was interrupted (s).
+    pub failed_s: f64,
+    /// Deployment attempts made before giving up.
+    pub attempts: u32,
+    /// Blocks the request needed.
+    pub blocks_needed: u32,
+}
+
 /// Aggregate report of one simulated workload run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -76,6 +95,17 @@ pub struct SimReport {
     pub avg_concurrency: f64,
     /// Peak number of concurrently running applications.
     pub peak_concurrency: usize,
+    /// Requests that exhausted their retry budget (terminal failures).
+    pub failed: Vec<FailedOutcome>,
+    /// Instance evictions caused by injected faults (a request evicted
+    /// twice counts twice).
+    pub interrupted_jobs: u64,
+    /// Block-seconds occupied by instances that were later evicted — work
+    /// and capacity thrown away to faults.
+    pub wasted_block_s: f64,
+    /// Total block-seconds occupied by any instance (the throughput-side
+    /// denominator of [`SimReport::goodput_fraction`]).
+    pub busy_block_s: f64,
 }
 
 impl SimReport {
@@ -121,6 +151,28 @@ impl SimReport {
     /// Total failure-induced restarts across all requests.
     pub fn total_restarts(&self) -> u64 {
         self.outcomes.iter().map(|o| u64::from(o.restarts)).sum()
+    }
+
+    /// Number of requests that terminally failed (retry budget exhausted).
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Block-seconds that produced completed work: total occupancy minus
+    /// the occupancy of evicted instances.
+    pub fn goodput_block_s(&self) -> f64 {
+        (self.busy_block_s - self.wasted_block_s).max(0.0)
+    }
+
+    /// Goodput over throughput: the fraction of occupied block-seconds
+    /// that belonged to instances that ran to completion (1.0 in a
+    /// fault-free run, lower the more work faults threw away).
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.busy_block_s <= 0.0 {
+            1.0
+        } else {
+            self.goodput_block_s() / self.busy_block_s
+        }
     }
 
     /// Worst interface-overhead fraction observed.
@@ -219,6 +271,10 @@ mod tests {
             pressured_utilization: 0.5,
             avg_concurrency: 1.0,
             peak_concurrency: 1,
+            failed: Vec::new(),
+            interrupted_jobs: 0,
+            wasted_block_s: 0.0,
+            busy_block_s: 0.0,
             outcomes,
         }
     }

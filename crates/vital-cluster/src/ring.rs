@@ -55,6 +55,57 @@ impl RingNetwork {
             .max()
             .unwrap_or(0)
     }
+
+    /// Number of point-to-point links on the ring. Link `i` connects FPGA
+    /// `i` and FPGA `(i + 1) % len`; a two-node ring keeps both cables
+    /// (links 0 and 1), a single-node ring has none.
+    pub fn link_count(&self) -> usize {
+        if self.fpgas < 2 {
+            0
+        } else {
+            self.fpgas
+        }
+    }
+
+    /// Shortest hop count between two FPGAs when the links in `down` are
+    /// out of service, or `None` if every path crosses a down link. On a
+    /// ring there are exactly two candidate paths; traffic reroutes the
+    /// long way around a broken link.
+    pub fn hops_avoiding(&self, a: FpgaId, b: FpgaId, down: &[usize]) -> Option<usize> {
+        let n = self.fpgas;
+        let a = a.index() as usize % n;
+        let b = b.index() as usize % n;
+        if a == b {
+            return Some(0);
+        }
+        let blocked = |link: usize| down.contains(&(link % n));
+        // Clockwise path a -> b uses links a, a+1, .., b-1 (mod n).
+        let cw_len = (b + n - a) % n;
+        let cw_ok = (0..cw_len).all(|i| !blocked((a + i) % n));
+        let ccw_len = n - cw_len;
+        let ccw_ok = (0..ccw_len).all(|i| !blocked((b + i) % n));
+        match (cw_ok, ccw_ok) {
+            (true, true) => Some(cw_len.min(ccw_len)),
+            (true, false) => Some(cw_len),
+            (false, true) => Some(ccw_len),
+            (false, false) => None,
+        }
+    }
+
+    /// The worst rerouted hop distance from `primary` to any FPGA in
+    /// `used`; `None` as soon as one of them is unreachable.
+    pub fn max_hops_from_avoiding(
+        &self,
+        primary: FpgaId,
+        used: impl IntoIterator<Item = FpgaId>,
+        down: &[usize],
+    ) -> Option<usize> {
+        let mut worst = 0;
+        for f in used {
+            worst = worst.max(self.hops_avoiding(primary, f, down)?);
+        }
+        Some(worst)
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +137,39 @@ mod tests {
         let ring = RingNetwork::new(1);
         assert_eq!(ring.hops(FpgaId::new(0), FpgaId::new(0)), 0);
         assert_eq!(ring.diameter(), 0);
+    }
+
+    #[test]
+    fn down_links_reroute_the_long_way() {
+        let ring = RingNetwork::new(4);
+        let f = FpgaId::new;
+        // Link 0 joins FPGAs 0 and 1: traffic must go 0-3-2-1.
+        assert_eq!(ring.hops_avoiding(f(0), f(1), &[0]), Some(3));
+        assert_eq!(ring.hops_avoiding(f(1), f(0), &[0]), Some(3));
+        // An unrelated pair keeps its shortest path.
+        assert_eq!(ring.hops_avoiding(f(2), f(3), &[0]), Some(1));
+        // Two cuts partition the ring.
+        assert_eq!(ring.hops_avoiding(f(0), f(1), &[0, 2]), None);
+        assert_eq!(ring.hops_avoiding(f(0), f(3), &[0, 2]), Some(1));
+        // Same node is always reachable.
+        assert_eq!(ring.hops_avoiding(f(2), f(2), &[0, 1, 2, 3]), Some(0));
+        assert_eq!(ring.link_count(), 4);
+        assert_eq!(RingNetwork::new(1).link_count(), 0);
+    }
+
+    #[test]
+    fn max_hops_avoiding_detects_unreachable() {
+        let ring = RingNetwork::new(4);
+        let f = FpgaId::new;
+        assert_eq!(
+            ring.max_hops_from_avoiding(f(0), [f(1), f(3)], &[0]),
+            Some(3)
+        );
+        assert_eq!(ring.max_hops_from_avoiding(f(0), [f(2)], &[1, 3]), None);
+        assert_eq!(
+            ring.max_hops_from_avoiding(f(0), [], &[0, 1, 2, 3]),
+            Some(0)
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@ use std::collections::{BinaryHeap, HashMap};
 use vital_fabric::BlockAddr;
 
 use crate::{
-    AppRequest, ClusterConfig, ClusterError, ClusterView, Deployment, FaultSpec, InstanceId,
-    PendingRequest, ReconfigKind, RequestOutcome, Scheduler, SimReport,
+    AppRequest, ClusterConfig, ClusterError, ClusterView, Deployment, FailedOutcome, FaultEvent,
+    FaultPlan, FaultSpec, InstanceId, PendingRequest, ReconfigKind, RequestOutcome, Scheduler,
+    SimReport,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +18,10 @@ enum EventKind {
     Complete(InstanceId, u32),
     FpgaFail(usize),
     FpgaRepair(usize),
+    LinkDown(usize),
+    LinkUp(usize),
+    /// A backoff expired: re-queue the request at this index.
+    Requeue(usize),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -56,8 +61,83 @@ struct Instance {
     completion_s: f64,
     service_s: f64,
     interface_overhead_fraction: f64,
+    /// Primary FPGA and worst ring distance at schedule time — used to
+    /// decide whether a later link failure cuts this instance's traffic.
+    primary_fpga: u32,
+    ring_hops: usize,
     generation: u32,
     running: bool,
+}
+
+/// Execution-time model output for one deployment.
+struct ServiceModel {
+    service_s: f64,
+    overhead_fraction: f64,
+    primary_fpga: u32,
+    max_hops: usize,
+}
+
+/// Kills `victims`, frees their blocks, and decides each victim's fate
+/// under `retry`: terminal failure, immediate re-queue, or a deferred
+/// re-queue returned as `(fire_at_s, request_idx)` pairs for the caller to
+/// schedule (the event queue cannot be borrowed here).
+#[allow(clippy::too_many_arguments)]
+fn evict_victims(
+    victims: Vec<InstanceId>,
+    now: f64,
+    requests: &[AppRequest],
+    retry: &crate::RetryPolicy,
+    instances: &mut HashMap<InstanceId, Instance>,
+    view: &mut ClusterView,
+    pending: &mut Vec<PendingRequest>,
+    restarts: &mut HashMap<crate::RequestId, u32>,
+    failed: &mut Vec<FailedOutcome>,
+    running_apps: &mut usize,
+    busy_blocks: &mut usize,
+    needed_blocks: &mut usize,
+    interrupted_jobs: &mut u64,
+    wasted_block_s: &mut f64,
+) -> Vec<(f64, usize)> {
+    let mut requeues = Vec::new();
+    for id in victims {
+        let inst = instances.remove(&id).expect("victim exists");
+        if inst.running {
+            *running_apps -= 1;
+        }
+        for &b in &inst.blocks {
+            view.vacate(b);
+        }
+        *busy_blocks -= inst.blocks.len();
+        let req = &requests[inst.request_idx];
+        *needed_blocks -= req.blocks_needed as usize;
+        *interrupted_jobs += 1;
+        *wasted_block_s += inst.blocks.len() as f64 * (now - inst.scheduled_s);
+        let evictions = restarts.entry(req.id).or_insert(0);
+        *evictions += 1;
+        // The attempt just interrupted is eviction number `evictions`.
+        let attempts = *evictions;
+        if retry.gives_up_after(attempts) {
+            failed.push(FailedOutcome {
+                id: req.id,
+                name: req.name.clone(),
+                arrival_s: req.arrival_s,
+                failed_s: now,
+                attempts,
+                blocks_needed: req.blocks_needed,
+            });
+        } else {
+            let backoff = retry.backoff_s(attempts);
+            if backoff > 0.0 {
+                requeues.push((now + backoff, inst.request_idx));
+            } else {
+                pending.push(PendingRequest {
+                    request: req.clone(),
+                    arrived_s: now,
+                });
+            }
+        }
+    }
+    requeues
 }
 
 /// The discrete-event cluster simulator.
@@ -136,6 +216,26 @@ impl ClusterSim {
             .unwrap_or_else(|e| panic!("scheduling policy returned an invalid deployment: {e}"))
     }
 
+    /// Like [`ClusterSim::run`] under a scripted [`FaultPlan`]: FPGA
+    /// crashes and ring-link cuts evict the instances they touch, evicted
+    /// requests retry with the plan's backoff until its retry budget runs
+    /// out (then they land in [`SimReport::failed`]), and the report
+    /// carries failure-aware metrics (interrupted jobs, wasted
+    /// block-seconds, goodput vs. throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid policy deployments, like [`ClusterSim::run`].
+    pub fn run_with_plan(
+        &self,
+        policy: &mut dyn Scheduler,
+        requests: Vec<AppRequest>,
+        plan: &FaultPlan,
+    ) -> SimReport {
+        self.try_run_with_plan(policy, requests, plan)
+            .unwrap_or_else(|e| panic!("scheduling policy returned an invalid deployment: {e}"))
+    }
+
     /// Like [`ClusterSim::run`], surfacing policy bugs as errors.
     ///
     /// # Errors
@@ -146,7 +246,7 @@ impl ClusterSim {
         policy: &mut dyn Scheduler,
         requests: Vec<AppRequest>,
     ) -> Result<SimReport, ClusterError> {
-        self.try_run_with_faults(policy, requests, &[])
+        self.try_run_with_plan(policy, requests, &FaultPlan::new())
     }
 
     /// Fallible variant of [`ClusterSim::run_with_faults`].
@@ -157,8 +257,22 @@ impl ClusterSim {
     pub fn try_run_with_faults(
         &self,
         policy: &mut dyn Scheduler,
-        mut requests: Vec<AppRequest>,
+        requests: Vec<AppRequest>,
         faults: &[FaultSpec],
+    ) -> Result<SimReport, ClusterError> {
+        self.try_run_with_plan(policy, requests, &FaultPlan::from(faults))
+    }
+
+    /// Fallible variant of [`ClusterSim::run_with_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] describing the first invalid deployment.
+    pub fn try_run_with_plan(
+        &self,
+        policy: &mut dyn Scheduler,
+        mut requests: Vec<AppRequest>,
+        plan: &FaultPlan,
     ) -> Result<SimReport, ClusterError> {
         requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
         let mut events = BinaryHeap::new();
@@ -170,17 +284,20 @@ impl ClusterSim {
         for (i, r) in requests.iter().enumerate() {
             push(&mut events, r.arrival_s, EventKind::Arrival(i));
         }
-        for f in faults {
-            push(
-                &mut events,
-                f.fail_at_s,
-                EventKind::FpgaFail(f.fpga as usize),
-            );
-            if let Some(repair) = f.repair_at_s {
-                push(&mut events, repair, EventKind::FpgaRepair(f.fpga as usize));
-            }
+        for ev in &plan.events {
+            let kind = match *ev {
+                FaultEvent::FpgaCrash { fpga, .. } => EventKind::FpgaFail(fpga as usize),
+                FaultEvent::FpgaRecover { fpga, .. } => EventKind::FpgaRepair(fpga as usize),
+                FaultEvent::RingLinkDown { link, .. } => EventKind::LinkDown(link as usize),
+                FaultEvent::RingLinkUp { link, .. } => EventKind::LinkUp(link as usize),
+            };
+            push(&mut events, ev.at_s(), kind);
         }
+        let retry = plan.retry;
         let mut restarts: HashMap<crate::RequestId, u32> = HashMap::new();
+        let mut failed: Vec<FailedOutcome> = Vec::new();
+        let mut interrupted_jobs = 0u64;
+        let mut wasted_block_s = 0.0f64;
 
         let mut view = ClusterView::with_layout(self.config, &self.layout);
         let mut pending: Vec<PendingRequest> = Vec::new();
@@ -291,26 +408,77 @@ impl ClusterSim {
                         })
                         .map(|(&id, _)| id)
                         .collect();
-                    for id in victims {
-                        let inst = instances.remove(&id).expect("victim exists");
-                        if inst.running {
-                            running_apps -= 1;
-                        }
-                        for &b in &inst.blocks {
-                            view.vacate(b);
-                        }
-                        busy_blocks -= inst.blocks.len();
-                        let req = &requests[inst.request_idx];
-                        needed_blocks -= req.blocks_needed as usize;
-                        *restarts.entry(req.id).or_insert(0) += 1;
-                        pending.push(PendingRequest {
-                            request: req.clone(),
-                            arrived_s: now,
-                        });
+                    let requeues = evict_victims(
+                        victims,
+                        now,
+                        &requests,
+                        &retry,
+                        &mut instances,
+                        &mut view,
+                        &mut pending,
+                        &mut restarts,
+                        &mut failed,
+                        &mut running_apps,
+                        &mut busy_blocks,
+                        &mut needed_blocks,
+                        &mut interrupted_jobs,
+                        &mut wasted_block_s,
+                    );
+                    for (t, idx) in requeues {
+                        push(&mut events, t, EventKind::Requeue(idx));
                     }
                 }
                 EventKind::FpgaRepair(fpga) => {
                     view.set_offline(fpga, false);
+                }
+                EventKind::LinkDown(link) => {
+                    view.set_link(link, true);
+                    // A spanning instance whose traffic can no longer take
+                    // the path it was scheduled on loses its connection
+                    // mid-stream: evict it like a device failure. Instances
+                    // whose worst ring distance is unchanged keep running.
+                    let down = view.down_links();
+                    let ring = crate::RingNetwork::new(self.layout.len().max(1));
+                    let victims: Vec<InstanceId> = instances
+                        .iter()
+                        .filter(|(_, inst)| {
+                            let fpgas = inst.blocks.iter().map(|b| b.fpga);
+                            ring.max_hops_from_avoiding(
+                                vital_fabric::FpgaId::new(inst.primary_fpga),
+                                fpgas,
+                                &down,
+                            ) != Some(inst.ring_hops)
+                        })
+                        .map(|(&id, _)| id)
+                        .collect();
+                    let requeues = evict_victims(
+                        victims,
+                        now,
+                        &requests,
+                        &retry,
+                        &mut instances,
+                        &mut view,
+                        &mut pending,
+                        &mut restarts,
+                        &mut failed,
+                        &mut running_apps,
+                        &mut busy_blocks,
+                        &mut needed_blocks,
+                        &mut interrupted_jobs,
+                        &mut wasted_block_s,
+                    );
+                    for (t, idx) in requeues {
+                        push(&mut events, t, EventKind::Requeue(idx));
+                    }
+                }
+                EventKind::LinkUp(link) => {
+                    view.set_link(link, false);
+                }
+                EventKind::Requeue(idx) => {
+                    pending.push(PendingRequest {
+                        request: requests[idx].clone(),
+                        arrived_s: now,
+                    });
                 }
             }
 
@@ -341,7 +509,7 @@ impl ClusterSim {
                     busy_blocks += d.blocks.len();
                     needed_blocks += p.request.blocks_needed as usize;
 
-                    let (service_s, overhead_fraction) = self.service_time(&p.request, &d.blocks);
+                    let model = self.service_time(&p.request, &d.blocks, &view.down_links());
                     let reconfig_s = self.reconfig_time(&d);
                     if d.reconfig == ReconfigKind::FullDevice {
                         // Full-device programming pauses every co-running
@@ -371,8 +539,10 @@ impl ClusterSim {
                             scheduled_s: now,
                             exec_start_s: now,
                             completion_s: f64::INFINITY,
-                            service_s,
-                            interface_overhead_fraction: overhead_fraction,
+                            service_s: model.service_s,
+                            interface_overhead_fraction: model.overhead_fraction,
+                            primary_fpga: model.primary_fpga,
+                            ring_hops: model.max_hops,
                             generation: 0,
                             running: false,
                         },
@@ -403,6 +573,10 @@ impl ClusterSim {
                 0.0
             },
             peak_concurrency,
+            failed,
+            interrupted_jobs,
+            wasted_block_s,
+            busy_block_s: busy_integral,
         })
     }
 
@@ -445,7 +619,12 @@ impl ClusterSim {
     /// segments). The pipeline-fill latency of the latency-insensitive
     /// interface is added on top (sub-millisecond; the paper measures it
     /// below 0.03 % of execution time).
-    fn service_time(&self, request: &AppRequest, blocks: &[BlockAddr]) -> (f64, f64) {
+    fn service_time(
+        &self,
+        request: &AppRequest,
+        blocks: &[BlockAddr],
+        down: &[usize],
+    ) -> ServiceModel {
         let mut per_fpga: HashMap<u32, usize> = HashMap::new();
         for b in blocks.iter().take(request.blocks_needed as usize) {
             *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
@@ -458,10 +637,17 @@ impl ClusterSim {
             .unwrap_or((0, 0.0));
         let span = (1.0 - primary / used).max(0.0);
         let ring = crate::RingNetwork::new(self.layout.len().max(1));
-        let max_hops = ring.max_hops_from(
-            vital_fabric::FpgaId::new(primary_fpga),
-            per_fpga.keys().map(|&f| vital_fabric::FpgaId::new(f)),
-        );
+        // Traffic reroutes around down links (longer hops). A spanning set
+        // cut in two by link failures gets the full ring length as a crude
+        // finite penalty — the scheduler saw the down links and chose to
+        // span anyway.
+        let max_hops = ring
+            .max_hops_from_avoiding(
+                vital_fabric::FpgaId::new(primary_fpga),
+                per_fpga.keys().map(|&f| vital_fabric::FpgaId::new(f)),
+                down,
+            )
+            .unwrap_or(self.layout.len());
         // One hop = the calibrated penalty; further hops add 30% each
         // (the traffic occupies more ring segments).
         let hop_factor = if max_hops == 0 {
@@ -475,7 +661,12 @@ impl ClusterSim {
         // in total, matching the paper's <0.03% observation.
         let overhead = self.config.inter_fpga_latency_s * 250.0 * max_hops as f64;
         let total = slowed + overhead;
-        (total, overhead / total.max(f64::MIN_POSITIVE))
+        ServiceModel {
+            service_s: total,
+            overhead_fraction: overhead / total.max(f64::MIN_POSITIVE),
+            primary_fpga,
+            max_hops,
+        }
     }
 
     fn reconfig_time(&self, d: &Deployment) -> f64 {
@@ -832,6 +1023,149 @@ mod tests {
             .collect();
         bigs.sort_by(f64::total_cmp);
         assert!(bigs[1] > 0.9, "second big job must wait: {bigs:?}");
+    }
+
+    #[test]
+    fn bounded_retry_gives_up_and_records_failure() {
+        // The only FPGA that ever has room is 0, and it crashes for good at
+        // t=1; with one attempt allowed the job lands in `failed`.
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![15, 1, 1, 1]);
+        let reqs = vec![AppRequest::new(0, "doomed", 10, 10.0e9)];
+        let plan = FaultPlan::new()
+            .fpga_crash(0, 1.0)
+            .with_retry(crate::RetryPolicy::bounded(1));
+        let report = sim.run_with_plan(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &plan,
+        );
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.failed_count(), 1);
+        let f = &report.failed[0];
+        assert_eq!(f.name, "doomed");
+        assert_eq!(f.attempts, 1);
+        assert!((f.failed_s - 1.0).abs() < 1e-9);
+        assert_eq!(report.interrupted_jobs, 1);
+        // The interrupted run occupied 10 blocks for ~1 s; all of it wasted.
+        assert!(
+            report.wasted_block_s > 9.0,
+            "wasted {}",
+            report.wasted_block_s
+        );
+        assert!(report.goodput_fraction() < 0.1);
+    }
+
+    #[test]
+    fn backoff_delays_the_requeue() {
+        // FPGA 0 crashes at t=1 and recovers at t=2. With a 4 s backoff the
+        // victim cannot redeploy before t=5 even though capacity is back.
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![15]);
+        let reqs = vec![AppRequest::new(0, "patient", 4, 2.0e9)];
+        let plan = FaultPlan::new()
+            .fpga_crash(0, 1.0)
+            .fpga_recover(0, 2.0)
+            .with_retry(crate::RetryPolicy::bounded(10).with_backoff(4.0, 2.0));
+        let report = sim.run_with_plan(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &plan,
+        );
+        assert_eq!(report.completed(), 1);
+        let o = &report.outcomes[0];
+        assert_eq!(o.restarts, 1);
+        assert!(o.scheduled_s >= 5.0, "scheduled {}", o.scheduled_s);
+    }
+
+    #[test]
+    fn link_failure_evicts_spanning_instance_and_reroutes() {
+        // A job spanning FPGAs 0 and 1 loses link 0 mid-run: its shortest
+        // path changes, it is evicted, retried, and the redeployment pays
+        // the long-way-around hop penalty.
+        struct SpanTwo;
+        impl Scheduler for SpanTwo {
+            fn name(&self) -> &str {
+                "span-two"
+            }
+            fn schedule(
+                &mut self,
+                view: &ClusterView,
+                pending: &[PendingRequest],
+            ) -> Vec<Deployment> {
+                let Some(p) = pending.first() else {
+                    return Vec::new();
+                };
+                let mut blocks = view.free_blocks_of(0);
+                blocks.truncate(p.request.blocks_needed as usize / 2);
+                let mut rest = view.free_blocks_of(1);
+                rest.truncate(p.request.blocks_needed as usize - blocks.len());
+                blocks.extend(rest);
+                if blocks.len() == p.request.blocks_needed as usize {
+                    vec![Deployment {
+                        request: p.request.id,
+                        blocks,
+                        reconfig: ReconfigKind::PartialPerBlock,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let reqs = vec![AppRequest::new(0, "spanner", 8, 4.0e9).with_comm_intensity(0.5)];
+        let plan = FaultPlan::new().ring_link_down(0, 1.0);
+        let report = sim.run_with_plan(&mut SpanTwo, reqs, &plan);
+        assert_eq!(report.completed(), 1);
+        let o = &report.outcomes[0];
+        assert_eq!(o.restarts, 1, "link cut must evict the spanning job");
+        assert_eq!(report.interrupted_jobs, 1);
+        // Fault-free spanning service is 3 s (1 hop). Rerouted 0->1 is 3
+        // hops: hop_factor 1.6, service 2*(1+2*0.5*0.5*1.6) = 3.6 s.
+        assert!(o.service_s > 3.5, "rerouted service {}", o.service_s);
+        assert!(report.goodput_fraction() < 1.0);
+    }
+
+    #[test]
+    fn link_failure_spares_single_fpga_instances() {
+        // Jobs confined to one FPGA have zero ring hops; cutting every link
+        // must not disturb them.
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let reqs = requests(4, 4, 2.0e9);
+        let plan = FaultPlan::new()
+            .ring_link_down(0, 0.5)
+            .ring_link_down(1, 0.5)
+            .ring_link_down(2, 0.5)
+            .ring_link_down(3, 0.5);
+        let report = sim.run_with_plan(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &plan,
+        );
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.interrupted_jobs, 0);
+        assert_eq!(report.total_restarts(), 0);
+        assert!((report.goodput_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_run_has_perfect_goodput() {
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            requests(6, 5, 1.0e9),
+        );
+        assert_eq!(report.failed_count(), 0);
+        assert_eq!(report.interrupted_jobs, 0);
+        assert_eq!(report.wasted_block_s, 0.0);
+        assert!(report.busy_block_s > 0.0);
+        assert_eq!(report.goodput_fraction(), 1.0);
     }
 
     #[test]

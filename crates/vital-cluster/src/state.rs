@@ -113,6 +113,195 @@ pub struct FaultSpec {
     pub repair_at_s: Option<f64>,
 }
 
+/// One scripted fault-injection event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// An FPGA crashes: it goes offline, everything touching it is evicted.
+    FpgaCrash {
+        /// The crashing FPGA.
+        fpga: u32,
+        /// When it crashes (seconds).
+        at_s: f64,
+    },
+    /// A crashed FPGA returns to the pool.
+    FpgaRecover {
+        /// The recovering FPGA.
+        fpga: u32,
+        /// When it returns (seconds).
+        at_s: f64,
+    },
+    /// Ring link `link` (joining FPGA `link` and `link + 1 mod n`) goes
+    /// down: spanning instances whose traffic crossed it are evicted, and
+    /// later deployments pay the rerouted (long-way-around) hop penalty.
+    RingLinkDown {
+        /// The failing link.
+        link: u32,
+        /// When it fails (seconds).
+        at_s: f64,
+    },
+    /// A downed ring link comes back.
+    RingLinkUp {
+        /// The recovering link.
+        link: u32,
+        /// When it returns (seconds).
+        at_s: f64,
+    },
+}
+
+impl FaultEvent {
+    /// When the event fires.
+    pub fn at_s(&self) -> f64 {
+        match *self {
+            FaultEvent::FpgaCrash { at_s, .. }
+            | FaultEvent::FpgaRecover { at_s, .. }
+            | FaultEvent::RingLinkDown { at_s, .. }
+            | FaultEvent::RingLinkUp { at_s, .. } => at_s,
+        }
+    }
+}
+
+/// What happens to a request after a fault evicts it: how often it is
+/// retried, how long each retry waits, and when the simulator gives up and
+/// records the request as [`Failed`](crate::FailedOutcome).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum deployment attempts per request (`0` = unbounded). A
+    /// request evicted on its `max_attempts`-th attempt is not re-queued.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff of each further retry.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Unbounded immediate retries — the behaviour of the plain
+    /// [`FaultSpec`] API.
+    pub fn unbounded() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            base_backoff_s: 0.0,
+            backoff_multiplier: 1.0,
+        }
+    }
+
+    /// At most `max_attempts` attempts with exponential backoff: 0.5 s
+    /// before the first retry, doubling each time.
+    pub fn bounded(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff_s: 0.5,
+            backoff_multiplier: 2.0,
+        }
+    }
+
+    /// Sets the base backoff.
+    #[must_use]
+    pub fn with_backoff(mut self, base_s: f64, multiplier: f64) -> Self {
+        self.base_backoff_s = base_s.max(0.0);
+        self.backoff_multiplier = multiplier.max(1.0);
+        self
+    }
+
+    /// `true` if a request evicted on its `attempts`-th deployment attempt
+    /// is out of retries.
+    pub fn gives_up_after(&self, attempts: u32) -> bool {
+        self.max_attempts != 0 && attempts >= self.max_attempts
+    }
+
+    /// Backoff before re-queueing a request evicted on its `attempts`-th
+    /// attempt.
+    pub fn backoff_s(&self, attempts: u32) -> f64 {
+        self.base_backoff_s
+            * self
+                .backoff_multiplier
+                .powi(attempts.saturating_sub(1) as i32)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// A scripted fault-injection scenario: a set of [`FaultEvent`]s plus the
+/// [`RetryPolicy`] governing evicted requests.
+///
+/// ```
+/// use vital_cluster::{FaultPlan, RetryPolicy};
+/// let plan = FaultPlan::new()
+///     .fpga_crash(1, 4.0)
+///     .fpga_recover(1, 12.0)
+///     .ring_link_down(0, 2.0)
+///     .ring_link_up(0, 6.0)
+///     .with_retry(RetryPolicy::bounded(3));
+/// assert_eq!(plan.events.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// The scripted events.
+    pub events: Vec<FaultEvent>,
+    /// Retry behaviour for evicted requests.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, unbounded retry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an FPGA crash at `at_s`.
+    #[must_use]
+    pub fn fpga_crash(mut self, fpga: u32, at_s: f64) -> Self {
+        self.events.push(FaultEvent::FpgaCrash { fpga, at_s });
+        self
+    }
+
+    /// Adds an FPGA recovery at `at_s`.
+    #[must_use]
+    pub fn fpga_recover(mut self, fpga: u32, at_s: f64) -> Self {
+        self.events.push(FaultEvent::FpgaRecover { fpga, at_s });
+        self
+    }
+
+    /// Takes ring link `link` down at `at_s`.
+    #[must_use]
+    pub fn ring_link_down(mut self, link: u32, at_s: f64) -> Self {
+        self.events.push(FaultEvent::RingLinkDown { link, at_s });
+        self
+    }
+
+    /// Brings ring link `link` back at `at_s`.
+    #[must_use]
+    pub fn ring_link_up(mut self, link: u32, at_s: f64) -> Self {
+        self.events.push(FaultEvent::RingLinkUp { link, at_s });
+        self
+    }
+
+    /// Sets the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+impl From<&[FaultSpec]> for FaultPlan {
+    /// The legacy crash/repair schedule as a plan with unbounded retry.
+    fn from(faults: &[FaultSpec]) -> Self {
+        let mut plan = FaultPlan::new();
+        for f in faults {
+            plan = plan.fpga_crash(f.fpga, f.fail_at_s);
+            if let Some(repair) = f.repair_at_s {
+                plan = plan.fpga_recover(f.fpga, repair);
+            }
+        }
+        plan
+    }
+}
+
 /// The scheduler-visible state of the cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterView {
@@ -120,6 +309,7 @@ pub struct ClusterView {
     /// `busy[f][b]` = the instance occupying block `b` of FPGA `f`.
     busy: Vec<Vec<Option<InstanceId>>>,
     offline: Vec<bool>,
+    link_down: Vec<bool>,
     now_s: f64,
 }
 
@@ -130,9 +320,11 @@ impl ClusterView {
     }
 
     pub(crate) fn with_layout(config: ClusterConfig, blocks_per_fpga: &[usize]) -> Self {
+        let links = crate::RingNetwork::new(blocks_per_fpga.len().max(1)).link_count();
         ClusterView {
             busy: blocks_per_fpga.iter().map(|&n| vec![None; n]).collect(),
             offline: vec![false; blocks_per_fpga.len()],
+            link_down: vec![false; links],
             config,
             now_s: 0.0,
         }
@@ -159,6 +351,30 @@ impl ClusterView {
     /// free blocks and accept no deployments).
     pub fn fpga_online(&self, fpga: usize) -> bool {
         self.offline.get(fpga).is_some_and(|o| !o)
+    }
+
+    pub(crate) fn set_link(&mut self, link: usize, down: bool) {
+        if let Some(slot) = self.link_down.get_mut(link) {
+            *slot = down;
+        }
+    }
+
+    /// `true` if ring link `link` (joining FPGA `link` and its clockwise
+    /// neighbour) is currently up. Out-of-range links read as up.
+    pub fn link_up(&self, link: usize) -> bool {
+        self.link_down.get(link).is_none_or(|d| !d)
+    }
+
+    /// Indices of the ring links currently down. Communication-aware
+    /// policies can avoid spanning across them: traffic reroutes the long
+    /// way around, inflating the hop penalty.
+    pub fn down_links(&self) -> Vec<usize> {
+        self.link_down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     pub(crate) fn set_now(&mut self, now_s: f64) {

@@ -155,6 +155,11 @@ impl VirtualSwitch {
         Ok(state.rx.pop_front())
     }
 
+    /// Number of NICs currently provisioned on the switch.
+    pub fn nic_count(&self) -> usize {
+        self.nics.lock().len()
+    }
+
     /// `(tx_frames, rx_queued, rx_drops)` counters of a NIC.
     ///
     /// # Errors
@@ -232,8 +237,10 @@ mod tests {
     fn destroy_removes_nic() {
         let sw = VirtualSwitch::new();
         let a = sw.create_nic(TenantId::new(1), 8);
+        assert_eq!(sw.nic_count(), 1);
         sw.destroy_nic(a).unwrap();
         assert!(sw.destroy_nic(a).is_err());
         assert!(sw.counters(a.mac).is_err());
+        assert_eq!(sw.nic_count(), 0);
     }
 }

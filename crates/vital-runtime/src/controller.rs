@@ -12,9 +12,11 @@ use vital_compiler::{
     BLOCK_CONFIG_BITS,
 };
 use vital_netlist::hls::AppSpec;
-use vital_periph::{BandwidthArbiter, MemoryManager, TenantId, VirtualNic, VirtualSwitch};
+use vital_periph::{
+    BandwidthArbiter, MemoryManager, ShareGrant, TenantId, VirtualNic, VirtualSwitch,
+};
 
-use crate::{allocate_blocks, BitstreamDatabase, ResourceDatabase, RuntimeError};
+use crate::{allocate_blocks, BitstreamDatabase, FpgaHealth, ResourceDatabase, RuntimeError};
 
 /// Configuration of the runtime: cluster shape plus peripheral capacities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +35,12 @@ pub struct RuntimeConfig {
     pub default_quota_bytes: u64,
     /// ICAP throughput used to model partial-reconfiguration time, in Gb/s.
     pub icap_gbps: f64,
+    /// Admission floor for the DRAM bandwidth share, as a fraction of the
+    /// share a deployment requests (`dram_gbps / 4`). A deploy whose
+    /// granted share falls below the floor is rolled back with
+    /// [`RuntimeError::BandwidthUnavailable`]; `0.0` (the default) merely
+    /// records the grant without gating admission.
+    pub min_bandwidth_fraction: f64,
 }
 
 impl RuntimeConfig {
@@ -47,6 +55,7 @@ impl RuntimeConfig {
             dram_gbps: 153.6, // DDR4-2400 x72, two channels
             default_quota_bytes: 1 << 30,
             icap_gbps: 6.4,
+            min_bandwidth_fraction: 0.0,
         }
     }
 }
@@ -65,6 +74,7 @@ pub struct DeployHandle {
     nic: VirtualNic,
     primary_fpga: usize,
     reconfig: Duration,
+    bandwidth: ShareGrant,
 }
 
 impl DeployHandle {
@@ -97,6 +107,13 @@ impl DeployHandle {
     pub fn reconfig_duration(&self) -> Duration {
         self.reconfig
     }
+
+    /// The DRAM bandwidth share granted at admission time. The live grant
+    /// shifts as tenants come and go — query
+    /// [`SystemController::arbiter_of`] for the current value.
+    pub fn bandwidth(&self) -> ShareGrant {
+        self.bandwidth
+    }
 }
 
 /// What [`SystemController::register_compiled`] did for a spec.
@@ -110,8 +127,116 @@ pub struct CompileOutcome {
     pub timings: Option<StageTimings>,
 }
 
+/// One completed tenant relocation: the tenant's logic moved to a new set
+/// of physical blocks by partial reconfiguration — never recompilation —
+/// whether triggered by [`SystemController::defragment`],
+/// [`SystemController::evacuate`], or [`SystemController::fail_fpga`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// The migrated tenant.
+    pub tenant: TenantId,
+    /// Distinct FPGAs spanned before the move.
+    pub fpgas_before: usize,
+    /// Distinct FPGAs spanned after the move.
+    pub fpgas_after: usize,
+    /// Modelled partial-reconfiguration time to program the new blocks —
+    /// the downtime the move charges the tenant.
+    pub reconfig: Duration,
+}
+
+/// What [`SystemController::fail_fpga`] did to the affected tenants.
+#[derive(Debug, Clone, Default)]
+pub struct FailureReport {
+    /// Tenants relocated onto surviving devices. A tenant whose DRAM
+    /// lived on the failed board gets a fresh (zeroed) space on its new
+    /// primary — the contents died with the board.
+    pub migrated: Vec<Migration>,
+    /// Tenants torn down because no surviving placement could hold them.
+    pub torn_down: Vec<TenantId>,
+}
+
+/// What [`SystemController::evacuate`] managed to move.
+#[derive(Debug, Clone, Default)]
+pub struct EvacuationReport {
+    /// Tenants relocated off the draining device. Their DRAM stays on its
+    /// original board (still powered), so no tenant loses its contents.
+    pub migrated: Vec<Migration>,
+    /// Tenants left in place because no other placement currently fits;
+    /// retry after capacity frees up.
+    pub unmoved: Vec<TenantId>,
+}
+
+/// Monotonic failure/recovery counters of one controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureStats {
+    /// Devices declared failed via [`SystemController::fail_fpga`].
+    pub fpga_failures: u64,
+    /// Devices brought back via [`SystemController::recover_fpga`].
+    pub fpga_recoveries: u64,
+    /// Evacuations started via [`SystemController::evacuate`].
+    pub evacuations: u64,
+    /// Tenants successfully relocated by failure handling or evacuation.
+    pub tenants_migrated: u64,
+    /// Tenants torn down because they could not be re-placed.
+    pub tenants_torn_down: u64,
+}
+
 struct TenantState {
     handle: DeployHandle,
+}
+
+/// RAII rollback for a half-built deployment: every resource acquired so
+/// far — claimed blocks, DRAM space, bandwidth share, vNIC — is released
+/// on drop unless [`TeardownGuard::commit`] disarms the guard. `deploy` is
+/// transactional because every early return runs through this drop.
+struct TeardownGuard<'a> {
+    ctl: &'a SystemController,
+    tenant: TenantId,
+    blocks_claimed: bool,
+    memory_fpga: Option<usize>,
+    arbiter_fpga: Option<usize>,
+    nic: Option<VirtualNic>,
+    armed: bool,
+}
+
+impl<'a> TeardownGuard<'a> {
+    fn new(ctl: &'a SystemController, tenant: TenantId) -> Self {
+        TeardownGuard {
+            ctl,
+            tenant,
+            blocks_claimed: false,
+            memory_fpga: None,
+            arbiter_fpga: None,
+            nic: None,
+            armed: true,
+        }
+    }
+
+    fn commit(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TeardownGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Unwind in reverse acquisition order; each step is independent so
+        // one failing never skips the rest.
+        if let Some(nic) = self.nic.take() {
+            let _ = self.ctl.switch.destroy_nic(nic);
+        }
+        if let Some(f) = self.arbiter_fpga.take() {
+            let _ = self.ctl.arbiters[f].release(self.tenant);
+        }
+        if let Some(f) = self.memory_fpga.take() {
+            let _ = self.ctl.memory[f].destroy_space(self.tenant);
+        }
+        if self.blocks_claimed {
+            self.ctl.resources.release(self.tenant);
+        }
+    }
 }
 
 /// The ViTAL system controller.
@@ -126,6 +251,7 @@ pub struct SystemController {
     switch: VirtualSwitch,
     tenants: Mutex<HashMap<TenantId, TenantState>>,
     next_tenant: AtomicU64,
+    failure_stats: Mutex<FailureStats>,
 }
 
 impl fmt::Debug for SystemController {
@@ -166,6 +292,7 @@ impl SystemController {
             switch: VirtualSwitch::new(),
             tenants: Mutex::new(HashMap::new()),
             next_tenant: AtomicU64::new(1),
+            failure_stats: Mutex::new(FailureStats::default()),
             config,
         }
     }
@@ -273,9 +400,17 @@ impl SystemController {
 
     /// Like [`SystemController::deploy`] with an explicit DRAM quota.
     ///
+    /// The deployment is **transactional**: an RAII guard unwinds every
+    /// resource acquired so far (claimed blocks, DRAM space, bandwidth
+    /// share, vNIC) on any failure path, so a failed deploy leaves no
+    /// trace.
+    ///
     /// # Errors
     ///
-    /// Same as [`SystemController::deploy`].
+    /// Same as [`SystemController::deploy`], plus
+    /// [`RuntimeError::BandwidthUnavailable`] when
+    /// [`RuntimeConfig::min_bandwidth_fraction`] gates admission and the
+    /// arbiter cannot grant the floor.
     pub fn deploy_with_quota(
         &self,
         name: &str,
@@ -294,6 +429,7 @@ impl SystemController {
             })?;
 
         let tenant = TenantId::new(self.next_tenant.fetch_add(1, Ordering::Relaxed));
+        let mut guard = TeardownGuard::new(self, tenant);
         if !self.resources.claim(tenant, &alloc.blocks) {
             // Racy claim lost; report as pressure.
             return Err(RuntimeError::InsufficientResources {
@@ -301,6 +437,7 @@ impl SystemController {
                 free: self.resources.total_free(),
             });
         }
+        guard.blocks_claimed = true;
 
         let targets: Vec<RelocationTarget> = alloc
             .blocks
@@ -311,48 +448,39 @@ impl SystemController {
                 addr,
             })
             .collect();
-        let placed = match bitstream.bind(&targets) {
-            Ok(p) => p,
-            Err(e) => {
-                self.resources.release(tenant);
-                return Err(RuntimeError::Relocation(e));
-            }
-        };
+        let placed = bitstream.bind(&targets).map_err(RuntimeError::Relocation)?;
 
-        // Primary FPGA = the one hosting the most blocks.
-        let mut counts: HashMap<usize, usize> = HashMap::new();
-        for b in &alloc.blocks {
-            *counts.entry(b.fpga.index() as usize).or_insert(0) += 1;
-        }
-        let primary_fpga = counts
-            .into_iter()
-            .max_by_key(|&(f, n)| (n, std::cmp::Reverse(f)))
-            .map(|(f, _)| f)
-            .unwrap_or(0);
+        let primary_fpga = Self::primary_of(&alloc.blocks);
+        self.memory[primary_fpga]
+            .create_space(tenant, quota_bytes)
+            .map_err(RuntimeError::Periph)?;
+        guard.memory_fpga = Some(primary_fpga);
 
-        if let Err(e) = self.memory[primary_fpga].create_space(tenant, quota_bytes) {
-            self.resources.release(tenant);
-            return Err(RuntimeError::Periph(e));
+        // Request a quarter of the channel (four blocks share one DIMM in
+        // the paper's service region) and gate on the configured floor.
+        let share = self.config.dram_gbps / 4.0;
+        let grant = self.arbiters[primary_fpga].request(tenant, share);
+        guard.arbiter_fpga = Some(primary_fpga);
+        let floor = self.config.min_bandwidth_fraction * share;
+        if grant.granted_gbps + 1e-9 < floor {
+            return Err(RuntimeError::BandwidthUnavailable {
+                fpga: primary_fpga,
+                requested_gbps: share,
+                granted_gbps: grant.granted_gbps,
+            });
         }
-        self.arbiters[primary_fpga].request(tenant, self.config.dram_gbps / 4.0);
+
         let nic = self.switch.create_nic(tenant, 64);
+        guard.nic = Some(nic);
 
-        // Per-block partial reconfiguration over the FPGA-local ICAPs
-        // (parallel across FPGAs, sequential within one).
-        let per_block = BLOCK_CONFIG_BITS as f64 / (self.config.icap_gbps * 1.0e9);
-        let mut per_fpga: HashMap<u32, u32> = HashMap::new();
-        for b in &alloc.blocks {
-            *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
-        }
-        let worst = per_fpga.values().copied().max().unwrap_or(0);
-        let reconfig = Duration::from_secs_f64(per_block * f64::from(worst));
-
+        let reconfig = self.reconfig_of(&alloc.blocks);
         let handle = DeployHandle {
             tenant,
             placed,
             nic,
             primary_fpga,
             reconfig,
+            bandwidth: grant,
         };
         self.tenants.lock().insert(
             tenant,
@@ -360,7 +488,34 @@ impl SystemController {
                 handle: handle.clone(),
             },
         );
+        guard.commit();
         Ok(handle)
+    }
+
+    /// Primary FPGA = the one hosting the most blocks (lowest index wins
+    /// ties).
+    fn primary_of(blocks: &[vital_fabric::BlockAddr]) -> usize {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for b in blocks {
+            *counts.entry(b.fpga.index() as usize).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(f, n)| (n, std::cmp::Reverse(f)))
+            .map(|(f, _)| f)
+            .unwrap_or(0)
+    }
+
+    /// Per-block partial reconfiguration over the FPGA-local ICAPs
+    /// (parallel across FPGAs, sequential within one).
+    fn reconfig_of(&self, blocks: &[vital_fabric::BlockAddr]) -> Duration {
+        let per_block = BLOCK_CONFIG_BITS as f64 / (self.config.icap_gbps * 1.0e9);
+        let mut per_fpga: HashMap<u32, u32> = HashMap::new();
+        for b in blocks {
+            *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
+        }
+        let worst = per_fpga.values().copied().max().unwrap_or(0);
+        Duration::from_secs_f64(per_block * f64::from(worst))
     }
 
     /// Tears down a deployment: frees its blocks, scrubs its DRAM, removes
@@ -368,26 +523,49 @@ impl SystemController {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::UnknownTenant`] if no such deployment exists.
+    /// Returns [`RuntimeError::UnknownTenant`] if no such deployment
+    /// exists (nothing is touched in that case). Any other error is
+    /// reported only **after** the teardown has run to completion: every
+    /// step — block release, DRAM scrub, bandwidth share, vNIC — is
+    /// attempted regardless of earlier failures, so a failing step never
+    /// leaks the later ones. The first failure encountered is returned;
+    /// the tenant is gone either way.
     pub fn undeploy(&self, tenant: TenantId) -> Result<(), RuntimeError> {
         let state = self
             .tenants
             .lock()
             .remove(&tenant)
             .ok_or(RuntimeError::UnknownTenant(tenant))?;
+        self.teardown(&state.handle)
+    }
+
+    /// Best-effort-complete teardown of a removed tenant's resources:
+    /// every step runs; the first error is returned.
+    fn teardown(&self, handle: &DeployHandle) -> Result<(), RuntimeError> {
+        let tenant = handle.tenant;
         self.resources.release(tenant);
-        let fpga = state.handle.primary_fpga;
-        self.memory[fpga].destroy_space(tenant)?;
-        let _ = self.arbiters[fpga].release(tenant);
-        self.switch.destroy_nic(state.handle.nic)?;
-        Ok(())
+        let fpga = handle.primary_fpga;
+        let mem = self.memory[fpga]
+            .destroy_space(tenant)
+            .map_err(RuntimeError::Periph);
+        let arb = self.arbiters[fpga]
+            .release(tenant)
+            .map_err(RuntimeError::Periph);
+        let nic = self
+            .switch
+            .destroy_nic(handle.nic)
+            .map_err(RuntimeError::Periph);
+        mem.and(arb).and(nic)
     }
 
     /// Defragments the cluster by *migrating* spanning deployments onto
     /// fewer FPGAs when the current free space allows it — something only
     /// possible because bitstreams are relocatable: migration is a pause,
     /// a partial reconfiguration at the new location and a resume, never a
-    /// recompilation. Returns the tenants that were migrated.
+    /// recompilation. Returns one [`Migration`] per moved tenant, carrying
+    /// the recomputed per-block partial-reconfiguration cost of the move;
+    /// the stored handle's [`DeployHandle::reconfig_duration`] is updated
+    /// to match the new placement.
     ///
     /// Fragmentation is the failure mode of fine-grained sharing (small
     /// deployments pepper the cluster until large requests must span);
@@ -397,7 +575,7 @@ impl SystemController {
     /// the ring if the logic moved away); handles returned by earlier
     /// `deploy` calls keep their original binding snapshot — query
     /// [`SystemController::resources`] for the live placement.
-    pub fn defragment(&self) -> Vec<TenantId> {
+    pub fn defragment(&self) -> Vec<Migration> {
         let mut migrated = Vec::new();
         loop {
             // Pick the most-spanning tenant that could do better.
@@ -415,14 +593,18 @@ impl SystemController {
                     .filter(|&(_, fpgas, _)| fpgas > 1)
                     .collect()
             };
-            let mut best_move: Option<(TenantId, crate::AllocationOutcome)> = None;
+            let mut best_move: Option<(TenantId, usize, crate::AllocationOutcome)> = None;
             for (tenant, current_fpgas, needed) in candidates {
                 // What could this tenant get if its own blocks were free?
+                // Only blocks on Online devices participate.
                 let mut free_lists: Vec<_> = (0..self.resources.fpga_count())
                     .map(|f| self.resources.free_blocks_of(f))
                     .collect();
                 for b in self.resources.holdings(tenant) {
-                    free_lists[b.fpga.index() as usize].push(b);
+                    let f = b.fpga.index() as usize;
+                    if self.resources.health_of(f) == FpgaHealth::Online {
+                        free_lists[f].push(b);
+                    }
                 }
                 for l in &mut free_lists {
                     l.sort();
@@ -431,13 +613,13 @@ impl SystemController {
                     if alloc.fpgas_used < current_fpgas
                         && best_move
                             .as_ref()
-                            .is_none_or(|(_, b)| alloc.fpgas_used < b.fpgas_used)
+                            .is_none_or(|(_, _, b)| alloc.fpgas_used < b.fpgas_used)
                     {
-                        best_move = Some((tenant, alloc));
+                        best_move = Some((tenant, current_fpgas, alloc));
                     }
                 }
             }
-            let Some((tenant, alloc)) = best_move else {
+            let Some((tenant, fpgas_before, alloc)) = best_move else {
                 break;
             };
             // Migrate: release, re-claim, rebind.
@@ -448,6 +630,8 @@ impl SystemController {
                 debug_assert!(restored, "restoring a released claim cannot fail");
                 break;
             }
+            let reconfig = self.reconfig_of(&alloc.blocks);
+            let fpgas_after = alloc.fpgas_used;
             let mut tenants = self.tenants.lock();
             if let Some(state) = tenants.get_mut(&tenant) {
                 let targets: Vec<RelocationTarget> = alloc
@@ -460,10 +644,196 @@ impl SystemController {
                     })
                     .collect();
                 state.handle.placed.bindings = targets;
+                state.handle.reconfig = reconfig;
             }
-            migrated.push(tenant);
+            migrated.push(Migration {
+                tenant,
+                fpgas_before,
+                fpgas_after,
+                reconfig,
+            });
         }
         migrated
+    }
+
+    /// Declares an FPGA failed: the device goes
+    /// [`Offline`](FpgaHealth::Offline) and every affected tenant is
+    /// either *migrated* onto the surviving devices — relocatable
+    /// bitstreams make this a partial reconfiguration, never a
+    /// recompilation — or, when no surviving placement fits, torn down
+    /// completely (blocks, DRAM, bandwidth share, vNIC).
+    ///
+    /// A migrated tenant whose DRAM lived on the failed board gets a
+    /// fresh zeroed space of the same quota on its new primary FPGA: the
+    /// contents died with the board. Tenants whose DRAM lives elsewhere
+    /// keep it untouched.
+    ///
+    /// Idempotent: failing an already-offline device affects no one.
+    pub fn fail_fpga(&self, fpga: usize) -> FailureReport {
+        self.resources.set_health(fpga, FpgaHealth::Offline);
+        let mut report = FailureReport::default();
+        for tenant in self.affected_tenants(fpga) {
+            match self.relocate_tenant(tenant, true) {
+                Some(m) => report.migrated.push(m),
+                None => {
+                    let state = self.tenants.lock().remove(&tenant);
+                    if let Some(state) = state {
+                        // Best-effort: the board is gone, some steps may
+                        // already be moot.
+                        let _ = self.teardown(&state.handle);
+                        report.torn_down.push(tenant);
+                    }
+                }
+            }
+        }
+        let mut stats = self.failure_stats.lock();
+        stats.fpga_failures += 1;
+        stats.tenants_migrated += report.migrated.len() as u64;
+        stats.tenants_torn_down += report.torn_down.len() as u64;
+        report
+    }
+
+    /// Returns a failed or draining FPGA to service
+    /// ([`Online`](FpgaHealth::Online)): its blocks become allocatable
+    /// again. Nothing is migrated back — the next deployments simply see
+    /// the capacity.
+    pub fn recover_fpga(&self, fpga: usize) {
+        self.resources.set_health(fpga, FpgaHealth::Online);
+        self.failure_stats.lock().fpga_recoveries += 1;
+    }
+
+    /// Drains an FPGA for maintenance: the device goes
+    /// [`Draining`](FpgaHealth::Draining) (no new allocations) and every
+    /// tenant with blocks on it is migrated off by relocation. The board
+    /// stays powered, so **no tenant loses its DRAM contents** — a
+    /// tenant whose DRAM home is the draining board keeps it there,
+    /// served over the ring. Tenants that cannot currently be re-placed
+    /// stay put and are listed in [`EvacuationReport::unmoved`]; call
+    /// again once capacity frees up, or [`SystemController::recover_fpga`]
+    /// to cancel the drain.
+    pub fn evacuate(&self, fpga: usize) -> EvacuationReport {
+        self.resources.set_health(fpga, FpgaHealth::Draining);
+        let mut report = EvacuationReport::default();
+        for tenant in self.resources.tenants_on(fpga) {
+            match self.relocate_tenant(tenant, false) {
+                Some(m) => report.migrated.push(m),
+                None => report.unmoved.push(tenant),
+            }
+        }
+        let mut stats = self.failure_stats.lock();
+        stats.evacuations += 1;
+        stats.tenants_migrated += report.migrated.len() as u64;
+        report
+    }
+
+    /// The failure/recovery counters accumulated so far.
+    pub fn failure_stats(&self) -> FailureStats {
+        *self.failure_stats.lock()
+    }
+
+    /// Tenants touched by the failure of `fpga`: blocks on it, or DRAM
+    /// homed on it.
+    fn affected_tenants(&self, fpga: usize) -> Vec<TenantId> {
+        let mut v = self.resources.tenants_on(fpga);
+        let tenants = self.tenants.lock();
+        for (&t, state) in tenants.iter() {
+            if state.handle.primary_fpga == fpga && !v.contains(&t) {
+                v.push(t);
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// Re-places one tenant using only Online devices (free blocks plus
+    /// the tenant's own still-online blocks) and commits the move. With
+    /// `board_dead`, a DRAM space homed on a non-Online board is moved to
+    /// the new primary (contents lost — the board crashed); otherwise the
+    /// DRAM stays where it is. Returns `None` if no placement fits (the
+    /// caller decides between tearing down and leaving the tenant put).
+    fn relocate_tenant(&self, tenant: TenantId, board_dead: bool) -> Option<Migration> {
+        let (needed, fpgas_before, old_primary) = {
+            let tenants = self.tenants.lock();
+            let state = tenants.get(&tenant)?;
+            (
+                state.handle.placed.bindings.len(),
+                state.handle.fpga_count(),
+                state.handle.primary_fpga,
+            )
+        };
+        let mut free_lists: Vec<_> = (0..self.resources.fpga_count())
+            .map(|f| self.resources.free_blocks_of(f))
+            .collect();
+        for b in self.resources.holdings(tenant) {
+            let f = b.fpga.index() as usize;
+            if self.resources.health_of(f) == FpgaHealth::Online {
+                free_lists[f].push(b);
+            }
+        }
+        for l in &mut free_lists {
+            l.sort();
+        }
+        let alloc = allocate_blocks(&free_lists, needed)?;
+        let new_primary = Self::primary_of(&alloc.blocks);
+
+        // Move the DRAM home first if its board died: quota carries over,
+        // contents cannot.
+        let dram_moves = board_dead && self.resources.health_of(old_primary) != FpgaHealth::Online;
+        let mut grant = None;
+        if dram_moves {
+            let quota = self.memory[old_primary]
+                .stats(tenant)
+                .map(|s| s.quota_bytes)
+                .unwrap_or(self.config.default_quota_bytes);
+            let _ = self.memory[old_primary].destroy_space(tenant);
+            if let Err(e) = self.memory[new_primary].create_space(tenant, quota) {
+                // No room for the space: restore the old record so the
+                // caller's teardown finds a consistent tenant.
+                debug_assert!(matches!(e, vital_periph::PeriphError::OutOfMemory { .. }));
+                let _ = self.memory[old_primary].create_space(tenant, quota);
+                return None;
+            }
+            let _ = self.arbiters[old_primary].release(tenant);
+            grant = Some(self.arbiters[new_primary].request(tenant, self.config.dram_gbps / 4.0));
+        }
+
+        // Commit the block move: release, re-claim, rebind.
+        let old_blocks = self.resources.release(tenant);
+        if !self.resources.claim(tenant, &alloc.blocks) {
+            // Cannot happen single-threaded; salvage what is claimable.
+            let salvage: Vec<_> = old_blocks
+                .iter()
+                .copied()
+                .filter(|b| self.resources.health_of(b.fpga.index() as usize) == FpgaHealth::Online)
+                .collect();
+            let _ = self.resources.claim(tenant, &salvage);
+            return None;
+        }
+        let reconfig = self.reconfig_of(&alloc.blocks);
+        let mut tenants = self.tenants.lock();
+        let state = tenants.get_mut(&tenant)?;
+        state.handle.placed.bindings = alloc
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(vb, &addr)| RelocationTarget {
+                virtual_block: vb as u32,
+                addr,
+            })
+            .collect();
+        state.handle.reconfig = reconfig;
+        if dram_moves {
+            state.handle.primary_fpga = new_primary;
+            if let Some(g) = grant {
+                state.handle.bandwidth = g;
+            }
+        }
+        Some(Migration {
+            tenant,
+            fpgas_before,
+            fpgas_after: alloc.fpgas_used,
+            reconfig,
+        })
     }
 
     /// Live tenant ids, sorted.
@@ -579,7 +949,20 @@ mod tests {
         // Free one filler: a whole board opens up.
         c.undeploy(fillers[0].tenant()).unwrap();
         let migrated = c.defragment();
-        assert_eq!(migrated, vec![spanner.tenant()]);
+        assert_eq!(migrated.len(), 1);
+        let m = &migrated[0];
+        assert_eq!(m.tenant, spanner.tenant());
+        assert!(m.fpgas_before > m.fpgas_after);
+        assert_eq!(m.fpgas_after, 1);
+        // The move charges 10 sequential per-block reconfigurations on the
+        // target board, and the stored handle reflects the new cost.
+        assert!(m.reconfig > Duration::ZERO);
+        let live = c.tenants.lock().get(&m.tenant).unwrap().handle.clone();
+        assert_eq!(live.reconfig_duration(), m.reconfig);
+        assert!(
+            live.reconfig_duration() > spanner.reconfig_duration(),
+            "10 blocks on one ICAP take longer than the spanning split"
+        );
         // The live placement now sits on a single FPGA.
         let holdings = c.resources().holdings(spanner.tenant());
         let mut fpgas: Vec<_> = holdings.iter().map(|b| b.fpga).collect();
@@ -643,6 +1026,209 @@ mod tests {
         c.undeploy(h.tenant()).unwrap();
         let stats = c.bitstreams().cache_stats();
         assert!(stats.hits >= 2 && stats.misses >= 1, "stats {stats:?}");
+    }
+
+    #[test]
+    fn undeploy_completes_teardown_when_memory_errors() {
+        // Force the destroy_space failure by removing the space out of
+        // band: undeploy must still release blocks, the bandwidth share
+        // and the vNIC, then report the memory error.
+        let c = controller_with(&[("a", 8)]);
+        let free_before = c.resources().total_free();
+        let h = c.deploy("a").unwrap();
+        c.memory_of(h.primary_fpga())
+            .destroy_space(h.tenant())
+            .unwrap();
+        let err = c.undeploy(h.tenant()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Periph(_)), "got {err}");
+        // Nothing leaked despite the error.
+        assert_eq!(c.resources().total_free(), free_before);
+        assert_eq!(c.switch().nic_count(), 0);
+        assert_eq!(c.arbiter_of(h.primary_fpga()).total_demand_gbps(), 0.0);
+        assert!(c.live_tenants().is_empty());
+        // The tenant is gone: a second undeploy is UnknownTenant.
+        assert!(matches!(
+            c.undeploy(h.tenant()),
+            Err(RuntimeError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn deploy_rolls_back_when_bandwidth_floor_unmet() {
+        // One 15-block FPGA; each deploy asks for a quarter of the
+        // channel, so the fifth oversubscribes it and must be rejected
+        // with nothing left behind.
+        let mut config = RuntimeConfig::paper_cluster();
+        config.min_bandwidth_fraction = 1.0;
+        let c = SystemController::with_layout(config, vec![15]);
+        let compiler = Compiler::new(CompilerConfig::default());
+        let mut spec = AppSpec::new("one");
+        spec.add_operator("m", Operator::MacArray { pes: 8 }); // 1 block
+        c.register(compiler.compile(&spec).unwrap().into_bitstream())
+            .unwrap();
+        let handles: Vec<_> = (0..4).map(|_| c.deploy("one").unwrap()).collect();
+        for h in &handles {
+            assert!(
+                (h.bandwidth().granted_gbps - h.bandwidth().requested_gbps).abs() < 1e-6,
+                "undersubscribed grants meet demand: {:?}",
+                h.bandwidth()
+            );
+        }
+        let free = c.resources().total_free();
+        let spaces = c.memory_of(0).tenant_count();
+        let demand = c.arbiter_of(0).total_demand_gbps();
+        let err = c.deploy("one").unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::BandwidthUnavailable { fpga: 0, .. }),
+            "got {err}"
+        );
+        // The rejected deploy left no trace.
+        assert_eq!(c.resources().total_free(), free);
+        assert_eq!(c.memory_of(0).tenant_count(), spaces);
+        assert_eq!(c.arbiter_of(0).total_demand_gbps(), demand);
+        assert_eq!(c.switch().nic_count(), 4);
+        assert_eq!(c.live_tenants().len(), 4);
+        // Freeing one tenant clears the floor again.
+        c.undeploy(handles[0].tenant()).unwrap();
+        assert!(c.deploy("one").is_ok());
+    }
+
+    #[test]
+    fn fail_fpga_migrates_tenants_to_survivors() {
+        let c = controller_with(&[("a", 8)]);
+        let h = c.deploy("a").unwrap();
+        let home = h.primary_fpga();
+        let block_count = c.resources().holdings(h.tenant()).len();
+        // DRAM contents on the board that will crash.
+        c.memory_of(home).write(h.tenant(), 0, b"gone").unwrap();
+        let report = c.fail_fpga(home);
+        assert_eq!(report.migrated.len(), 1);
+        assert!(report.torn_down.is_empty());
+        let m = &report.migrated[0];
+        assert_eq!(m.tenant, h.tenant());
+        assert!(m.reconfig > Duration::ZERO);
+        // The live placement avoids the failed board entirely.
+        let holdings = c.resources().holdings(h.tenant());
+        assert_eq!(holdings.len(), block_count);
+        assert!(holdings.iter().all(|b| b.fpga.index() as usize != home));
+        // DRAM moved to the new primary with the same quota, zeroed.
+        let live = c.tenants.lock().get(&h.tenant()).unwrap().handle.clone();
+        assert_ne!(live.primary_fpga(), home);
+        let stats = c.memory_of(live.primary_fpga()).stats(h.tenant()).unwrap();
+        assert_eq!(stats.quota_bytes, c.config().default_quota_bytes);
+        let mut buf = [0u8; 4];
+        c.memory_of(live.primary_fpga())
+            .read(h.tenant(), 0, &mut buf)
+            .unwrap();
+        assert_eq!(buf, [0u8; 4], "crashed board's contents are lost");
+        assert_eq!(c.failure_stats().fpga_failures, 1);
+        assert_eq!(c.failure_stats().tenants_migrated, 1);
+        // Undeploy still tears everything down cleanly.
+        c.undeploy(h.tenant()).unwrap();
+        assert_eq!(c.switch().nic_count(), 0);
+        // Recovery restores the board's capacity.
+        assert_eq!(c.resources().health_of(home), FpgaHealth::Offline);
+        c.recover_fpga(home);
+        assert_eq!(c.resources().health_of(home), FpgaHealth::Online);
+        assert_eq!(c.resources().total_free(), 60);
+    }
+
+    #[test]
+    fn fail_fpga_tears_down_unplaceable_tenants() {
+        // A 10-block tenant on the only board big enough: when that board
+        // dies there is nowhere to go.
+        let c = SystemController::with_layout(RuntimeConfig::paper_cluster(), vec![15, 4]);
+        let compiler = Compiler::new(CompilerConfig::default());
+        let mut spec = AppSpec::new("big");
+        spec.add_operator(
+            "x",
+            Operator::Custom {
+                slices: 200,
+                dsps: 4_700,
+                brams: 0,
+            },
+        );
+        c.register(compiler.compile(&spec).unwrap().into_bitstream())
+            .unwrap();
+        let h = c.deploy("big").unwrap();
+        assert_eq!(h.primary_fpga(), 0);
+        let report = c.fail_fpga(0);
+        assert!(report.migrated.is_empty());
+        assert_eq!(report.torn_down, vec![h.tenant()]);
+        assert!(c.live_tenants().is_empty());
+        assert_eq!(c.switch().nic_count(), 0);
+        assert_eq!(c.memory_of(0).tenant_count(), 0);
+        assert_eq!(c.arbiter_of(0).total_demand_gbps(), 0.0);
+        assert_eq!(c.failure_stats().tenants_torn_down, 1);
+    }
+
+    #[test]
+    fn evacuate_drains_by_migration_without_dram_loss() {
+        let c = controller_with(&[("a", 8)]);
+        let h = c.deploy("a").unwrap();
+        let home = h.primary_fpga();
+        c.memory_of(home).write(h.tenant(), 0, b"kept").unwrap();
+        let report = c.evacuate(home);
+        assert_eq!(report.migrated.len(), 1);
+        assert!(report.unmoved.is_empty());
+        // Logic moved off, the board is empty and draining.
+        assert!(c
+            .resources()
+            .holdings(h.tenant())
+            .iter()
+            .all(|b| b.fpga.index() as usize != home));
+        assert!(c.resources().tenants_on(home).is_empty());
+        assert_eq!(c.resources().health_of(home), FpgaHealth::Draining);
+        // The board stayed powered: DRAM home and contents are intact.
+        let mut buf = [0u8; 4];
+        c.memory_of(home).read(h.tenant(), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"kept");
+        // No new deployment lands on the draining board.
+        let h2 = c.deploy("a").unwrap();
+        assert!(c
+            .resources()
+            .holdings(h2.tenant())
+            .iter()
+            .all(|b| b.fpga.index() as usize != home));
+        assert_eq!(c.failure_stats().evacuations, 1);
+        c.undeploy(h.tenant()).unwrap();
+        c.undeploy(h2.tenant()).unwrap();
+        assert_eq!(c.switch().nic_count(), 0);
+    }
+
+    #[test]
+    fn evacuate_reports_unmovable_tenants() {
+        // Both boards nearly full: the tenant on the draining board has
+        // nowhere to go and must stay, unharmed.
+        let c = SystemController::with_layout(RuntimeConfig::paper_cluster(), vec![15, 15]);
+        let compiler = Compiler::new(CompilerConfig::default());
+        for (name, dsps) in [("twelve", 5_600u32), ("eight", 3_700u32)] {
+            let mut spec = AppSpec::new(name);
+            spec.add_operator(
+                "x",
+                Operator::Custom {
+                    slices: 200,
+                    dsps,
+                    brams: 0,
+                },
+            );
+            c.register(compiler.compile(&spec).unwrap().into_bitstream())
+                .unwrap();
+        }
+        let a = c.deploy("twelve").unwrap(); // 12 blocks on board 0
+        let b = c.deploy("twelve").unwrap(); // 12 blocks on board 1
+        assert_ne!(a.primary_fpga(), b.primary_fpga());
+        let report = c.evacuate(a.primary_fpga());
+        assert!(report.migrated.is_empty());
+        assert_eq!(report.unmoved, vec![a.tenant()]);
+        // The tenant still runs where it was.
+        assert_eq!(c.resources().holdings(a.tenant()).len(), 12);
+        // Freeing the other board lets a retry finish the drain.
+        c.undeploy(b.tenant()).unwrap();
+        let retry = c.evacuate(a.primary_fpga());
+        assert_eq!(retry.migrated.len(), 1);
+        assert!(retry.unmoved.is_empty());
+        c.undeploy(a.tenant()).unwrap();
     }
 
     #[test]

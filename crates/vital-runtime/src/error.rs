@@ -23,6 +23,16 @@ pub enum RuntimeError {
     },
     /// No deployment exists for that tenant.
     UnknownTenant(TenantId),
+    /// The DRAM bandwidth arbiter could not grant the configured minimum
+    /// share (the channel is oversubscribed past the admission floor).
+    BandwidthUnavailable {
+        /// The FPGA whose channel is oversubscribed.
+        fpga: usize,
+        /// Share the deployment asked for, in Gb/s.
+        requested_gbps: f64,
+        /// Share the arbiter could grant, in Gb/s.
+        granted_gbps: f64,
+    },
     /// A peripheral-virtualization operation failed.
     Periph(PeriphError),
     /// Binding the bitstream to physical blocks failed.
@@ -45,6 +55,17 @@ impl fmt::Display for RuntimeError {
                 )
             }
             RuntimeError::UnknownTenant(t) => write!(f, "no deployment for {t}"),
+            RuntimeError::BandwidthUnavailable {
+                fpga,
+                requested_gbps,
+                granted_gbps,
+            } => {
+                write!(
+                    f,
+                    "DRAM bandwidth unavailable on FPGA {fpga}: \
+                     requested {requested_gbps} Gb/s, granted {granted_gbps} Gb/s"
+                )
+            }
             RuntimeError::Periph(e) => write!(f, "peripheral error: {e}"),
             RuntimeError::Relocation(e) => write!(f, "relocation error: {e}"),
             RuntimeError::Compile(e) => write!(f, "compile error: {e}"),

@@ -55,8 +55,11 @@ mod resource_db;
 mod scheduler;
 
 pub use bitstream_db::{BitstreamDatabase, CacheStats};
-pub use controller::{CompileOutcome, DeployHandle, RuntimeConfig, SystemController};
+pub use controller::{
+    CompileOutcome, DeployHandle, EvacuationReport, FailureReport, FailureStats, Migration,
+    RuntimeConfig, SystemController,
+};
 pub use error::RuntimeError;
 pub use policy::{allocate_blocks, AllocationOutcome};
-pub use resource_db::{BlockState, ResourceDatabase};
+pub use resource_db::{BlockState, FpgaHealth, ResourceDatabase};
 pub use scheduler::VitalScheduler;

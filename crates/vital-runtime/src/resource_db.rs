@@ -18,9 +18,27 @@ pub enum BlockState {
     Active(TenantId),
 }
 
+/// Operational health of one FPGA (the failure model's state machine).
+///
+/// `Online → Draining` (operator-initiated evacuation) and `Online →
+/// Offline` (crash) both stop new allocations; only `Offline` means the
+/// device — and any tenant logic still on it — is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FpgaHealth {
+    /// Healthy: blocks are allocatable.
+    #[default]
+    Online,
+    /// Being evacuated: existing tenants keep running (and keep their
+    /// DRAM), but no new blocks are handed out.
+    Draining,
+    /// Crashed or removed: nothing on it is usable.
+    Offline,
+}
+
 struct Inner {
     states: Vec<Vec<BlockState>>,
     tenants: HashMap<TenantId, Vec<BlockAddr>>,
+    health: Vec<FpgaHealth>,
 }
 
 /// Thread-safe bookkeeping of the cluster's physical blocks.
@@ -71,6 +89,7 @@ impl ResourceDatabase {
             inner: RwLock::new(Inner {
                 states: layout.iter().map(|&n| vec![BlockState::Free; n]).collect(),
                 tenants: HashMap::new(),
+                health: vec![FpgaHealth::Online; layout.len()],
             }),
             layout,
         }
@@ -101,19 +120,50 @@ impl ResourceDatabase {
             .copied()
     }
 
-    /// Free blocks per FPGA, as counts.
+    /// The health of one FPGA (`Offline` if out of range).
+    pub fn health_of(&self, fpga: usize) -> FpgaHealth {
+        self.inner
+            .read()
+            .health
+            .get(fpga)
+            .copied()
+            .unwrap_or(FpgaHealth::Offline)
+    }
+
+    /// Sets the health of one FPGA. Out-of-range indices are ignored.
+    /// Blocks already held by tenants are untouched — eviction or
+    /// migration is the controller's job, not the database's.
+    pub fn set_health(&self, fpga: usize, health: FpgaHealth) {
+        if let Some(slot) = self.inner.write().health.get_mut(fpga) {
+            *slot = health;
+        }
+    }
+
+    /// Free blocks per FPGA, as counts. Non-[`Online`](FpgaHealth::Online)
+    /// devices report zero: their blocks are not allocatable.
     pub fn free_counts(&self) -> Vec<usize> {
         let inner = self.inner.read();
         inner
             .states
             .iter()
-            .map(|f| f.iter().filter(|s| **s == BlockState::Free).count())
+            .zip(&inner.health)
+            .map(|(f, h)| {
+                if *h == FpgaHealth::Online {
+                    f.iter().filter(|s| **s == BlockState::Free).count()
+                } else {
+                    0
+                }
+            })
             .collect()
     }
 
-    /// Free block addresses of one FPGA.
+    /// Free block addresses of one FPGA (empty unless the device is
+    /// [`Online`](FpgaHealth::Online)).
     pub fn free_blocks_of(&self, fpga: usize) -> Vec<BlockAddr> {
         let inner = self.inner.read();
+        if inner.health.get(fpga) != Some(&FpgaHealth::Online) {
+            return Vec::new();
+        }
         inner
             .states
             .get(fpga)
@@ -139,12 +189,16 @@ impl ResourceDatabase {
     /// claimed or none are.
     ///
     /// Returns `false` (claiming nothing) if any block is out of range,
-    /// already active, or listed twice.
+    /// already active, listed twice, or on a device that is not
+    /// [`Online`](FpgaHealth::Online).
     pub fn claim(&self, tenant: TenantId, blocks: &[BlockAddr]) -> bool {
         let mut inner = self.inner.write();
         // Validate first.
         for (i, b) in blocks.iter().enumerate() {
             if blocks[..i].contains(b) {
+                return false;
+            }
+            if inner.health.get(b.fpga.index() as usize) != Some(&FpgaHealth::Online) {
                 return false;
             }
             let ok = inner
@@ -182,6 +236,19 @@ impl ResourceDatabase {
             .get(&tenant)
             .cloned()
             .unwrap_or_default()
+    }
+
+    /// Tenants holding at least one block on `fpga`, sorted.
+    pub fn tenants_on(&self, fpga: usize) -> Vec<TenantId> {
+        let inner = self.inner.read();
+        let mut v: Vec<TenantId> = inner
+            .tenants
+            .iter()
+            .filter(|(_, blocks)| blocks.iter().any(|b| b.fpga.index() as usize == fpga))
+            .map(|(&t, _)| t)
+            .collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -250,5 +317,35 @@ mod tests {
     fn release_unknown_tenant_is_empty() {
         let db = ResourceDatabase::new(1, 1);
         assert!(db.release(TenantId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn health_gates_allocation_but_not_release() {
+        let db = ResourceDatabase::new(2, 4);
+        let t = TenantId::new(1);
+        assert!(db.claim(t, &[addr(1, 0), addr(1, 1)]));
+        assert_eq!(db.health_of(1), FpgaHealth::Online);
+        db.set_health(1, FpgaHealth::Draining);
+        // No new allocations on a draining device...
+        assert!(db.free_blocks_of(1).is_empty());
+        assert_eq!(db.free_counts(), vec![4, 0]);
+        assert!(!db.claim(TenantId::new(2), &[addr(1, 2)]));
+        // ...but existing holdings are intact and releasable.
+        assert_eq!(db.holdings(t).len(), 2);
+        assert_eq!(db.tenants_on(1), vec![t]);
+        db.set_health(1, FpgaHealth::Offline);
+        assert_eq!(db.release(t).len(), 2);
+        // Recovery restores allocatability.
+        db.set_health(1, FpgaHealth::Online);
+        assert_eq!(db.free_counts(), vec![4, 4]);
+        assert!(db.claim(t, &[addr(1, 3)]));
+    }
+
+    #[test]
+    fn out_of_range_health_is_offline() {
+        let db = ResourceDatabase::new(1, 1);
+        assert_eq!(db.health_of(7), FpgaHealth::Offline);
+        db.set_health(7, FpgaHealth::Online); // ignored, no panic
+        assert_eq!(db.health_of(7), FpgaHealth::Offline);
     }
 }

@@ -8,11 +8,23 @@ use crate::allocate_blocks;
 /// communication-aware multi-round allocation, per-block partial
 /// reconfiguration, optional backfilling of later requests when the head of
 /// the queue cannot be placed yet.
+///
+/// Backfilling carries a starvation risk: a large request at the head of
+/// the queue can wait forever while a stream of small later arrivals keeps
+/// grabbing every block the moment it frees. The scheduler therefore
+/// *reserves* capacity for the oldest unplaceable request once it has
+/// waited [`VitalScheduler::starvation_age_s`] seconds: backfill candidates
+/// are only granted blocks the reservation does not need.
 #[derive(Debug, Clone)]
 pub struct VitalScheduler {
     backfill: bool,
     reconfig: ReconfigKind,
+    starvation_age_s: f64,
 }
+
+/// Default wait (seconds) before an unplaceable request earns a capacity
+/// reservation against backfill.
+const DEFAULT_STARVATION_AGE_S: f64 = 10.0;
 
 impl VitalScheduler {
     /// Creates the scheduler with backfilling enabled (the default).
@@ -20,6 +32,7 @@ impl VitalScheduler {
         VitalScheduler {
             backfill: true,
             reconfig: ReconfigKind::PartialPerBlock,
+            starvation_age_s: DEFAULT_STARVATION_AGE_S,
         }
     }
 
@@ -29,7 +42,22 @@ impl VitalScheduler {
         VitalScheduler {
             backfill: false,
             reconfig: ReconfigKind::PartialPerBlock,
+            starvation_age_s: DEFAULT_STARVATION_AGE_S,
         }
+    }
+
+    /// Sets the age (seconds) at which an unplaceable request earns a
+    /// capacity reservation against backfill. `f64::INFINITY` disables the
+    /// guard (the pre-fix behaviour).
+    #[must_use]
+    pub fn with_starvation_age(mut self, age_s: f64) -> Self {
+        self.starvation_age_s = age_s.max(0.0);
+        self
+    }
+
+    /// The configured starvation-guard age in seconds.
+    pub fn starvation_age_s(&self) -> f64 {
+        self.starvation_age_s
     }
 
     /// Ablation variant: same allocation policy but programming the fabric
@@ -68,9 +96,23 @@ impl Scheduler for VitalScheduler {
         let mut free_lists: Vec<_> = (0..view.fpga_count())
             .map(|f| view.free_blocks_of(f))
             .collect();
+        let mut free_total: usize = free_lists.iter().map(Vec::len).sum();
         let mut out = Vec::new();
+        // Blocks promised to the oldest sufficiently-aged unplaceable
+        // request. The allocator only needs block *counts*, so a
+        // count-based reservation is enough to guarantee the aged request
+        // goes next once capacity accrues.
+        let mut reserved: usize = 0;
         for p in pending {
-            match allocate_blocks(&free_lists, p.request.blocks_needed as usize) {
+            let need = p.request.blocks_needed as usize;
+            // Skip candidates that would eat into the reservation.
+            let fits_beside_reservation = free_total >= reserved + need;
+            let alloc = if fits_beside_reservation {
+                allocate_blocks(&free_lists, need)
+            } else {
+                None
+            };
+            match alloc {
                 Some(alloc) => {
                     // Remove the granted blocks from the local free lists so
                     // later decisions in this pass stay consistent.
@@ -80,13 +122,21 @@ impl Scheduler for VitalScheduler {
                             list.swap_remove(pos);
                         }
                     }
+                    free_total -= alloc.blocks.len();
                     out.push(Deployment {
                         request: p.request.id,
                         blocks: alloc.blocks,
                         reconfig: self.reconfig,
                     });
                 }
-                None if self.backfill => continue,
+                None if self.backfill => {
+                    // Starvation guard: the first aged request that cannot
+                    // be placed reserves its block count against backfill.
+                    if reserved == 0 && view.now_s() - p.arrived_s >= self.starvation_age_s {
+                        reserved = need;
+                    }
+                    continue;
+                }
                 None => break,
             }
         }
@@ -122,6 +172,49 @@ mod tests {
         let bf = sim.run(&mut VitalScheduler::new(), workload());
         let fifo = sim.run(&mut VitalScheduler::fifo(), workload());
         assert!(bf.avg_response_s() <= fifo.avg_response_s() * 1.05);
+    }
+
+    #[test]
+    fn starvation_guard_bounds_large_request_wait() {
+        // 2 FPGAs x 4 blocks. A whole-cluster (8-block) request arrives
+        // just after the first of a long stream of 4-block jobs. Without
+        // the guard, backfill re-grabs every freed FPGA for the stream and
+        // the big request waits until the stream dries up; with the guard,
+        // it earns a reservation after `starvation_age_s` and runs as soon
+        // as the in-flight jobs drain.
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![4, 4]);
+        let mut reqs: Vec<AppRequest> = (0..20)
+            .map(|i| AppRequest::new(i, format!("small{i}"), 4, 2.0e9).arriving_at(i as f64))
+            .collect();
+        reqs.push(AppRequest::new(99, "big", 8, 2.0e9).arriving_at(0.5));
+
+        let starved = sim.run(
+            &mut VitalScheduler::new().with_starvation_age(f64::INFINITY),
+            reqs.clone(),
+        );
+        let guarded = sim.run(&mut VitalScheduler::new().with_starvation_age(3.0), reqs);
+
+        let wait_of = |r: &vital_cluster::SimReport| {
+            r.outcomes
+                .iter()
+                .find(|o| o.name == "big")
+                .expect("big request completes")
+                .wait_s()
+        };
+        let starved_wait = wait_of(&starved);
+        let guarded_wait = wait_of(&guarded);
+        assert!(
+            starved_wait > 15.0,
+            "without the guard the big request should starve behind the \
+             stream (waited {starved_wait:.1}s)"
+        );
+        assert!(
+            guarded_wait < 10.0,
+            "the guard should bound the wait to roughly starvation_age + \
+             one service time (waited {guarded_wait:.1}s)"
+        );
+        // Everything still completes under the guard.
+        assert_eq!(guarded.completed(), 21);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! deploy   <name>            # allocate blocks + partial reconfiguration
 //! undeploy <tenant-id>       # tear a deployment down
 //! defrag                     # migrate spanning tenants onto fewer FPGAs
+//! fail     <fpga>            # crash an FPGA (tenants migrate or die)
+//! recover  <fpga>            # bring a failed FPGA back online
+//! evacuate <fpga>            # drain an FPGA by live migration
 //! status                     # occupancy map + live tenants
 //! quit
 //! ```
@@ -53,6 +56,18 @@ fn print_status(stack: &VitalStack) {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    let stats = stack.controller().failure_stats();
+    if stats.fpga_failures + stats.evacuations > 0 {
+        println!(
+            "failures: {} crash(es), {} recover(ies), {} evacuation(s); \
+             {} tenant(s) migrated, {} torn down",
+            stats.fpga_failures,
+            stats.fpga_recoveries,
+            stats.evacuations,
+            stats.tenants_migrated,
+            stats.tenants_torn_down
+        );
+    }
 }
 
 fn main() {
@@ -143,21 +158,53 @@ fn main() {
                 if migrated.is_empty() {
                     println!("nothing to defragment");
                 } else {
-                    println!(
-                        "migrated {} tenant(s): {}",
-                        migrated.len(),
-                        migrated
-                            .iter()
-                            .map(|t| t.to_string())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    );
+                    for m in &migrated {
+                        println!(
+                            "migrated {}: {} -> {} FPGA(s), reconfig {:?}",
+                            m.tenant, m.fpgas_before, m.fpgas_after, m.reconfig
+                        );
+                    }
                 }
+            }
+            "fail" => {
+                let Some(fpga) = tokens.next().and_then(|t| t.parse::<usize>().ok()) else {
+                    println!("usage: fail <fpga>");
+                    continue;
+                };
+                let report = stack.controller().fail_fpga(fpga);
+                println!(
+                    "fpga{fpga} offline: {} tenant(s) migrated, {} torn down",
+                    report.migrated.len(),
+                    report.torn_down.len()
+                );
+            }
+            "recover" => {
+                let Some(fpga) = tokens.next().and_then(|t| t.parse::<usize>().ok()) else {
+                    println!("usage: recover <fpga>");
+                    continue;
+                };
+                stack.controller().recover_fpga(fpga);
+                println!("fpga{fpga} back online");
+            }
+            "evacuate" => {
+                let Some(fpga) = tokens.next().and_then(|t| t.parse::<usize>().ok()) else {
+                    println!("usage: evacuate <fpga>");
+                    continue;
+                };
+                let report = stack.controller().evacuate(fpga);
+                println!(
+                    "fpga{fpga} draining: {} migrated, {} could not move",
+                    report.migrated.len(),
+                    report.unmoved.len()
+                );
             }
             "status" => print_status(&stack),
             "quit" | "exit" => break,
             other => {
-                println!("unknown command {other:?} (compile/deploy/undeploy/defrag/status/quit)")
+                println!(
+                    "unknown command {other:?} \
+                     (compile/deploy/undeploy/defrag/fail/recover/evacuate/status/quit)"
+                )
             }
         }
     }

@@ -73,11 +73,15 @@ pub use stack::{StackConfig, VitalError, VitalStack};
 /// The most commonly used items of the whole stack, for glob import.
 pub mod prelude {
     pub use crate::stack::{StackConfig, VitalError, VitalStack};
-    pub use vital_cluster::{AppRequest, ClusterConfig, ClusterSim, Scheduler};
+    pub use vital_cluster::{
+        AppRequest, ClusterConfig, ClusterSim, FaultPlan, RetryPolicy, Scheduler,
+    };
     pub use vital_compiler::{AppBitstream, CompiledApp, Compiler, CompilerConfig};
     pub use vital_fabric::{DeviceModel, Floorplan, Resources};
     pub use vital_netlist::hls::{AppSpec, Operator};
     pub use vital_periph::TenantId;
-    pub use vital_runtime::{DeployHandle, RuntimeConfig, SystemController, VitalScheduler};
+    pub use vital_runtime::{
+        DeployHandle, FailureStats, FpgaHealth, RuntimeConfig, SystemController, VitalScheduler,
+    };
     pub use vital_workloads::{benchmarks, generate_workload_set, Size, WorkloadComposition};
 }

@@ -1,0 +1,143 @@
+//! Property test: any interleaving of deploy / undeploy / fail_fpga /
+//! recover_fpga / evacuate / defragment leaves the system controller
+//! consistent — once every FPGA is recovered and every surviving tenant
+//! undeployed, no blocks, DRAM spaces, NICs, or bandwidth shares remain.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use vital::compiler::{AppBitstream, Compiler, CompilerConfig};
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::periph::TenantId;
+use vital::runtime::{RuntimeConfig, SystemController};
+
+const NAMES: [&str; 3] = ["small", "medium", "large"];
+
+/// Compiled once for the whole test binary: compilation is the expensive
+/// part and the bitstreams are immutable, so every proptest case reuses
+/// the same images on a fresh controller.
+fn bitstreams() -> &'static Vec<AppBitstream> {
+    static CACHE: OnceLock<Vec<AppBitstream>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let ops = [
+            Operator::MacArray { pes: 8 },
+            Operator::Custom {
+                slices: 2000,
+                dsps: 1800,
+                brams: 64,
+            },
+            Operator::Custom {
+                slices: 4000,
+                dsps: 3700,
+                brams: 128,
+            },
+        ];
+        NAMES
+            .iter()
+            .zip(ops)
+            .map(|(name, op)| {
+                let mut spec = AppSpec::new(*name);
+                spec.add_operator("m", op);
+                compiler.compile(&spec).unwrap().into_bitstream()
+            })
+            .collect()
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Deploy(usize),
+    Undeploy(usize),
+    Fail(usize),
+    Recover(usize),
+    Evacuate(usize),
+    Defrag,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest picks arms uniformly; deploys are listed
+    // twice so runs actually fill the cluster before faults land.
+    prop_oneof![
+        (0..NAMES.len()).prop_map(Op::Deploy),
+        (0..NAMES.len()).prop_map(Op::Deploy),
+        (0..16usize).prop_map(Op::Undeploy),
+        (0..4usize).prop_map(Op::Fail),
+        (0..4usize).prop_map(Op::Recover),
+        (0..4usize).prop_map(Op::Evacuate),
+        Just(Op::Defrag),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_interleaving_leaves_the_controller_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..30)
+    ) {
+        let c = SystemController::new(RuntimeConfig::paper_cluster());
+        for bs in bitstreams() {
+            c.register(bs.clone()).unwrap();
+        }
+        let fpgas = c.resources().fpga_count();
+        let total_blocks = c.resources().total_free();
+        let free_bytes: Vec<u64> = (0..fpgas).map(|f| c.memory_of(f).free_bytes()).collect();
+
+        let mut deployed: Vec<TenantId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Deploy(i) => {
+                    // May legitimately fail (cluster full / boards down).
+                    if let Ok(h) = c.deploy(NAMES[i]) {
+                        deployed.push(h.tenant());
+                    }
+                }
+                Op::Undeploy(i) => {
+                    if !deployed.is_empty() {
+                        let t = deployed.remove(i % deployed.len());
+                        // The tenant may already be gone (torn down by a
+                        // failure); only UnknownTenant is acceptable then.
+                        let _ = c.undeploy(t);
+                    }
+                }
+                Op::Fail(f) => {
+                    let _ = c.fail_fpga(f % fpgas);
+                }
+                Op::Recover(f) => c.recover_fpga(f % fpgas),
+                Op::Evacuate(f) => {
+                    let _ = c.evacuate(f % fpgas);
+                }
+                Op::Defrag => {
+                    let _ = c.defragment();
+                }
+            }
+        }
+
+        // Drain: bring every board back and tear every survivor down.
+        for f in 0..fpgas {
+            c.recover_fpga(f);
+        }
+        for t in c.live_tenants() {
+            prop_assert!(c.undeploy(t).is_ok(), "undeploying survivor {t} failed");
+        }
+
+        // Nothing may leak.
+        prop_assert_eq!(c.resources().total_free(), total_blocks, "leaked blocks");
+        for (f, &bytes) in free_bytes.iter().enumerate() {
+            prop_assert_eq!(c.memory_of(f).tenant_count(), 0, "leaked DRAM space on fpga{}", f);
+            prop_assert_eq!(
+                c.memory_of(f).free_bytes(),
+                bytes,
+                "leaked DRAM bytes on fpga{}",
+                f
+            );
+            prop_assert!(
+                c.arbiter_of(f).total_demand_gbps().abs() < 1e-9,
+                "leaked bandwidth share on fpga{}",
+                f
+            );
+        }
+        prop_assert_eq!(c.switch().nic_count(), 0, "leaked vNIC");
+    }
+}
