@@ -1,0 +1,72 @@
+//! Verifies the telemetry tentpole's zero-cost-when-disabled contract: the
+//! full compile flow is benchmarked with the default (disabled) handle and
+//! with a recording handle, and the disabled primitives are benchmarked
+//! directly — a disabled `Telemetry` is one `Option` branch per call, so
+//! the disabled compile must sit within noise (≤ 1 %) of the recording-off
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::telemetry::Telemetry;
+
+/// A design spanning several virtual blocks so per-block P&R spans fire.
+fn multi_block_spec(name: &str) -> AppSpec {
+    let mut spec = AppSpec::new(name);
+    let buf = spec.add_operator("w", Operator::Buffer { kb: 720, banks: 4 });
+    let mac = spec.add_operator("mac", Operator::MacArray { pes: 64 });
+    spec.add_edge(buf, mac, 256).unwrap();
+    let mut prev = mac;
+    for i in 0..24 {
+        let p = spec.add_operator(format!("p{i}"), Operator::Pipeline { slices: 200 });
+        spec.add_edge(prev, p, 64).unwrap();
+        prev = p;
+    }
+    spec.add_input("ifm", mac, 128).unwrap();
+    spec.add_output("ofm", prev, 128).unwrap();
+    spec
+}
+
+fn bench_compile_overhead(c: &mut Criterion) {
+    let spec = multi_block_spec("telemetry-bench");
+    let mut group = c.benchmark_group("telemetry/compile");
+    group.sample_size(10);
+
+    let disabled = Compiler::new(CompilerConfig::default()); // default = disabled handle
+    group.bench_function("disabled", |b| {
+        b.iter(|| disabled.compile(&spec).expect("design compiles"));
+    });
+
+    let tel = Telemetry::recording();
+    let recording = Compiler::new(CompilerConfig::default()).with_telemetry(tel.clone());
+    group.bench_function("recording", |b| {
+        b.iter(|| {
+            let out = recording.compile(&spec).expect("design compiles");
+            tel.clear(); // keep the record buffer from growing across iters
+            out
+        });
+    });
+    group.finish();
+}
+
+fn bench_disabled_primitives(c: &mut Criterion) {
+    let tel = Telemetry::disabled();
+    let mut group = c.benchmark_group("telemetry/disabled_primitives");
+    group.bench_function("span_with_field", |b| {
+        b.iter(|| {
+            let mut span = tel.span("bench.noop");
+            span.field("k", 1u64);
+            span.finish();
+        });
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| tel.event("bench.noop", &[("k", 1u64.into())]));
+    });
+    group.bench_function("counter", |b| {
+        b.iter(|| tel.inc_counter("bench.noop", 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_overhead, bench_disabled_primitives);
+criterion_main!(benches);

@@ -11,13 +11,15 @@
 //! elimination — are reported by `fig8_compile_breakdown` and
 //! `fig7_partition_dse` respectively.)
 
+use std::time::Instant;
 use vital::cluster::{
     ClusterConfig, ClusterSim, ClusterView, Deployment, PendingRequest, ReconfigKind, Scheduler,
     SimReport,
 };
+
 use vital::fabric::BlockAddr;
 use vital::runtime::VitalScheduler;
-use vital_bench::{fig9_workload, FIG9_SEEDS};
+use vital_bench::{fig9_workload, quick, write_bench_json, BenchRecord, FIG9_SEEDS};
 
 /// The anti-policy for ablation 3: allocates blocks round-robin across
 /// FPGAs, deliberately ignoring communication locality. Same admission
@@ -60,13 +62,17 @@ impl Scheduler for ScatterScheduler {
     }
 }
 
-fn averaged(mk: &mut dyn FnMut() -> Box<dyn Scheduler>, sets: &[usize]) -> (f64, f64) {
+fn averaged(
+    mk: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    sets: &[usize],
+    seeds: &[u64],
+) -> (f64, f64) {
     let sim = ClusterSim::new(ClusterConfig::paper_cluster());
     let mut resp = 0.0;
     let mut span = 0.0;
     let mut n = 0;
     for &set in sets {
-        for &seed in &FIG9_SEEDS {
+        for &seed in seeds {
             let report: SimReport = sim.run(mk().as_mut(), fig9_workload(set, seed));
             resp += report.avg_response_s();
             span += report.spanning_fraction();
@@ -77,32 +83,43 @@ fn averaged(mk: &mut dyn FnMut() -> Box<dyn Scheduler>, sets: &[usize]) -> (f64,
 }
 
 fn main() {
-    let sets = [3usize, 6, 7, 10];
+    let t0 = Instant::now();
+    let seeds: &[u64] = if quick() {
+        &FIG9_SEEDS[..1]
+    } else {
+        &FIG9_SEEDS
+    };
+    let sets: Vec<usize> = if quick() {
+        vec![3, 10]
+    } else {
+        vec![3, 6, 7, 10]
+    };
     println!(
         "== Ablations (workload sets {sets:?}, {} seeds each) ==\n",
-        FIG9_SEEDS.len()
+        seeds.len()
     );
     println!("{:<26} {:>10} {:>10}", "variant", "avg resp", "spanning");
 
     let rows: Vec<(&str, (f64, f64))> = vec![
         (
             "vital (comm-aware, PR)",
-            averaged(&mut || Box::new(VitalScheduler::new()), &sets),
+            averaged(&mut || Box::new(VitalScheduler::new()), &sets, seeds),
         ),
         (
             "ablation 3: scatter",
-            averaged(&mut || Box::new(ScatterScheduler), &sets),
+            averaged(&mut || Box::new(ScatterScheduler), &sets, seeds),
         ),
         (
             "ablation 4: full-device",
             averaged(
                 &mut || Box::new(VitalScheduler::new().with_reconfig(ReconfigKind::FullDevice)),
                 &sets,
+                seeds,
             ),
         ),
         (
             "queueing: strict FIFO",
-            averaged(&mut || Box::new(VitalScheduler::fifo()), &sets),
+            averaged(&mut || Box::new(VitalScheduler::fifo()), &sets, seeds),
         ),
     ];
     let (base_resp, _) = rows[0].1;
@@ -136,7 +153,7 @@ fn main() {
     let comp = WorkloadComposition::table3()[6];
     let mut vital_r = 0.0;
     let mut base_r = 0.0;
-    for &seed in &FIG9_SEEDS {
+    for &seed in seeds {
         let params = WorkloadParams {
             requests: 60,
             mean_interarrival_s: 0.3,
@@ -151,7 +168,7 @@ fn main() {
             .run(&mut PerDeviceBaseline::new(), reqs)
             .avg_response_s();
     }
-    let n = FIG9_SEEDS.len() as f64;
+    let n = seeds.len() as f64;
     println!(
         "bursty arrivals: vital {:.2}s vs baseline {:.2}s ({:.0}% reduction) — \
          fine-grained sharing absorbs bursts that serialize on whole devices",
@@ -159,4 +176,25 @@ fn main() {
         base_r / n,
         (1.0 - (vital_r / base_r)) * 100.0
     );
+
+    // Samples: average response per ablation variant, in table order.
+    let rec = BenchRecord::new(
+        "ablations",
+        rows.iter().map(|(_, (resp, _))| *resp).collect(),
+        t0.elapsed().as_secs_f64(),
+    )
+    .with_config("seeds", seeds.len())
+    .with_config("sets", format!("{sets:?}"))
+    .with_config("quick", quick())
+    .with_config(
+        "variants",
+        rows.iter().map(|(l, _)| *l).collect::<Vec<_>>().join(" | "),
+    );
+    match write_bench_json(&rec) {
+        Ok(path) => println!("\nbench json -> {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,66 @@
+//! CI gate for the machine-readable bench reports: re-parses every
+//! `reports/BENCH_*.json` through [`BenchRecord`] and re-checks the schema
+//! invariants, exiting non-zero if any file is missing, unparsable, or
+//! invalid — so a report binary that silently stops emitting valid JSON
+//! fails the build instead of rotting.
+
+use vital_bench::{reports_dir, BenchRecord};
+
+fn main() {
+    let dir = reports_dir();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let result = std::fs::read_to_string(entry.path())
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<BenchRecord>(&text).map_err(|e| e.to_string()))
+            .and_then(|rec| {
+                let expected = format!("BENCH_{}.json", rec.name);
+                if expected != name {
+                    return Err(format!("record name {:?} does not match file", rec.name));
+                }
+                rec.validate()?;
+                Ok(rec)
+            });
+        match result {
+            Ok(rec) => {
+                checked += 1;
+                println!(
+                    "ok   {name}: {} samples, p50 {:.4}, p95 {:.4}, wall {:.2}s",
+                    rec.samples.len(),
+                    rec.p50,
+                    rec.p95,
+                    rec.wall_s
+                );
+            }
+            Err(e) => failures.push(format!("{name}: {e}")),
+        }
+    }
+
+    for f in &failures {
+        eprintln!("FAIL {f}");
+    }
+    if checked == 0 {
+        eprintln!(
+            "no BENCH_*.json files found under {} — run the report binaries first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+    println!("{checked} bench report(s) valid");
+}

@@ -15,6 +15,7 @@ use vital::cluster::CompileMetrics;
 use vital::compiler::{Compiler, CompilerConfig};
 use vital::netlist::hls::{AppSpec, Operator};
 use vital::runtime::{RuntimeConfig, SystemController};
+use vital_bench::{quick, write_bench_json, BenchRecord};
 
 /// A design big enough to spread over several virtual blocks (>= 4 at the
 /// default ~26k-LUT effective fill), so step 4 has real fan-out.
@@ -35,6 +36,7 @@ fn multi_block_spec(name: &str) -> AppSpec {
 }
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let spec = multi_block_spec("speedup");
 
     let serial_compiler = Compiler::new(CompilerConfig {
@@ -112,4 +114,23 @@ fn main() {
         "compile metrics      : {}",
         serde_json::to_string(&metrics).expect("metrics serialize")
     );
+
+    // Samples: the per-block serial P&R times the speedup is computed over.
+    let samples: Vec<f64> = st
+        .per_block_pnr
+        .iter()
+        .map(std::time::Duration::as_secs_f64)
+        .collect();
+    let rec = BenchRecord::new("compile_speedup", samples, t0.elapsed().as_secs_f64())
+        .with_config("blocks", blocks)
+        .with_config("workers", pt.workers)
+        .with_config("quick", quick())
+        .with_config("observed_speedup_x", format!("{speedup:.2}"));
+    match write_bench_json(&rec) {
+        Ok(path) => println!("bench json -> {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

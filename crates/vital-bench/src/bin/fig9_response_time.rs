@@ -5,21 +5,51 @@
 //! The paper's headline: ViTAL reduces response time by 82 % on average vs
 //! the per-device baseline and by 25 % vs AmorphOS high-throughput mode.
 
+use std::time::Instant;
+
 use vital::baselines::{AmorphOsHighThroughput, AmorphOsLowLatency, PerDeviceBaseline};
 use vital::cluster::{ClusterConfig, ClusterSim, Scheduler};
 use vital::runtime::VitalScheduler;
-use vital_bench::{bar, fig9_workload, FIG9_SEEDS};
+use vital::telemetry::Telemetry;
+use vital_bench::{
+    bar, fig9_workload, quick, reports_dir, write_bench_json, BenchRecord, FIG9_SEEDS,
+};
 
-fn avg_response(policy: &mut dyn Scheduler, set: usize) -> f64 {
+fn avg_response(policy: &mut dyn Scheduler, set: usize, seeds: &[u64]) -> f64 {
     let sim = ClusterSim::new(ClusterConfig::paper_cluster());
     let mut total = 0.0;
-    for &seed in &FIG9_SEEDS {
+    for &seed in seeds {
         total += sim.run(policy, fig9_workload(set, seed)).avg_response_s();
     }
-    total / FIG9_SEEDS.len() as f64
+    total / seeds.len() as f64
+}
+
+/// Archives one ViTAL run of workload set 1 as a Chrome `trace_event` file
+/// (open it in Perfetto / `about:tracing`). The sim clock never reads wall
+/// time, so the trace is byte-deterministic for the seed.
+fn write_sample_trace() {
+    let tel = Telemetry::sim();
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster()).with_telemetry(tel.clone());
+    sim.run(&mut VitalScheduler::new(), fig9_workload(1, FIG9_SEEDS[0]));
+    let path = reports_dir().join("TRACE_fig9_sample.json");
+    match std::fs::write(&path, tel.export_chrome_trace()) {
+        Ok(()) => println!("\nsample sim trace -> {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write sample trace: {e}"),
+    }
 }
 
 fn main() {
+    let t0 = Instant::now();
+    let seeds: &[u64] = if quick() {
+        &FIG9_SEEDS[..1]
+    } else {
+        &FIG9_SEEDS
+    };
+    let sets: Vec<usize> = if quick() {
+        vec![1, 3]
+    } else {
+        (1..=10).collect()
+    };
     println!("== Fig. 9: normalized response time (baseline = 1.00) ==\n");
     println!(
         "{:<5} {:>9} {:>9} {:>9} {:>9}   ViTAL vs baseline / vs AmorphOS-HT",
@@ -28,17 +58,19 @@ fn main() {
 
     let mut vital_vs_base = Vec::new();
     let mut vital_vs_ht = Vec::new();
-    for set in 1..=10 {
-        let base = avg_response(&mut PerDeviceBaseline::new(), set);
-        let slot = avg_response(&mut AmorphOsLowLatency::new(), set);
-        let ht = avg_response(&mut AmorphOsHighThroughput::new(), set);
-        let vital = avg_response(&mut VitalScheduler::new(), set);
+    let mut normalized = Vec::new();
+    for &set in &sets {
+        let base = avg_response(&mut PerDeviceBaseline::new(), set, seeds);
+        let slot = avg_response(&mut AmorphOsLowLatency::new(), set, seeds);
+        let ht = avg_response(&mut AmorphOsHighThroughput::new(), set, seeds);
+        let vital = avg_response(&mut VitalScheduler::new(), set, seeds);
         let nb = 1.0;
         let ns = slot / base;
         let nh = ht / base;
         let nv = vital / base;
         vital_vs_base.push(1.0 - nv);
         vital_vs_ht.push(1.0 - vital / ht);
+        normalized.push(nv);
         println!(
             "{:<5} {:>9.2} {:>9.2} {:>9.2} {:>9.2}   |{}| {:+.0}% / {:+.0}%",
             format!("#{set}"),
@@ -67,4 +99,19 @@ fn main() {
          10-block designs cannot be combined on one 15-block FPGA — the case \
          the paper predicts will grow more common."
     );
+
+    write_sample_trace();
+
+    // Samples: ViTAL's normalized response time per workload set.
+    let rec = BenchRecord::new("fig9_response_time", normalized, t0.elapsed().as_secs_f64())
+        .with_config("seeds", seeds.len())
+        .with_config("sets", sets.len())
+        .with_config("quick", quick());
+    match write_bench_json(&rec) {
+        Ok(path) => println!("bench json -> {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

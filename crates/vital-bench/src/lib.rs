@@ -23,8 +23,130 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
 use vital::cluster::AppRequest;
 use vital::workloads::{generate_workload_set, SizingModel, WorkloadComposition, WorkloadParams};
+
+/// One machine-readable benchmark result, written as
+/// `reports/BENCH_<name>.json` next to the archived `.txt` report so the
+/// performance trajectory is tracked PR-over-PR.
+///
+/// The schema is deliberately flat: `name` identifies the binary, `config`
+/// records the knobs the run used (seed count, workload sets, `--quick`),
+/// `samples` holds the headline per-condition measurements the figure is
+/// built from, and `p50`/`p95`/`wall_s` summarize them. CI re-parses every
+/// file through this type, so a bin that stops emitting valid JSON fails
+/// the build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark name; the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Free-form configuration knobs recorded as strings.
+    pub config: BTreeMap<String, String>,
+    /// Headline per-condition measurements (figure-specific units).
+    pub samples: Vec<f64>,
+    /// Median of `samples`.
+    pub p50: f64,
+    /// 95th percentile of `samples`.
+    pub p95: f64,
+    /// Wall-clock time of the whole report run, in seconds.
+    pub wall_s: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from raw samples, computing the summary quantiles.
+    pub fn new(name: impl Into<String>, samples: Vec<f64>, wall_s: f64) -> Self {
+        let p50 = percentile(&samples, 0.50);
+        let p95 = percentile(&samples, 0.95);
+        BenchRecord {
+            name: name.into(),
+            config: BTreeMap::new(),
+            samples,
+            p50,
+            p95,
+            wall_s,
+        }
+    }
+
+    /// Adds one configuration knob (builder style).
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Checks the schema invariants CI relies on: a non-empty name, finite
+    /// samples, and finite non-negative summary statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("bench record has an empty name".to_string());
+        }
+        if let Some(s) = self.samples.iter().find(|s| !s.is_finite()) {
+            return Err(format!("bench {:?} has non-finite sample {s}", self.name));
+        }
+        for (label, v) in [
+            ("p50", self.p50),
+            ("p95", self.p95),
+            ("wall_s", self.wall_s),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("bench {:?} has invalid {label}: {v}", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Linear-interpolated quantile of `samples` (`q` in `[0, 1]`); 0 when
+/// empty.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(f64::total_cmp);
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+}
+
+/// The repo-level `reports/` directory the report binaries archive into.
+pub fn reports_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../reports")
+}
+
+/// Validates `record` and writes it to `reports/BENCH_<name>.json`,
+/// returning the path written.
+///
+/// # Errors
+///
+/// Returns an error if the record fails [`BenchRecord::validate`] or the
+/// file cannot be written.
+pub fn write_bench_json(record: &BenchRecord) -> std::io::Result<PathBuf> {
+    record
+        .validate()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let dir = reports_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{}.json", record.name));
+    let json = serde_json::to_string_pretty(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// `true` when the process was invoked with `--quick`: report binaries
+/// then shrink their sweeps (fewer seeds / sets) so CI can afford them.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
 
 /// Renders a simple ASCII bar (for figure-like console output).
 pub fn bar(value: f64, max: f64, width: usize) -> String {
@@ -97,5 +219,39 @@ mod tests {
     fn workload_helper_generates() {
         let w = fig9_workload(1, 101);
         assert_eq!(w.len(), fig9_params(101).requests);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn bench_record_roundtrips_through_json() {
+        let rec = BenchRecord::new("unit_test", vec![1.0, 2.0, 3.0], 0.25)
+            .with_config("seeds", 3)
+            .with_config("quick", false);
+        rec.validate().expect("valid record");
+        let json = serde_json::to_string_pretty(&rec).unwrap();
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.p50, 2.0);
+        assert_eq!(back.config["seeds"], "3");
+    }
+
+    #[test]
+    fn bench_record_validation_rejects_bad_values() {
+        let mut rec = BenchRecord::new("x", vec![1.0], 0.0);
+        rec.samples.push(f64::NAN);
+        assert!(rec.validate().is_err());
+        let rec = BenchRecord::new("", vec![1.0], 0.0);
+        assert!(rec.validate().is_err());
+        let mut rec = BenchRecord::new("x", vec![1.0], 0.0);
+        rec.wall_s = f64::INFINITY;
+        assert!(rec.validate().is_err());
     }
 }

@@ -38,6 +38,12 @@ pub enum ClusterError {
         /// Blocks needed.
         needed: usize,
     },
+    /// The requested cluster shape is unusable (for example an empty
+    /// layout). Raised by [`ClusterSim::try_heterogeneous`] before any
+    /// simulation runs.
+    ///
+    /// [`ClusterSim::try_heterogeneous`]: crate::ClusterSim::try_heterogeneous
+    InvalidLayout(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -58,6 +64,9 @@ impl fmt::Display for ClusterError {
                 f,
                 "deployment of {request} allocates {allocated} blocks but {needed} are needed"
             ),
+            ClusterError::InvalidLayout(reason) => {
+                write!(f, "invalid cluster layout: {reason}")
+            }
         }
     }
 }

@@ -1,15 +1,23 @@
 //! The discrete-event engine.
 
 use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 
 use vital_fabric::BlockAddr;
+use vital_telemetry::Telemetry;
 
 use crate::{
     AppRequest, ClusterConfig, ClusterError, ClusterView, Deployment, FailedOutcome, FaultEvent,
     FaultPlan, FaultSpec, InstanceId, PendingRequest, ReconfigKind, RequestOutcome, Scheduler,
     SimReport,
 };
+
+/// Converts sim seconds to the microsecond timeline the telemetry
+/// timeline uses. Sim time is non-negative and finite.
+fn sim_us(t: f64) -> u64 {
+    (t * 1e6).round() as u64
+}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
@@ -97,10 +105,19 @@ fn evict_victims(
     needed_blocks: &mut usize,
     interrupted_jobs: &mut u64,
     wasted_block_s: &mut f64,
+    telemetry: &Telemetry,
 ) -> Vec<(f64, usize)> {
     let mut requeues = Vec::new();
     for id in victims {
-        let inst = instances.remove(&id).expect("victim exists");
+        // Invariant: `victims` was collected from `instances` under the same
+        // borrow and contains each id at most once, so removal succeeds.
+        let Some(inst) = instances.remove(&id) else {
+            debug_assert!(
+                false,
+                "eviction victim {id:?} missing from the instance table"
+            );
+            continue;
+        };
         if inst.running {
             *running_apps -= 1;
         }
@@ -116,7 +133,23 @@ fn evict_victims(
         *evictions += 1;
         // The attempt just interrupted is eviction number `evictions`.
         let attempts = *evictions;
+        telemetry.event_at(
+            sim_us(now),
+            "sim.eviction",
+            &[
+                ("request", req.id.0.into()),
+                ("attempts", attempts.into()),
+                ("blocks_freed", inst.blocks.len().into()),
+            ],
+        );
+        telemetry.inc_counter("sim.evictions", 1);
         if retry.gives_up_after(attempts) {
+            telemetry.event_at(
+                sim_us(now),
+                "sim.request_failed",
+                &[("request", req.id.0.into()), ("attempts", attempts.into())],
+            );
+            telemetry.inc_counter("sim.request_failures", 1);
             failed.push(FailedOutcome {
                 id: req.id,
                 name: req.name.clone(),
@@ -147,13 +180,18 @@ fn evict_victims(
 pub struct ClusterSim {
     config: ClusterConfig,
     layout: Vec<usize>,
+    telemetry: Telemetry,
 }
 
 impl ClusterSim {
     /// Creates a simulator over a homogeneous cluster.
     pub fn new(config: ClusterConfig) -> Self {
         let layout = vec![config.blocks_per_fpga; config.fpgas];
-        ClusterSim { config, layout }
+        ClusterSim {
+            config,
+            layout,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Creates a simulator over a *heterogeneous* cluster: one entry per
@@ -163,16 +201,49 @@ impl ClusterSim {
     ///
     /// # Panics
     ///
-    /// Panics if `blocks_per_fpga` is empty.
+    /// Panics if `blocks_per_fpga` is empty. Use
+    /// [`ClusterSim::try_heterogeneous`] to handle that as an error.
     pub fn heterogeneous(config: ClusterConfig, blocks_per_fpga: Vec<usize>) -> Self {
-        assert!(
-            !blocks_per_fpga.is_empty(),
-            "cluster needs at least one FPGA"
-        );
-        ClusterSim {
+        Self::try_heterogeneous(config, blocks_per_fpga)
+            .unwrap_or_else(|e| panic!("cannot build cluster: {e}"))
+    }
+
+    /// Fallible variant of [`ClusterSim::heterogeneous`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidLayout`] if `blocks_per_fpga` is
+    /// empty.
+    pub fn try_heterogeneous(
+        config: ClusterConfig,
+        blocks_per_fpga: Vec<usize>,
+    ) -> Result<Self, ClusterError> {
+        if blocks_per_fpga.is_empty() {
+            return Err(ClusterError::InvalidLayout(
+                "cluster needs at least one FPGA".to_string(),
+            ));
+        }
+        Ok(ClusterSim {
             config,
             layout: blocks_per_fpga,
-        }
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry handle. Runs then emit a sim-time event
+    /// timeline (arrivals, placements, evictions, requeues, completions,
+    /// faults) stamped with [`Telemetry::event_at`] — the simulator never
+    /// reads a wall clock, so traces from [`Telemetry::sim`] handles are
+    /// byte-deterministic for a given request set, fault plan, and policy.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`ClusterSim::with_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration.
@@ -340,6 +411,15 @@ impl ClusterSim {
 
             match ev.kind {
                 EventKind::Arrival(idx) => {
+                    self.telemetry.event_at(
+                        sim_us(now),
+                        "sim.arrival",
+                        &[
+                            ("request", requests[idx].id.0.into()),
+                            ("blocks_needed", requests[idx].blocks_needed.into()),
+                        ],
+                    );
+                    self.telemetry.inc_counter("sim.arrivals", 1);
                     pending.push(PendingRequest {
                         request: requests[idx].clone(),
                         arrived_s: now,
@@ -351,6 +431,11 @@ impl ClusterSim {
                     let Some(inst) = instances.get_mut(&id) else {
                         continue;
                     };
+                    self.telemetry.event_at(
+                        sim_us(now),
+                        "sim.exec_start",
+                        &[("request", requests[inst.request_idx].id.0.into())],
+                    );
                     inst.exec_start_s = now;
                     inst.completion_s = now + inst.service_s;
                     inst.running = true;
@@ -364,14 +449,13 @@ impl ClusterSim {
                     continue;
                 }
                 EventKind::Complete(id, gen) => {
-                    let stale = instances
-                        .get(&id)
-                        .map(|i| i.generation != gen)
-                        .unwrap_or(true);
-                    if stale {
-                        continue;
-                    }
-                    let inst = instances.remove(&id).expect("checked above");
+                    // A completion is stale if the instance was evicted or
+                    // its deadline moved (generation bump); remove-and-check
+                    // in one step so no panicking unwrap is needed.
+                    let inst = match instances.entry(id) {
+                        Entry::Occupied(e) if e.get().generation == gen => e.remove(),
+                        _ => continue,
+                    };
                     running_apps -= 1;
                     for &b in &inst.blocks {
                         view.vacate(b);
@@ -382,6 +466,16 @@ impl ClusterSim {
                     let mut fpgas: Vec<_> = inst.blocks.iter().map(|b| b.fpga).collect();
                     fpgas.sort_unstable();
                     fpgas.dedup();
+                    self.telemetry.event_at(
+                        sim_us(now),
+                        "sim.completion",
+                        &[
+                            ("request", req.id.0.into()),
+                            ("service_s", (now - inst.exec_start_s).into()),
+                            ("fpgas_used", fpgas.len().into()),
+                        ],
+                    );
+                    self.telemetry.inc_counter("sim.completions", 1);
                     outcomes.push(RequestOutcome {
                         id: req.id,
                         name: req.name.clone(),
@@ -398,6 +492,9 @@ impl ClusterSim {
                     });
                 }
                 EventKind::FpgaFail(fpga) => {
+                    self.telemetry
+                        .event_at(sim_us(now), "sim.fpga_fail", &[("fpga", fpga.into())]);
+                    self.telemetry.inc_counter("sim.fpga_failures", 1);
                     view.set_offline(fpga, true);
                     // Kill every instance touching the failed device and
                     // re-queue its request; its blocks everywhere are freed.
@@ -423,15 +520,23 @@ impl ClusterSim {
                         &mut needed_blocks,
                         &mut interrupted_jobs,
                         &mut wasted_block_s,
+                        &self.telemetry,
                     );
                     for (t, idx) in requeues {
                         push(&mut events, t, EventKind::Requeue(idx));
                     }
                 }
                 EventKind::FpgaRepair(fpga) => {
+                    self.telemetry.event_at(
+                        sim_us(now),
+                        "sim.fpga_repair",
+                        &[("fpga", fpga.into())],
+                    );
                     view.set_offline(fpga, false);
                 }
                 EventKind::LinkDown(link) => {
+                    self.telemetry
+                        .event_at(sim_us(now), "sim.link_down", &[("link", link.into())]);
                     view.set_link(link, true);
                     // A spanning instance whose traffic can no longer take
                     // the path it was scheduled on loses its connection
@@ -466,15 +571,24 @@ impl ClusterSim {
                         &mut needed_blocks,
                         &mut interrupted_jobs,
                         &mut wasted_block_s,
+                        &self.telemetry,
                     );
                     for (t, idx) in requeues {
                         push(&mut events, t, EventKind::Requeue(idx));
                     }
                 }
                 EventKind::LinkUp(link) => {
+                    self.telemetry
+                        .event_at(sim_us(now), "sim.link_up", &[("link", link.into())]);
                     view.set_link(link, false);
                 }
                 EventKind::Requeue(idx) => {
+                    self.telemetry.event_at(
+                        sim_us(now),
+                        "sim.requeue",
+                        &[("request", requests[idx].id.0.into())],
+                    );
+                    self.telemetry.inc_counter("sim.requeues", 1);
                     pending.push(PendingRequest {
                         request: requests[idx].clone(),
                         arrived_s: now,
@@ -495,11 +609,22 @@ impl ClusterSim {
                         .position(|p| p.request.id == d.request)
                         .ok_or(ClusterError::NotPending(d.request))?;
                     self.validate(&view, &pending[pi].request, &d)?;
+                    // Invariant: every PendingRequest is cloned from
+                    // `requests` (arrivals and requeues alike), so its id
+                    // always resolves to an input index. Skip the decision
+                    // (leaving the request pending) rather than panic if the
+                    // invariant is ever broken.
+                    let Some(req_idx) =
+                        requests.iter().position(|r| r.id == pending[pi].request.id)
+                    else {
+                        debug_assert!(
+                            false,
+                            "pending request {} is not in the input set",
+                            pending[pi].request.id
+                        );
+                        continue;
+                    };
                     let p = pending.remove(pi);
-                    let req_idx = requests
-                        .iter()
-                        .position(|r| r.id == p.request.id)
-                        .expect("pending requests come from the input set");
 
                     let id = InstanceId(next_instance);
                     next_instance += 1;
@@ -511,6 +636,23 @@ impl ClusterSim {
 
                     let model = self.service_time(&p.request, &d.blocks, &view.down_links());
                     let reconfig_s = self.reconfig_time(&d);
+                    {
+                        let mut fpgas: Vec<_> = d.blocks.iter().map(|b| b.fpga).collect();
+                        fpgas.sort_unstable();
+                        fpgas.dedup();
+                        self.telemetry.event_at(
+                            sim_us(now),
+                            "sim.placement",
+                            &[
+                                ("request", p.request.id.0.into()),
+                                ("blocks", d.blocks.len().into()),
+                                ("fpgas_used", fpgas.len().into()),
+                                ("ring_hops", model.max_hops.into()),
+                                ("reconfig_s", reconfig_s.into()),
+                            ],
+                        );
+                        self.telemetry.inc_counter("sim.placements", 1);
+                    }
                     if d.reconfig == ReconfigKind::FullDevice {
                         // Full-device programming pauses every co-running
                         // instance on the touched FPGAs.
@@ -1166,6 +1308,55 @@ mod tests {
         assert_eq!(report.wasted_block_s, 0.0);
         assert!(report.busy_block_s > 0.0);
         assert_eq!(report.goodput_fraction(), 1.0);
+    }
+
+    #[test]
+    fn try_heterogeneous_rejects_empty_layout() {
+        let err =
+            ClusterSim::try_heterogeneous(ClusterConfig::paper_cluster(), vec![]).unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidLayout(_)));
+    }
+
+    #[test]
+    fn telemetry_timeline_covers_lifecycle_and_faults() {
+        use vital_telemetry::Telemetry;
+        let tel = Telemetry::sim();
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster()).with_telemetry(tel.clone());
+        let reqs = vec![AppRequest::new(0, "victim", 4, 10.0e9)];
+        let faults = [FaultSpec {
+            fpga: 0,
+            fail_at_s: 2.0,
+            repair_at_s: Some(20.0),
+        }];
+        let report = sim.run_with_faults(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &faults,
+        );
+        assert_eq!(report.completed(), 1);
+        let records = tel.records();
+        let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+        for expected in [
+            "sim.arrival",
+            "sim.placement",
+            "sim.exec_start",
+            "sim.fpga_fail",
+            "sim.eviction",
+            "sim.fpga_repair",
+            "sim.completion",
+        ] {
+            assert!(names.contains(&expected), "missing event {expected}");
+        }
+        // The failure fires at sim t=2 s → 2_000_000 µs on the timeline.
+        let fail = records.iter().find(|r| r.name == "sim.fpga_fail").unwrap();
+        assert_eq!(fail.start_us, 2_000_000);
+        // One eviction, one extra placement for the redeployment.
+        let m = tel.metrics();
+        assert_eq!(m.counters["sim.evictions"], 1);
+        assert_eq!(m.counters["sim.placements"], 2);
+        assert_eq!(m.counters["sim.completions"], 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use vital_interface::{plan_channels, ChannelPlan, CutEdge};
 use vital_netlist::hls::{synthesize, AppSpec};
 use vital_netlist::{DataflowGraph, Netlist, PrimitiveId};
 use vital_placer::{Placer, VirtualGrid};
+use vital_telemetry::{Span, Telemetry};
 
 use crate::image::{AppBitstream, BlockImage};
 use crate::pnr::{place_block, LocalPlacement, SiteModel};
@@ -59,6 +60,7 @@ impl CompiledApp {
 pub struct Compiler {
     config: CompilerConfig,
     site_model: SiteModel,
+    telemetry: Telemetry,
 }
 
 impl Compiler {
@@ -74,7 +76,23 @@ impl Compiler {
         Compiler {
             site_model: SiteModel::for_block(device, block_rows),
             config,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every compile then emits one span per
+    /// stage (`compile.synthesis` … `compile.global_pnr`) plus one span
+    /// per virtual block under local P&R, and records per-stage duration
+    /// histograms. The default handle is disabled and costs nothing.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The active configuration.
@@ -94,26 +112,33 @@ impl Compiler {
     /// Propagates failures of any stage; see [`CompileError`].
     pub fn compile(&self, spec: &AppSpec) -> Result<CompiledApp, CompileError> {
         let mut timings = StageTimings::default();
+        let mut root = self.telemetry.span("compile");
+        root.field("app", spec.name());
 
         // Step 1: synthesis.
         let t = Instant::now();
+        let stage = root.child("compile.synthesis");
         let netlist = synthesize(spec)?;
         netlist.validate()?;
         let digest = NetlistDigest::of(&netlist, &self.config);
+        stage.finish();
         timings.synthesis = t.elapsed();
 
         // Step 2: partition (placement-based, §4).
         let t = Instant::now();
+        let stage = root.child("compile.partition");
         let usage = netlist.resource_usage();
         let capacity = self.config.effective_block_capacity();
         let n_blocks = usage.blocks_needed(&self.config.block_resources, self.config.fill_margin);
         let grid = VirtualGrid::uniform(n_blocks as usize, capacity);
         let placer = Placer::new(self.config.placer.clone());
         let placement = placer.run(&netlist, &grid)?;
+        stage.finish();
         timings.partition = t.elapsed();
 
         // Step 3: latency-insensitive interface generation.
         let t = Instant::now();
+        let stage = root.child("compile.interface_gen");
         // Slots may be sparsely used; renumber used slots to dense virtual
         // block ids.
         let mut slot_to_vb: Vec<Option<u32>> = vec![None; grid.slot_count()];
@@ -142,6 +167,7 @@ impl Compiler {
         }
         let plan: ChannelPlan = plan_channels(&cuts, &self.config.interface);
         let cut_bits: u64 = cuts.iter().map(|c| c.bits).sum();
+        stage.finish();
         timings.interface_gen = t.elapsed();
 
         // Step 4: local place-and-route per virtual block. Blocks are
@@ -149,6 +175,7 @@ impl Compiler {
         // they fan out across a scoped thread pool; results are collected
         // in block order and are bit-identical to the serial path.
         let t = Instant::now();
+        let mut stage = root.child("compile.local_pnr");
         let dfg = DataflowGraph::from_netlist(&netlist);
         let mut prims_per_vb: Vec<Vec<PrimitiveId>> = vec![Vec::new(); next_vb as usize];
         for prim in netlist.primitives() {
@@ -162,7 +189,9 @@ impl Compiler {
             }
         }
         let workers = self.config.effective_workers(prims_per_vb.len());
-        let placed = self.place_all_blocks(&netlist, &dfg, &prims_per_vb, workers);
+        stage.field("blocks", prims_per_vb.len());
+        stage.field("workers", workers);
+        let placed = self.place_all_blocks(&netlist, &dfg, &prims_per_vb, workers, &stage);
         let mut images = Vec::with_capacity(prims_per_vb.len());
         timings.per_block_pnr = Vec::with_capacity(prims_per_vb.len());
         for ((vb, prims), (local, block_time)) in prims_per_vb.iter().enumerate().zip(placed) {
@@ -185,8 +214,10 @@ impl Compiler {
             });
         }
         timings.workers = workers;
+        stage.finish();
         timings.local_pnr = t.elapsed();
 
+        let stage = root.child("compile.relocation");
         // Step 5: relocation — verify the images are position independent
         // by checking every placed site exists in the canonical geometry
         // (any identical physical block can therefore host the image).
@@ -203,10 +234,12 @@ impl Compiler {
                 }
             }
         }
+        stage.finish();
         timings.relocation = t.elapsed();
 
         // Step 6: global place-and-route over the virtual-block mesh.
         let t = Instant::now();
+        let stage = root.child("compile.global_pnr");
         let mut slot_of_vb = vec![0u32; next_vb as usize];
         for (slot, vb) in slot_to_vb.iter().enumerate() {
             if let Some(vb) = vb {
@@ -220,7 +253,12 @@ impl Compiler {
             grid.cols(),
             grid.rows(),
         );
+        stage.finish();
         timings.global_pnr = t.elapsed();
+
+        root.field("cut_bits", cut_bits);
+        self.telemetry
+            .record_hist("compile.total_s", timings.total().as_secs_f64());
 
         let bitstream = AppBitstream::new(spec.name().to_string(), digest, images, plan, routing);
         Ok(CompiledApp {
@@ -259,9 +297,14 @@ impl Compiler {
         dfg: &DataflowGraph,
         prims_per_vb: &[Vec<PrimitiveId>],
         workers: usize,
+        pnr_span: &Span,
     ) -> Vec<BlockPnr> {
         let place_one = |vb: usize| {
             let t = Instant::now();
+            // One span per virtual block, on its own track so parallel
+            // blocks render side by side in the trace viewer.
+            let mut span = pnr_span.child_on_track("compile.block_pnr", vb as u32);
+            span.field("block", vb);
             let result = place_block(
                 netlist,
                 dfg,
@@ -270,7 +313,12 @@ impl Compiler {
                 &self.site_model,
                 &self.config.pnr,
             );
-            (result, t.elapsed())
+            let dur = t.elapsed();
+            span.field("ok", result.is_ok());
+            span.finish();
+            self.telemetry
+                .record_hist("compile.block_pnr_s", dur.as_secs_f64());
+            (result, dur)
         };
 
         if workers <= 1 {
@@ -396,6 +444,36 @@ mod tests {
             assert!(routing.global.routed.iter().all(|r| !r.path.is_empty()));
             assert!(routing.global.wirelength_bit_hops >= compiled.cut_bits());
         }
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_stage_and_block() {
+        let tel = Telemetry::recording();
+        let compiler = Compiler::default().with_telemetry(tel.clone());
+        let compiled = compiler.compile(&spec(64, 40)).unwrap();
+        let names: Vec<&str> = tel.records().iter().map(|r| r.name).collect();
+        for stage in [
+            "compile.synthesis",
+            "compile.partition",
+            "compile.interface_gen",
+            "compile.local_pnr",
+            "compile.relocation",
+            "compile.global_pnr",
+            "compile",
+        ] {
+            assert!(names.contains(&stage), "missing span {stage} in {names:?}");
+        }
+        let block_spans = names.iter().filter(|n| **n == "compile.block_pnr").count();
+        assert_eq!(block_spans, compiled.bitstream().block_count());
+        assert_eq!(
+            tel.metrics().histograms["compile.block_pnr_s"].count,
+            block_spans as u64
+        );
+        // Stage spans nest under the root compile span.
+        let recs = tel.records();
+        let root = recs.iter().find(|r| r.name == "compile").unwrap();
+        let partition = recs.iter().find(|r| r.name == "compile.partition").unwrap();
+        assert_eq!(partition.parent, Some(root.id));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use vital_netlist::hls::AppSpec;
 use vital_periph::{
     BandwidthArbiter, MemoryManager, ShareGrant, TenantId, VirtualNic, VirtualSwitch,
 };
+use vital_telemetry::Telemetry;
 
 use crate::{allocate_blocks, BitstreamDatabase, FpgaHealth, ResourceDatabase, RuntimeError};
 
@@ -252,6 +253,7 @@ pub struct SystemController {
     tenants: Mutex<HashMap<TenantId, TenantState>>,
     next_tenant: AtomicU64,
     failure_stats: Mutex<FailureStats>,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for SystemController {
@@ -293,8 +295,47 @@ impl SystemController {
             tenants: Mutex::new(HashMap::new()),
             next_tenant: AtomicU64::new(1),
             failure_stats: Mutex::new(FailureStats::default()),
+            telemetry: Telemetry::disabled(),
             config,
         }
+    }
+
+    /// Non-panicking variant of [`SystemController::with_layout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `layout` is empty or
+    /// contains a zero-block FPGA.
+    pub fn try_with_layout(
+        config: RuntimeConfig,
+        layout: Vec<usize>,
+    ) -> Result<Self, RuntimeError> {
+        if layout.is_empty() {
+            return Err(RuntimeError::InvalidConfig(
+                "cluster layout is empty".to_string(),
+            ));
+        }
+        if let Some(f) = layout.iter().position(|&n| n == 0) {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "FPGA {f} has zero blocks"
+            )));
+        }
+        Ok(Self::with_layout(config, layout))
+    }
+
+    /// Attaches a telemetry handle: `deploy`/`undeploy`/`fail_fpga`/
+    /// `evacuate`/`defragment` then emit spans carrying allocation round,
+    /// fpgas-used and ring-hop-cost fields. The default handle is disabled
+    /// and costs nothing.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration.
@@ -416,8 +457,11 @@ impl SystemController {
         name: &str,
         quota_bytes: u64,
     ) -> Result<DeployHandle, RuntimeError> {
+        let mut span = self.telemetry.span("runtime.deploy");
+        span.field("app", name);
         let bitstream = self.bitstreams.get(name)?;
         let needed = bitstream.block_count();
+        span.field("needed", needed);
 
         let free_lists: Vec<_> = (0..self.resources.fpga_count())
             .map(|f| self.resources.free_blocks_of(f))
@@ -427,6 +471,10 @@ impl SystemController {
                 needed,
                 free: self.resources.total_free(),
             })?;
+        // The §3.4 policy's round number equals the FPGAs admitted.
+        span.field("round", alloc.fpgas_used);
+        span.field("fpgas_used", alloc.fpgas_used);
+        span.field("hop_cost", alloc.hop_cost);
 
         let tenant = TenantId::new(self.next_tenant.fetch_add(1, Ordering::Relaxed));
         let mut guard = TeardownGuard::new(self, tenant);
@@ -489,6 +537,10 @@ impl SystemController {
             },
         );
         guard.commit();
+        span.field("tenant", tenant.raw());
+        self.telemetry.inc_counter("runtime.deploys", 1);
+        self.telemetry
+            .record_hist("runtime.deploy_hop_cost", alloc.hop_cost as f64);
         Ok(handle)
     }
 
@@ -531,11 +583,14 @@ impl SystemController {
     /// leaks the later ones. The first failure encountered is returned;
     /// the tenant is gone either way.
     pub fn undeploy(&self, tenant: TenantId) -> Result<(), RuntimeError> {
+        let mut span = self.telemetry.span("runtime.undeploy");
+        span.field("tenant", tenant.raw());
         let state = self
             .tenants
             .lock()
             .remove(&tenant)
             .ok_or(RuntimeError::UnknownTenant(tenant))?;
+        self.telemetry.inc_counter("runtime.undeploys", 1);
         self.teardown(&state.handle)
     }
 
@@ -576,6 +631,7 @@ impl SystemController {
     /// `deploy` calls keep their original binding snapshot — query
     /// [`SystemController::resources`] for the live placement.
     pub fn defragment(&self) -> Vec<Migration> {
+        let mut span = self.telemetry.span("runtime.defragment");
         let mut migrated = Vec::new();
         loop {
             // Pick the most-spanning tenant that could do better.
@@ -653,6 +709,7 @@ impl SystemController {
                 reconfig,
             });
         }
+        span.field("migrations", migrated.len());
         migrated
     }
 
@@ -670,6 +727,8 @@ impl SystemController {
     ///
     /// Idempotent: failing an already-offline device affects no one.
     pub fn fail_fpga(&self, fpga: usize) -> FailureReport {
+        let mut span = self.telemetry.span("runtime.fail_fpga");
+        span.field("fpga", fpga);
         self.resources.set_health(fpga, FpgaHealth::Offline);
         let mut report = FailureReport::default();
         for tenant in self.affected_tenants(fpga) {
@@ -690,6 +749,9 @@ impl SystemController {
         stats.fpga_failures += 1;
         stats.tenants_migrated += report.migrated.len() as u64;
         stats.tenants_torn_down += report.torn_down.len() as u64;
+        span.field("migrated", report.migrated.len());
+        span.field("torn_down", report.torn_down.len());
+        self.telemetry.inc_counter("runtime.fpga_failures", 1);
         report
     }
 
@@ -712,6 +774,8 @@ impl SystemController {
     /// again once capacity frees up, or [`SystemController::recover_fpga`]
     /// to cancel the drain.
     pub fn evacuate(&self, fpga: usize) -> EvacuationReport {
+        let mut span = self.telemetry.span("runtime.evacuate");
+        span.field("fpga", fpga);
         self.resources.set_health(fpga, FpgaHealth::Draining);
         let mut report = EvacuationReport::default();
         for tenant in self.resources.tenants_on(fpga) {
@@ -723,6 +787,8 @@ impl SystemController {
         let mut stats = self.failure_stats.lock();
         stats.evacuations += 1;
         stats.tenants_migrated += report.migrated.len() as u64;
+        span.field("migrated", report.migrated.len());
+        span.field("unmoved", report.unmoved.len());
         report
     }
 
@@ -1229,6 +1295,63 @@ mod tests {
         assert_eq!(retry.migrated.len(), 1);
         assert!(retry.unmoved.is_empty());
         c.undeploy(a.tenant()).unwrap();
+    }
+
+    #[test]
+    fn try_with_layout_rejects_degenerate_clusters() {
+        let cfg = RuntimeConfig::paper_cluster();
+        assert!(matches!(
+            SystemController::try_with_layout(cfg, vec![]),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SystemController::try_with_layout(cfg, vec![15, 0, 15]),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        assert!(SystemController::try_with_layout(cfg, vec![15, 15]).is_ok());
+    }
+
+    #[test]
+    fn controller_ops_emit_spans_with_allocation_fields() {
+        use vital_telemetry::{FieldValue, Telemetry};
+        let tel = Telemetry::recording();
+        let c = SystemController::new(RuntimeConfig::paper_cluster()).with_telemetry(tel.clone());
+        let compiler = Compiler::new(CompilerConfig::default());
+        let mut spec = AppSpec::new("a");
+        spec.add_operator("m", Operator::MacArray { pes: 8 });
+        c.register(compiler.compile(&spec).unwrap().into_bitstream())
+            .unwrap();
+        let h = c.deploy("a").unwrap();
+        c.evacuate(h.primary_fpga());
+        c.defragment();
+        c.fail_fpga(h.primary_fpga());
+        c.undeploy(h.tenant()).ok();
+
+        let recs = tel.records();
+        let deploy = recs.iter().find(|r| r.name == "runtime.deploy").unwrap();
+        let keys: Vec<&str> = deploy.fields.iter().map(|(k, _)| *k).collect();
+        for key in ["app", "needed", "round", "fpgas_used", "hop_cost", "tenant"] {
+            assert!(keys.contains(&key), "deploy span missing {key}: {keys:?}");
+        }
+        assert_eq!(
+            deploy
+                .fields
+                .iter()
+                .find(|(k, _)| *k == "hop_cost")
+                .unwrap()
+                .1,
+            FieldValue::U64(0),
+            "single-FPGA deploy has zero hop cost"
+        );
+        for op in [
+            "runtime.evacuate",
+            "runtime.defragment",
+            "runtime.fail_fpga",
+            "runtime.undeploy",
+        ] {
+            assert!(recs.iter().any(|r| r.name == op), "missing span {op}");
+        }
+        assert_eq!(tel.metrics().counters["runtime.deploys"], 1);
     }
 
     #[test]

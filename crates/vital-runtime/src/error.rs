@@ -39,6 +39,9 @@ pub enum RuntimeError {
     Relocation(CompileError),
     /// Compiling an application on behalf of the controller failed.
     Compile(CompileError),
+    /// The requested cluster shape is unusable (empty layout or an FPGA
+    /// with zero blocks).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -69,6 +72,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Periph(e) => write!(f, "peripheral error: {e}"),
             RuntimeError::Relocation(e) => write!(f, "relocation error: {e}"),
             RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
+            RuntimeError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
 }

@@ -11,9 +11,11 @@
 //! Deployment uses the **communication-aware multi-round policy**
 //! ([`allocate_blocks`]): round 1 looks for a single FPGA with enough free
 //! blocks (best-fit, to limit fragmentation); each following round admits
-//! one more FPGA, keeping the majority of blocks on a primary device to
-//! minimize inter-FPGA traffic. Blocks are programmed with per-block
-//! partial reconfiguration, so co-running applications are never disturbed.
+//! one more FPGA, choosing the spanning set that is **adjacent on the
+//! ring** — the primary plus its nearest neighbours by hop distance — so
+//! inter-FPGA traffic crosses as few ring links as possible. Blocks are
+//! programmed with per-block partial reconfiguration, so co-running
+//! applications are never disturbed.
 //!
 //! Isolation (paper §3.4): a physical block is never shared between
 //! applications, each tenant gets a private DRAM address space and virtual

@@ -39,6 +39,11 @@ struct Inner {
     states: Vec<Vec<BlockState>>,
     tenants: HashMap<TenantId, Vec<BlockAddr>>,
     health: Vec<FpgaHealth>,
+    /// Per-FPGA index: tenant → number of blocks it holds on that device.
+    /// Maintained on claim/release so `tenants_on` (the hot query behind
+    /// `fail_fpga`/`evacuate`) is O(tenants-on-device), not a scan of
+    /// every tenant's whole holding list.
+    by_fpga: Vec<HashMap<TenantId, usize>>,
 }
 
 /// Thread-safe bookkeeping of the cluster's physical blocks.
@@ -90,6 +95,7 @@ impl ResourceDatabase {
                 states: layout.iter().map(|&n| vec![BlockState::Free; n]).collect(),
                 tenants: HashMap::new(),
                 health: vec![FpgaHealth::Online; layout.len()],
+                by_fpga: vec![HashMap::new(); layout.len()],
             }),
             layout,
         }
@@ -211,8 +217,9 @@ impl ResourceDatabase {
             }
         }
         for b in blocks {
-            inner.states[b.fpga.index() as usize][b.block.index() as usize] =
-                BlockState::Active(tenant);
+            let f = b.fpga.index() as usize;
+            inner.states[f][b.block.index() as usize] = BlockState::Active(tenant);
+            *inner.by_fpga[f].entry(tenant).or_insert(0) += 1;
         }
         inner.tenants.entry(tenant).or_default().extend(blocks);
         true
@@ -223,7 +230,18 @@ impl ResourceDatabase {
         let mut inner = self.inner.write();
         let blocks = inner.tenants.remove(&tenant).unwrap_or_default();
         for b in &blocks {
-            inner.states[b.fpga.index() as usize][b.block.index() as usize] = BlockState::Free;
+            let f = b.fpga.index() as usize;
+            inner.states[f][b.block.index() as usize] = BlockState::Free;
+            // Invariant: every claimed block has an index entry — claim()
+            // increments the count under the same lock that set the block
+            // Active, so a missing entry means the two structures diverged.
+            match inner.by_fpga[f].get_mut(&tenant) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    inner.by_fpga[f].remove(&tenant);
+                }
+                None => debug_assert!(false, "claimed block missing from per-FPGA tenant index"),
+            }
         }
         blocks
     }
@@ -239,7 +257,25 @@ impl ResourceDatabase {
     }
 
     /// Tenants holding at least one block on `fpga`, sorted.
+    ///
+    /// Served from the per-FPGA index, so the cost scales with the number
+    /// of tenants *on that device* — `fail_fpga`/`evacuate` used to scan
+    /// every tenant's whole holding list here, going quadratic during
+    /// mass evacuations.
     pub fn tenants_on(&self, fpga: usize) -> Vec<TenantId> {
+        let inner = self.inner.read();
+        let mut v: Vec<TenantId> = match inner.by_fpga.get(fpga) {
+            Some(idx) => idx.keys().copied().collect(),
+            None => Vec::new(),
+        };
+        v.sort_unstable();
+        v
+    }
+
+    /// Reference implementation of [`tenants_on`](Self::tenants_on) that
+    /// scans every tenant's holdings. Kept for the index equivalence test.
+    #[doc(hidden)]
+    pub fn tenants_on_by_scan(&self, fpga: usize) -> Vec<TenantId> {
         let inner = self.inner.read();
         let mut v: Vec<TenantId> = inner
             .tenants
@@ -339,6 +375,48 @@ mod tests {
         db.set_health(1, FpgaHealth::Online);
         assert_eq!(db.free_counts(), vec![4, 4]);
         assert!(db.claim(t, &[addr(1, 3)]));
+    }
+
+    /// The per-FPGA tenant index must agree with a full scan of tenant
+    /// holdings at every step of a randomized claim/release churn.
+    #[test]
+    fn tenant_index_matches_scan_under_churn() {
+        let db = ResourceDatabase::with_layout(vec![4, 3, 5, 2]);
+        let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as usize
+        };
+        let mut live: Vec<TenantId> = Vec::new();
+        for step in 0..200 {
+            if live.is_empty() || next() % 3 != 0 {
+                // Claim 1-3 free blocks for a fresh tenant.
+                let t = TenantId::new(1000 + step);
+                let mut want = Vec::new();
+                for f in 0..db.fpga_count() {
+                    for b in db.free_blocks_of(f) {
+                        if want.len() < 1 + next() % 3 && next() % 2 == 0 {
+                            want.push(b);
+                        }
+                    }
+                }
+                if !want.is_empty() && db.claim(t, &want) {
+                    live.push(t);
+                }
+            } else {
+                let t = live.swap_remove(next() % live.len());
+                assert!(!db.release(t).is_empty());
+            }
+            for f in 0..db.fpga_count() {
+                assert_eq!(
+                    db.tenants_on(f),
+                    db.tenants_on_by_scan(f),
+                    "index diverged from scan on fpga {f} at step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! | [`cluster`] | discrete-event cluster simulator (§5.2 platform) |
 //! | [`baselines`] | per-device cloud + AmorphOS comparisons (§5.2, §6.2) |
 //! | [`workloads`] | Table 2 benchmarks + Table 3 workload sets (§5.1) |
+//! | [`telemetry`] | tracing spans, metrics, JSONL/Chrome-trace exporters |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,7 @@ pub use vital_netlist as netlist;
 pub use vital_periph as periph;
 pub use vital_placer as placer;
 pub use vital_runtime as runtime;
+pub use vital_telemetry as telemetry;
 pub use vital_workloads as workloads;
 
 mod stack;
