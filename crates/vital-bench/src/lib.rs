@@ -17,6 +17,7 @@
 //! | `fig9_response_time` | Fig. 9 (normalized response time, 10 workload sets × 4 systems) |
 //! | `fig9_failures` | Fig. 9 companion (goodput + terminal failures under injected faults) |
 //! | `fig10_sharing_metrics` | Fig. 10 + §5.5 (relocation map, utilization, concurrency, spanning, overhead) |
+//! | `fig_oversubscription` | DESIGN.md §11 (preemptive time slicing vs non-preemptive on saturating workloads) |
 //!
 //! Run them all with `cargo run -p vital-bench --bin <name> --release`.
 

@@ -1,0 +1,346 @@
+//! Context save/restore for virtualized FPGA tenants.
+//!
+//! ViTAL's latency-insensitive interface makes every channel boundary a
+//! safe stop point, and its per-tenant DRAM virtualization makes the
+//! memory state exportable — together they turn the space-sharing
+//! allocator into a hypervisor. This crate packages the two halves into a
+//! [`TenantCheckpoint`] *capsule*:
+//!
+//! * **Channels** — [`quiesce_all`] runs the quiesce protocol over a
+//!   tenant's channels atomically: it refuses (without touching anything)
+//!   unless *every* channel is past its serialization window, then drains
+//!   each wire and captures deterministic
+//!   [`ChannelSnapshot`]s.
+//! * **DRAM** — a [`MemoryImage`] exported by
+//!   the peripheral layer carries the tenant's pages and quota.
+//! * **Placement & bandwidth metadata** — enough for a controller to
+//!   re-place the tenant on any compatible cluster and re-request its
+//!   DRAM share.
+//!
+//! Capsules are content-digested ([`CheckpointDigest`], the same stable
+//! FNV-1a idiom as the compiler's bitstream cache): two capsules with
+//! identical state digest identically, so a save → restore → save round
+//! trip can be verified by digest comparison alone.
+//!
+//! # Example
+//!
+//! ```
+//! use vital_checkpoint::quiesce_all;
+//! use vital_interface::{Channel, ChannelSpec, LinkClass};
+//!
+//! let mut channels = vec![Channel::new(ChannelSpec::for_link(LinkClass::IntraDie, 64))];
+//! channels[0].push(0);
+//! let snapshots = quiesce_all(&mut channels, 10).expect("windows closed");
+//! assert_eq!(snapshots[0].occupancy(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vital_interface::{Channel, ChannelSnapshot, QuiesceError};
+use vital_periph::{MemoryImage, TenantId};
+
+/// 64-bit FNV-1a, written out so the digest is stable across Rust releases
+/// and platforms (`DefaultHasher` guarantees neither).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Length-prefixed, so adjacent strings cannot alias.
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+/// The content digest of one checkpoint capsule.
+///
+/// Covers every field that influences a restore: channel endpoints,
+/// specs, occupancies and delivery statistics, the DRAM image's data
+/// content, and the placement/bandwidth metadata. Two capsules with equal
+/// digests restore to indistinguishable tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CheckpointDigest(u64);
+
+impl CheckpointDigest {
+    /// Wraps a raw digest value (deserialized state, test fixtures).
+    pub const fn from_raw(raw: u64) -> Self {
+        CheckpointDigest(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CheckpointDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One quiesced channel of a capsule: the drained snapshot plus the
+/// virtual-block endpoints it connects, so a restore on a *different*
+/// placement can re-derive the link class the channel must ride on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelCheckpoint {
+    /// Producing virtual block.
+    pub from_block: u32,
+    /// Consuming virtual block.
+    pub to_block: u32,
+    /// The drained channel state.
+    pub snapshot: ChannelSnapshot,
+}
+
+/// Placement and bandwidth metadata of a suspended tenant — what the
+/// controller needs (beyond channels and DRAM) to re-admit it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementMeta {
+    /// Registered application name (the bitstream-database key used to
+    /// rebind on resume).
+    pub app: String,
+    /// Virtual blocks the application occupies.
+    pub needed_blocks: usize,
+    /// The tenant's interface clock at suspend time, in cycles. Restore
+    /// continues the timeline from here, so latency accounting survives
+    /// the suspend.
+    pub clock: u64,
+    /// Primary FPGA at suspend time (informational; a resume may pick a
+    /// different one).
+    pub primary_fpga: usize,
+    /// Distinct FPGAs spanned at suspend time.
+    pub fpgas_spanned: usize,
+    /// Ring-hop cost of the placement at suspend time.
+    pub hop_cost: usize,
+    /// DRAM bandwidth share the tenant had requested, in Gb/s.
+    pub requested_gbps: f64,
+}
+
+/// A complete, self-contained save of one tenant: everything needed to
+/// tear the tenant down and later rebuild it — on the same cluster or a
+/// compatible one — without the application noticing more than a pause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantCheckpoint {
+    /// The suspended tenant's identity (preserved across the round trip).
+    pub tenant: TenantId,
+    /// Placement and bandwidth metadata.
+    pub placement: PlacementMeta,
+    /// One entry per inter-block channel, in plan order.
+    pub channels: Vec<ChannelCheckpoint>,
+    /// The tenant's DRAM pages and quota.
+    pub memory: MemoryImage,
+}
+
+impl TenantCheckpoint {
+    /// The capsule's content digest.
+    pub fn digest(&self) -> CheckpointDigest {
+        let mut h = Fnv1a::new();
+        h.u64(self.tenant.raw());
+        h.str(&self.placement.app);
+        h.usize(self.placement.needed_blocks);
+        h.u64(self.placement.clock);
+        h.usize(self.placement.primary_fpga);
+        h.usize(self.placement.fpgas_spanned);
+        h.usize(self.placement.hop_cost);
+        h.u64(self.placement.requested_gbps.to_bits());
+        h.usize(self.channels.len());
+        for ch in &self.channels {
+            h.u64(u64::from(ch.from_block));
+            h.u64(u64::from(ch.to_block));
+            // The spec is a small Copy struct; its Debug form is a stable
+            // canonical encoding (the same trick the netlist digest uses).
+            h.str(&format!("{:?}", ch.snapshot.spec));
+            h.u64(ch.snapshot.drain_cycles);
+            h.usize(ch.snapshot.fifo_ages.len());
+            for &age in &ch.snapshot.fifo_ages {
+                h.u64(age);
+            }
+            h.u64(ch.snapshot.delivered);
+            h.u64(ch.snapshot.latency_sum);
+        }
+        h.u64(self.memory.content_digest());
+        CheckpointDigest(h.0)
+    }
+
+    /// Total flits captured across all channel snapshots.
+    pub fn total_flits(&self) -> usize {
+        self.channels.iter().map(|c| c.snapshot.occupancy()).sum()
+    }
+
+    /// Bytes of DRAM page data carried by the capsule.
+    pub fn dram_bytes(&self) -> u64 {
+        self.memory.payload_bytes()
+    }
+}
+
+/// Quiesces a tenant's channels **atomically**: either every channel is
+/// past its serialization window and all of them drain into snapshots, or
+/// none is touched and the first offender's [`QuiesceError`] is returned.
+///
+/// The two-phase check matters: draining is destructive (flits move from
+/// the wire into the FIFO), so a partial quiesce would leave the tenant in
+/// a state that is neither running nor suspended.
+///
+/// # Errors
+///
+/// Returns the [`QuiesceError`] of the first channel (in order) still
+/// inside its serialization window.
+pub fn quiesce_all(
+    channels: &mut [Channel],
+    now: u64,
+) -> Result<Vec<ChannelSnapshot>, QuiesceError> {
+    for ch in channels.iter() {
+        let ready_at = ch.quiesce_ready_at();
+        if now < ready_at {
+            return Err(QuiesceError::MidSerialization { now, ready_at });
+        }
+    }
+    Ok(channels
+        .iter_mut()
+        .map(|ch| {
+            ch.quiesce(now)
+                .expect("readiness verified for every channel")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital_interface::{ChannelSpec, LinkClass};
+
+    fn spec(ser: u32) -> ChannelSpec {
+        ChannelSpec {
+            width_bits: 64,
+            depth: 16,
+            latency_cycles: 2,
+            serialization_interval: ser,
+            link: LinkClass::IntraDie,
+        }
+    }
+
+    fn capsule() -> TenantCheckpoint {
+        let mut ch = Channel::new(spec(1));
+        ch.push(0);
+        ch.push(1);
+        let snapshot = ch.quiesce(2).unwrap();
+        TenantCheckpoint {
+            tenant: TenantId::new(7),
+            placement: PlacementMeta {
+                app: "dnn".into(),
+                needed_blocks: 3,
+                clock: 2,
+                primary_fpga: 1,
+                fpgas_spanned: 2,
+                hop_cost: 1,
+                requested_gbps: 38.4,
+            },
+            channels: vec![ChannelCheckpoint {
+                from_block: 0,
+                to_block: 1,
+                snapshot,
+            }],
+            memory: MemoryImage {
+                page_size: 4096,
+                quota_bytes: 8192,
+                pages: vec![],
+                reads: 0,
+                writes: 0,
+                faults: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn quiesce_all_is_atomic() {
+        let mut channels = vec![Channel::new(spec(1)), Channel::new(spec(4))];
+        channels[0].push(0);
+        channels[1].push(0); // window open until cycle 4
+        let err = quiesce_all(&mut channels, 2).unwrap_err();
+        assert_eq!(
+            err,
+            QuiesceError::MidSerialization {
+                now: 2,
+                ready_at: 4
+            }
+        );
+        // Nothing drained: channel 0's flit is still on the wire.
+        assert_eq!(channels[0].in_flight(), 1);
+        let snaps = quiesce_all(&mut channels, 4).unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert!(snaps.iter().all(|s| s.occupancy() == 1));
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = capsule();
+        let b = capsule();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest().to_string().len(), 16);
+
+        let mut renamed = capsule();
+        renamed.placement.app = "other".into();
+        assert_ne!(a.digest(), renamed.digest());
+
+        let mut heavier = capsule();
+        heavier.channels[0].snapshot.fifo_ages.push(9);
+        assert_ne!(a.digest(), heavier.digest());
+
+        let mut dram = capsule();
+        dram.memory.pages.push(vital_periph::PageImage {
+            vpn: 0,
+            bytes: vec![1; 4096],
+        });
+        assert_ne!(a.digest(), dram.digest());
+
+        // Access counters are not content: the digest ignores them.
+        let mut counted = capsule();
+        counted.memory.reads += 5;
+        assert_eq!(a.digest(), counted.digest());
+    }
+
+    #[test]
+    fn capsule_serde_roundtrip_preserves_digest() {
+        let a = capsule();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: TenantCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.digest(), a.digest());
+        assert_eq!(back.total_flits(), 2);
+        assert_eq!(back.dram_bytes(), 0);
+    }
+
+    #[test]
+    fn digest_raw_roundtrip() {
+        let d = CheckpointDigest::from_raw(0xabcd);
+        assert_eq!(d.as_u64(), 0xabcd);
+        assert_eq!(d.to_string(), "000000000000abcd");
+    }
+}

@@ -106,6 +106,15 @@ pub struct SimReport {
     /// Total block-seconds occupied by any instance (the throughput-side
     /// denominator of [`SimReport::goodput_fraction`]).
     pub busy_block_s: f64,
+    /// Quantum expiries that actually swapped a tenant out (zero outside
+    /// time-sliced runs). Unlike fault evictions, a preemption preserves
+    /// the tenant's progress, so it contributes to neither
+    /// [`SimReport::interrupted_jobs`] nor [`SimReport::wasted_block_s`].
+    pub preemptions: u64,
+    /// Reconfiguration seconds spent swapping previously-preempted tenants
+    /// back in — the partial-reconfiguration cost time-slicing pays for
+    /// oversubscribing the cluster.
+    pub swap_reconfig_s: f64,
 }
 
 impl SimReport {
@@ -275,6 +284,8 @@ mod tests {
             interrupted_jobs: 0,
             wasted_block_s: 0.0,
             busy_block_s: 0.0,
+            preemptions: 0,
+            swap_reconfig_s: 0.0,
             outcomes,
         }
     }

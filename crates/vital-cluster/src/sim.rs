@@ -30,6 +30,9 @@ enum EventKind {
     LinkUp(usize),
     /// A backoff expired: re-queue the request at this index.
     Requeue(usize),
+    /// A time-slice quantum expired for an instance (generation-stamped,
+    /// like [`EventKind::Complete`], so evictions and pauses cancel it).
+    Quantum(InstanceId, u32),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +71,11 @@ struct Instance {
     exec_start_s: f64,
     completion_s: f64,
     service_s: f64,
+    /// What a full run of the request would take under this placement —
+    /// the denominator for progress accounting when a time-slice quantum
+    /// swaps the instance out mid-run (`service_s` holds only the
+    /// *remaining* portion assigned to this stint).
+    full_service_s: f64,
     interface_overhead_fraction: f64,
     /// Primary FPGA and worst ring distance at schedule time — used to
     /// decide whether a later link failure cuts this instance's traffic.
@@ -231,8 +239,8 @@ impl ClusterSim {
     }
 
     /// Attaches a telemetry handle. Runs then emit a sim-time event
-    /// timeline (arrivals, placements, evictions, requeues, completions,
-    /// faults) stamped with [`Telemetry::event_at`] — the simulator never
+    /// timeline (arrivals, placements, preemptions, swap-ins, evictions,
+    /// requeues, completions, faults) stamped with [`Telemetry::event_at`] — the simulator never
     /// reads a wall clock, so traces from [`Telemetry::sim`] handles are
     /// byte-deterministic for a given request set, fault plan, and policy.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
@@ -370,6 +378,19 @@ impl ClusterSim {
         let mut interrupted_jobs = 0u64;
         let mut wasted_block_s = 0.0f64;
 
+        // Time-slice mode (declared by the policy): fraction of each
+        // request's work still outstanding, execution time already banked
+        // across earlier stints, and the swap accounting.
+        let quantum = policy.quantum_s().filter(|q| q.is_finite() && *q > 0.0);
+        let mut remaining: HashMap<crate::RequestId, f64> = HashMap::new();
+        let mut executed: HashMap<crate::RequestId, f64> = HashMap::new();
+        let mut preemptions = 0u64;
+        let mut swap_reconfig_s = 0.0f64;
+        // First time each request was granted resources (time-sliced runs
+        // only): a preempted tenant's later stints are swaps, not waits, so
+        // its outcome reports the original admission.
+        let mut admitted_s: HashMap<crate::RequestId, f64> = HashMap::new();
+
         let mut view = ClusterView::with_layout(self.config, &self.layout);
         let mut pending: Vec<PendingRequest> = Vec::new();
         let mut instances: HashMap<InstanceId, Instance> = HashMap::new();
@@ -444,6 +465,9 @@ impl ClusterSim {
                     let gen = inst.generation;
                     let t = inst.completion_s;
                     push(&mut events, t, EventKind::Complete(id, gen));
+                    if let Some(q) = quantum {
+                        push(&mut events, now + q, EventKind::Quantum(id, gen));
+                    }
                     // Deployment finishing does not free resources, so the
                     // scheduler is not re-invoked here.
                     continue;
@@ -466,12 +490,16 @@ impl ClusterSim {
                     let mut fpgas: Vec<_> = inst.blocks.iter().map(|b| b.fpga).collect();
                     fpgas.sort_unstable();
                     fpgas.dedup();
+                    // Execution time banked in earlier time-slice stints
+                    // (zero outside preemptive runs) plus the final stint.
+                    let service_s =
+                        executed.get(&req.id).copied().unwrap_or(0.0) + (now - inst.exec_start_s);
                     self.telemetry.event_at(
                         sim_us(now),
                         "sim.completion",
                         &[
                             ("request", req.id.0.into()),
-                            ("service_s", (now - inst.exec_start_s).into()),
+                            ("service_s", service_s.into()),
                             ("fpgas_used", fpgas.len().into()),
                         ],
                     );
@@ -480,10 +508,10 @@ impl ClusterSim {
                         id: req.id,
                         name: req.name.clone(),
                         arrival_s: req.arrival_s,
-                        scheduled_s: inst.scheduled_s,
+                        scheduled_s: admitted_s.get(&req.id).copied().unwrap_or(inst.scheduled_s),
                         exec_start_s: inst.exec_start_s,
                         completion_s: now,
-                        service_s: now - inst.exec_start_s,
+                        service_s,
                         blocks_needed: req.blocks_needed,
                         blocks_allocated: inst.blocks.len() as u32,
                         fpgas_used: fpgas.len() as u32,
@@ -594,6 +622,58 @@ impl ClusterSim {
                         arrived_s: now,
                     });
                 }
+                EventKind::Quantum(id, gen) => {
+                    // Stale if the instance completed, was evicted, or had
+                    // its deadline moved (generation bump).
+                    let live = instances
+                        .get(&id)
+                        .is_some_and(|inst| inst.generation == gen && inst.running);
+                    let Some(q) = quantum else { continue };
+                    if !live {
+                        continue;
+                    }
+                    if pending.is_empty() {
+                        // Nobody is waiting: the tenant keeps the fabric
+                        // and the timer re-arms one quantum out.
+                        push(&mut events, now + q, EventKind::Quantum(id, gen));
+                        continue;
+                    }
+                    // Swap the tenant out. Its progress survives (the
+                    // runtime quiesces channels and checkpoints DRAM at
+                    // this boundary), so — unlike a fault eviction — the
+                    // request re-queues with only its remaining work and
+                    // nothing counts as wasted.
+                    let inst = instances
+                        .remove(&id)
+                        .expect("liveness was checked under the same borrow");
+                    running_apps -= 1;
+                    for &b in &inst.blocks {
+                        view.vacate(b);
+                    }
+                    busy_blocks -= inst.blocks.len();
+                    let req = &requests[inst.request_idx];
+                    needed_blocks -= req.blocks_needed as usize;
+                    let ran = now - inst.exec_start_s;
+                    let done = (ran / inst.full_service_s.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
+                    let rem = remaining.entry(req.id).or_insert(1.0);
+                    *rem = (*rem - done).max(0.0);
+                    *executed.entry(req.id).or_insert(0.0) += ran;
+                    preemptions += 1;
+                    self.telemetry.event_at(
+                        sim_us(now),
+                        "sim.preempt",
+                        &[
+                            ("request", req.id.0.into()),
+                            ("remaining_fraction", (*rem).into()),
+                            ("blocks_freed", inst.blocks.len().into()),
+                        ],
+                    );
+                    self.telemetry.inc_counter("sim.preemptions", 1);
+                    pending.push(PendingRequest {
+                        request: req.clone(),
+                        arrived_s: now,
+                    });
+                }
             }
 
             // Resources or queue changed: let the policy act until it has
@@ -636,6 +716,25 @@ impl ClusterSim {
 
                     let model = self.service_time(&p.request, &d.blocks, &view.down_links());
                     let reconfig_s = self.reconfig_time(&d);
+                    let rem_frac = remaining.get(&p.request.id).copied().unwrap_or(1.0);
+                    if quantum.is_some() {
+                        admitted_s.entry(p.request.id).or_insert(now);
+                    }
+                    if rem_frac < 1.0 {
+                        // Swap-in of a previously-preempted tenant: the PR
+                        // time just charged is the time-slice mode's cost.
+                        swap_reconfig_s += reconfig_s;
+                        self.telemetry.event_at(
+                            sim_us(now),
+                            "sim.swap_in",
+                            &[
+                                ("request", p.request.id.0.into()),
+                                ("remaining_fraction", rem_frac.into()),
+                                ("reconfig_s", reconfig_s.into()),
+                            ],
+                        );
+                        self.telemetry.inc_counter("sim.swap_ins", 1);
+                    }
                     {
                         let mut fpgas: Vec<_> = d.blocks.iter().map(|b| b.fpga).collect();
                         fpgas.sort_unstable();
@@ -681,7 +780,8 @@ impl ClusterSim {
                             scheduled_s: now,
                             exec_start_s: now,
                             completion_s: f64::INFINITY,
-                            service_s: model.service_s,
+                            service_s: model.service_s * rem_frac,
+                            full_service_s: model.service_s,
                             interface_overhead_fraction: model.overhead_fraction,
                             primary_fpga: model.primary_fpga,
                             ring_hops: model.max_hops,
@@ -719,6 +819,8 @@ impl ClusterSim {
             interrupted_jobs,
             wasted_block_s,
             busy_block_s: busy_integral,
+            preemptions,
+            swap_reconfig_s,
         })
     }
 
@@ -1357,6 +1459,135 @@ mod tests {
         assert_eq!(m.counters["sim.evictions"], 1);
         assert_eq!(m.counters["sim.placements"], 2);
         assert_eq!(m.counters["sim.completions"], 1);
+    }
+
+    /// First-fit plus a declared time-slice quantum.
+    struct SlicedFirstFit {
+        inner: FirstFit,
+        quantum_s: f64,
+    }
+
+    impl Scheduler for SlicedFirstFit {
+        fn name(&self) -> &str {
+            "first-fit-sliced"
+        }
+        fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+            self.inner.schedule(view, pending)
+        }
+        fn quantum_s(&self) -> Option<f64> {
+            Some(self.quantum_s)
+        }
+    }
+
+    #[test]
+    fn time_slicing_round_robins_an_oversubscribed_fpga() {
+        // One 4-block FPGA, three 4-block jobs of 2 s each arriving
+        // together: 3x the physical capacity. Non-preemptive first-fit
+        // serializes them; with a 0.5 s quantum they rotate through the
+        // fabric, every job is admitted early, and no work is lost.
+        let reqs: Vec<AppRequest> = (0..3)
+            .map(|i| AppRequest::new(i, format!("j{i}"), 4, 2.0e9))
+            .collect();
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![4]);
+        let serial = sim.run(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs.clone(),
+        );
+        let sliced = sim.run(
+            &mut SlicedFirstFit {
+                inner: FirstFit {
+                    whole_device: false,
+                },
+                quantum_s: 0.5,
+            },
+            reqs,
+        );
+
+        assert_eq!(sliced.completed(), 3);
+        assert!(
+            sliced.preemptions >= 2,
+            "preemptions {}",
+            sliced.preemptions
+        );
+        assert!(sliced.swap_reconfig_s > 0.0);
+        // Preemption preserves progress: nothing is wasted or restarted.
+        assert_eq!(sliced.interrupted_jobs, 0);
+        assert_eq!(sliced.total_restarts(), 0);
+        assert_eq!(sliced.wasted_block_s, 0.0);
+        assert!((sliced.goodput_fraction() - 1.0).abs() < 1e-12);
+        // Each job still executes its full 2 s of work (stints summed).
+        for o in &sliced.outcomes {
+            assert!(
+                (o.service_s - 2.0).abs() < 0.05,
+                "{} executed {}",
+                o.name,
+                o.service_s
+            );
+        }
+        // Fairness: the serialized run makes the last job wait for both
+        // predecessors (> 3.5 s); slicing admits everyone within ~2 quanta.
+        let worst = |r: &SimReport| {
+            r.outcomes
+                .iter()
+                .map(RequestOutcome::wait_s)
+                .fold(0.0, f64::max)
+        };
+        assert!(worst(&serial) > 3.5, "serial worst wait {}", worst(&serial));
+        assert!(worst(&sliced) < 1.5, "sliced worst wait {}", worst(&sliced));
+        // The swap cost shows up as a longer makespan, bounded by the
+        // number of swaps times the 4-block PR time.
+        assert!(sliced.makespan_s > 6.0);
+        assert!(sliced.makespan_s < 8.0, "makespan {}", sliced.makespan_s);
+    }
+
+    #[test]
+    fn quantum_expiry_without_demand_is_a_no_op() {
+        // A single job on an otherwise empty cluster must never be
+        // preempted no matter how many quanta expire.
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(
+            &mut SlicedFirstFit {
+                inner: FirstFit {
+                    whole_device: false,
+                },
+                quantum_s: 0.25,
+            },
+            vec![AppRequest::new(0, "solo", 4, 3.0e9)],
+        );
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.preemptions, 0);
+        assert_eq!(report.swap_reconfig_s, 0.0);
+        assert!((report.outcomes[0].service_s - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preemption_telemetry_rides_the_sim_timeline() {
+        use vital_telemetry::Telemetry;
+        let tel = Telemetry::sim();
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![4])
+            .with_telemetry(tel.clone());
+        let reqs: Vec<AppRequest> = (0..2)
+            .map(|i| AppRequest::new(i, format!("j{i}"), 4, 1.0e9))
+            .collect();
+        let report = sim.run(
+            &mut SlicedFirstFit {
+                inner: FirstFit {
+                    whole_device: false,
+                },
+                quantum_s: 0.3,
+            },
+            reqs,
+        );
+        assert_eq!(report.completed(), 2);
+        assert!(report.preemptions > 0);
+        let names: Vec<&str> = tel.records().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"sim.preempt"), "missing sim.preempt");
+        assert!(names.contains(&"sim.swap_in"), "missing sim.swap_in");
+        let m = tel.metrics();
+        assert_eq!(m.counters["sim.preemptions"], report.preemptions);
+        assert_eq!(m.counters["sim.swap_ins"], report.preemptions);
     }
 
     #[test]

@@ -488,6 +488,28 @@ pub trait Scheduler {
     /// Decide which pending requests to deploy, given the current state.
     /// Requests are provided in arrival order.
     fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment>;
+
+    /// Time-slice quantum in seconds, if the policy runs the cluster in
+    /// preemptive time-sliced mode (`None` — the default — disables
+    /// preemption).
+    ///
+    /// When a policy declares a quantum, the simulator arms a quantum
+    /// timer for every instance the moment it starts executing. At each
+    /// expiry, *if* demand is queued, the instance is swapped out: its
+    /// blocks free, its progress is preserved (the runtime suspends
+    /// tenants through the checkpoint path, so nothing is lost), and the
+    /// request re-queues with only its remaining work. Swapping back in
+    /// pays the deployment's reconfiguration cost again — the price of
+    /// time-multiplexing the fabric. This is what lets the cluster admit
+    /// more tenants than physically fit.
+    ///
+    /// Quantum timers ride the same generation protocol as completions, so
+    /// a full-device reconfiguration that pauses co-runners also cancels
+    /// their pending expiries; time-slicing is intended for
+    /// [`ReconfigKind::PartialPerBlock`] policies.
+    fn quantum_s(&self) -> Option<f64> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Cycle-level model of one latency-insensitive channel.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use vital_fabric::LinkTechnology;
@@ -117,6 +118,69 @@ impl ChannelSpec {
     }
 }
 
+/// Why a channel refused to quiesce.
+///
+/// Quiescing is only legal at a flit boundary: while a flit is still being
+/// serialized onto a link narrower than the flit, freezing the channel would
+/// capture a half-transferred flit that no snapshot format can represent.
+/// The control logic must keep the producer clock-gated and retry once the
+/// serialization window closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuiesceError {
+    /// A flit injection is still serializing onto the link; the channel can
+    /// quiesce no earlier than `ready_at`.
+    MidSerialization {
+        /// The cycle at which quiesce was attempted.
+        now: u64,
+        /// The first cycle at which the serialization window is closed.
+        ready_at: u64,
+    },
+}
+
+impl fmt::Display for QuiesceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuiesceError::MidSerialization { now, ready_at } => write!(
+                f,
+                "cannot quiesce at cycle {now}: flit serialization in progress until cycle {ready_at}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuiesceError {}
+
+/// The drained, deterministic state of one channel at quiesce time.
+///
+/// Flit timestamps are stored as *ages* relative to the drain cycle rather
+/// than absolute cycles, so a snapshot taken on one placement can be
+/// restored on another with a different time base. Restoring at a cycle at
+/// least as large as the oldest age reproduces the exact latency
+/// accounting; see [`Channel::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSnapshot {
+    /// The static parameters of the channel.
+    pub spec: ChannelSpec,
+    /// Cycles spent draining in-flight flits off the wire (0 if the wire
+    /// was already empty).
+    pub drain_cycles: u64,
+    /// Age (drain cycle − injected cycle) of each flit buffered in the
+    /// receiver FIFO, in FIFO order.
+    pub fifo_ages: Vec<u64>,
+    /// Flits delivered to the consumer before the quiesce.
+    pub delivered: u64,
+    /// Accumulated inject→pop latency of the delivered flits, in cycles.
+    pub latency_sum: u64,
+}
+
+impl ChannelSnapshot {
+    /// Flits captured in the snapshot (all of them sit in the FIFO: the
+    /// wire is drained by construction).
+    pub fn occupancy(&self) -> usize {
+        self.fifo_ages.len()
+    }
+}
+
 /// The dynamic state of one channel: in-flight flits plus the receiver FIFO,
 /// with credit-based back-pressure.
 ///
@@ -228,6 +292,77 @@ impl Channel {
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty() && self.fifo.is_empty()
     }
+
+    /// The first cycle at which [`Channel::quiesce`] can succeed: the
+    /// close of the serialization window opened by the last push (0 on an
+    /// untouched channel). Lets a controller check an entire channel set
+    /// before destructively draining any member.
+    pub fn quiesce_ready_at(&self) -> u64 {
+        self.next_inject_allowed
+    }
+
+    /// Quiesces the channel at cycle `now`: stops issuing credits, lets
+    /// every in-flight flit complete its wire latency, and captures the
+    /// resulting state as a deterministic [`ChannelSnapshot`].
+    ///
+    /// The channel itself is left fully drained (wire empty, captured flits
+    /// in the FIFO), so a subsequent teardown discards nothing that the
+    /// snapshot does not hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuiesceError::MidSerialization`] if a flit is still being
+    /// serialized onto the link (`now` is inside the serialization window
+    /// opened by the last [`Channel::push`]). This is the same condition
+    /// under which [`Channel::can_push`] withholds credit, so the drain
+    /// path can never trip the push credit assertion: it refuses with a
+    /// typed error before any state is touched.
+    pub fn quiesce(&mut self, now: u64) -> Result<ChannelSnapshot, QuiesceError> {
+        if now < self.next_inject_allowed {
+            return Err(QuiesceError::MidSerialization {
+                now,
+                ready_at: self.next_inject_allowed,
+            });
+        }
+        // Drain the wire: advance time to the last in-flight arrival.
+        let drained_at = self
+            .in_flight
+            .back()
+            .map_or(now, |&(arrival, _)| arrival.max(now));
+        self.advance(drained_at);
+        debug_assert!(self.in_flight.is_empty(), "drain must empty the wire");
+        Ok(ChannelSnapshot {
+            spec: self.spec,
+            drain_cycles: drained_at - now,
+            fifo_ages: self.fifo.iter().map(|&inj| drained_at - inj).collect(),
+            delivered: self.delivered,
+            latency_sum: self.latency_sum,
+        })
+    }
+
+    /// Rebuilds a channel from a snapshot, rebasing flit timestamps onto
+    /// the new time base `now`.
+    ///
+    /// Occupancy, delivery count, and accumulated latency are reproduced
+    /// exactly. When `now` is at least the oldest flit age (always true
+    /// when resuming on a fresh timeline whose `now` matches or exceeds the
+    /// drain cycle), future pops also accrue latency exactly as they would
+    /// have without the suspend; older `now` values clamp injected cycles
+    /// at 0 and under-count the buffered flits' remaining latency.
+    pub fn restore(snapshot: &ChannelSnapshot, now: u64) -> Self {
+        Channel {
+            spec: snapshot.spec,
+            in_flight: VecDeque::new(),
+            fifo: snapshot
+                .fifo_ages
+                .iter()
+                .map(|&age| now.saturating_sub(age))
+                .collect(),
+            next_inject_allowed: now,
+            delivered: snapshot.delivered,
+            latency_sum: snapshot.latency_sum,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +448,75 @@ mod tests {
             LinkClass::InterFpga.latency_cycles(&links)
                 > LinkClass::InterDie.latency_cycles(&links)
         );
+    }
+
+    #[test]
+    fn quiesce_drains_wire_into_snapshot() {
+        let mut c = Channel::new(fast_spec());
+        c.push(0);
+        c.push(1);
+        c.advance(2); // first flit lands in the FIFO
+        assert!(c.pop(2));
+        let snap = c.quiesce(2).expect("window closed at cycle 2");
+        // The second flit (injected at 1, latency 2) needed one more cycle.
+        assert_eq!(snap.drain_cycles, 1);
+        assert_eq!(snap.occupancy(), 1);
+        assert_eq!(snap.fifo_ages, vec![2]);
+        assert_eq!(snap.delivered, 1);
+        assert!(c.in_flight.is_empty(), "channel left drained");
+    }
+
+    #[test]
+    fn quiesce_mid_serialization_window_is_rejected() {
+        let spec = ChannelSpec {
+            serialization_interval: 3,
+            depth: 100,
+            ..fast_spec()
+        };
+        let mut c = Channel::new(spec);
+        c.push(0);
+        assert_eq!(
+            c.quiesce(1),
+            Err(QuiesceError::MidSerialization {
+                now: 1,
+                ready_at: 3
+            })
+        );
+        // The refusal is typed and non-destructive: retrying after the
+        // window closes succeeds with all state intact.
+        let snap = c.quiesce(3).expect("window closed at cycle 3");
+        assert_eq!(snap.occupancy(), 1);
+        assert!(!QuiesceError::MidSerialization {
+            now: 1,
+            ready_at: 3
+        }
+        .to_string()
+        .is_empty());
+    }
+
+    #[test]
+    fn restore_reproduces_occupancy_and_latency_accounting() {
+        let mut c = Channel::new(fast_spec());
+        c.push(0);
+        c.push(1);
+        c.advance(2);
+        assert!(c.pop(2));
+        let snap = c.quiesce(2).unwrap();
+
+        // Resume on a fresh time base well past the oldest age.
+        let mut r = Channel::restore(&snap, 100);
+        assert_eq!(r.occupancy(), snap.occupancy());
+        assert_eq!(r.delivered(), 1);
+        assert!(r.can_push(100), "credits resume after restore");
+        assert!(r.pop(100));
+        // The buffered flit was 2 cycles old at drain; popping right at the
+        // restore cycle adds exactly that age (both flits saw 2 cycles).
+        assert_eq!(r.avg_latency_cycles(), 2.0);
+
+        // A second quiesce of the restored channel reproduces the capsule.
+        let again = r.quiesce(100).unwrap();
+        assert_eq!(again.fifo_ages, Vec::<u64>::new());
+        assert_eq!(again.delivered, 2);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod channel;
 mod gen;
 mod sim;
 
-pub use channel::{Channel, ChannelSpec, LinkClass, CLOCK_MHZ};
+pub use channel::{Channel, ChannelSnapshot, ChannelSpec, LinkClass, QuiesceError, CLOCK_MHZ};
 pub use gen::{
     interface_resources, plan_channels, BufferPolicy, ChannelPlan, CommRegionModel, CutEdge,
     InterfaceConfig, PlannedChannel,

@@ -34,6 +34,14 @@ pub enum PeriphError {
     UnknownNic(u64),
     /// The virtual NIC's receive queue is full.
     RxQueueFull(u64),
+    /// A memory image could not be restored because its geometry does not
+    /// match the target board (different page size).
+    ImageMismatch {
+        /// Page size recorded in the image.
+        image_page_size: u64,
+        /// Page size of the target manager.
+        page_size: u64,
+    },
     /// A DMA descriptor's host range fell outside the host buffer.
     BadDmaRange {
         /// Byte offset into the host buffer.
@@ -62,6 +70,13 @@ impl fmt::Display for PeriphError {
             }
             PeriphError::UnknownNic(mac) => write!(f, "unknown virtual NIC {mac:#x}"),
             PeriphError::RxQueueFull(mac) => write!(f, "rx queue full on virtual NIC {mac:#x}"),
+            PeriphError::ImageMismatch {
+                image_page_size,
+                page_size,
+            } => write!(
+                f,
+                "memory image page size {image_page_size} does not match board page size {page_size}"
+            ),
             PeriphError::BadDmaRange {
                 offset,
                 len,

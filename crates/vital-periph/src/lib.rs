@@ -47,4 +47,4 @@ pub use arbiter::{BandwidthArbiter, ShareGrant};
 pub use dma::{DmaCompletion, DmaDescriptor, DmaDirection, DmaEngine};
 pub use error::PeriphError;
 pub use ethernet::{EthernetFrame, VirtualNic, VirtualSwitch};
-pub use vmem::{MemoryManager, MemoryStats, TenantId};
+pub use vmem::{MemoryImage, MemoryManager, MemoryStats, PageImage, TenantId};

@@ -63,6 +63,82 @@ pub struct MemoryStats {
     pub faults: u64,
 }
 
+/// 64-bit FNV-1a, written out so the digest is stable across Rust releases
+/// and platforms (the same idiom as the compiler's netlist digest).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_byte(h: &mut u64, b: u8) {
+    *h ^= u64::from(b);
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        fnv_byte(h, b);
+    }
+}
+
+/// One exported page of a tenant's address space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageImage {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// The page's bytes (exactly one page worth).
+    pub bytes: Vec<u8>,
+}
+
+/// A serializable image of one tenant's address space, produced by
+/// [`MemoryManager::export_space`] and consumed by
+/// [`MemoryManager::restore_space`] — the DRAM half of a live-migration
+/// checkpoint.
+///
+/// Only written pages are materialized; pages that were mapped but never
+/// written read as zero on both sides of a round trip, so the image is
+/// content-lossless without storing zero pages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryImage {
+    /// Page size of the exporting board in bytes.
+    pub page_size: u64,
+    /// The tenant's quota in bytes (page-aligned).
+    pub quota_bytes: u64,
+    /// Written pages, sorted by virtual page number.
+    pub pages: Vec<PageImage>,
+    /// Reads served before the export (carried so statistics survive a
+    /// migration).
+    pub reads: u64,
+    /// Writes served before the export.
+    pub writes: u64,
+    /// Protection faults blocked before the export.
+    pub faults: u64,
+}
+
+impl MemoryImage {
+    /// Stable 64-bit FNV-1a content digest over the image's *data*:
+    /// geometry, quota, and every page's number and bytes. Access counters
+    /// are deliberately excluded — two images with identical memory
+    /// contents digest identically even if one tenant read more often.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_u64(&mut h, self.page_size);
+        fnv_u64(&mut h, self.quota_bytes);
+        fnv_u64(&mut h, self.pages.len() as u64);
+        for page in &self.pages {
+            fnv_u64(&mut h, page.vpn);
+            fnv_u64(&mut h, page.bytes.len() as u64);
+            for &b in &page.bytes {
+                fnv_byte(&mut h, b);
+            }
+        }
+        h
+    }
+
+    /// Total bytes of page data carried by the image.
+    pub fn payload_bytes(&self) -> u64 {
+        self.pages.iter().map(|p| p.bytes.len() as u64).sum()
+    }
+}
+
 struct Inner {
     free_pages: u64,
     next_phys_page: u64,
@@ -314,6 +390,102 @@ impl MemoryManager {
     pub fn tenant_count(&self) -> usize {
         self.inner.read().spaces.len()
     }
+
+    /// Exports a tenant's address space as a serializable [`MemoryImage`]
+    /// — the DRAM half of a checkpoint capsule. Read-only: the tenant's
+    /// counters and pages are untouched, so export followed by
+    /// [`MemoryManager::destroy_space`] loses nothing the image does not
+    /// hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeriphError::UnknownTenant`] if no space exists.
+    pub fn export_space(&self, tenant: TenantId) -> Result<MemoryImage, PeriphError> {
+        let inner = self.inner.read();
+        let space = inner
+            .spaces
+            .get(&tenant)
+            .ok_or(PeriphError::UnknownTenant(tenant))?;
+        let mut pages: Vec<PageImage> = space
+            .page_table
+            .iter()
+            .filter_map(|(&vpn, ppn)| {
+                space.pages.get(ppn).map(|bytes| PageImage {
+                    vpn,
+                    bytes: bytes.clone(),
+                })
+            })
+            .collect();
+        pages.sort_by_key(|p| p.vpn);
+        Ok(MemoryImage {
+            page_size: self.page_size,
+            quota_bytes: space.quota_bytes,
+            pages,
+            reads: space.reads,
+            writes: space.writes,
+            faults: space.faults,
+        })
+    }
+
+    /// Rebuilds a tenant's address space from an exported image, restoring
+    /// quota, page contents, and access counters. Pages land on fresh
+    /// physical frames (the physical mapping is *not* part of the
+    /// abstraction), but every virtual address reads back the bytes it held
+    /// at export time.
+    ///
+    /// # Errors
+    ///
+    /// * [`PeriphError::ImageMismatch`] if the image's page size differs
+    ///   from this board's.
+    /// * [`PeriphError::SpaceExists`] if the tenant already has a space.
+    /// * [`PeriphError::OutOfMemory`] if the quota exceeds free DRAM.
+    /// * [`PeriphError::ProtectionFault`] if a page lies beyond the image's
+    ///   own quota (a corrupt capsule).
+    pub fn restore_space(&self, tenant: TenantId, image: &MemoryImage) -> Result<(), PeriphError> {
+        if image.page_size != self.page_size {
+            return Err(PeriphError::ImageMismatch {
+                image_page_size: image.page_size,
+                page_size: self.page_size,
+            });
+        }
+        let mut inner = self.inner.write();
+        if inner.spaces.contains_key(&tenant) {
+            return Err(PeriphError::SpaceExists(tenant));
+        }
+        let quota_pages = image.quota_bytes.div_ceil(self.page_size);
+        if quota_pages > inner.free_pages {
+            return Err(PeriphError::OutOfMemory {
+                requested: image.quota_bytes,
+                available: inner.free_pages * self.page_size,
+            });
+        }
+        for page in &image.pages {
+            if page.vpn >= quota_pages {
+                return Err(PeriphError::ProtectionFault {
+                    tenant,
+                    vaddr: page.vpn * self.page_size,
+                });
+            }
+        }
+        inner.free_pages -= quota_pages;
+        let mut space = AddressSpace {
+            quota_bytes: quota_pages * self.page_size,
+            reads: image.reads,
+            writes: image.writes,
+            faults: image.faults,
+            ..AddressSpace::default()
+        };
+        for page in &image.pages {
+            let ppn = inner.next_phys_page;
+            inner.next_phys_page += 1;
+            space.page_table.insert(page.vpn, ppn);
+            let mut bytes = page.bytes.clone();
+            bytes.resize(self.page_size as usize, 0);
+            space.pages.insert(ppn, bytes);
+        }
+        inner.spaces.insert(tenant, space);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +614,59 @@ mod tests {
             Err(PeriphError::UnknownTenant(ghost))
         );
         assert!(m.stats(ghost).is_err());
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_content_lossless() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 16 * 1024).unwrap();
+        m.write(t, 100, b"checkpoint me").unwrap();
+        m.write(t, 4096 - 3, b"straddle").unwrap();
+        let image = m.export_space(t).unwrap();
+        assert_eq!(image.quota_bytes, 16 * 1024);
+        assert!(image.pages.windows(2).all(|w| w[0].vpn < w[1].vpn));
+
+        // Migrate to a second board: contents and digest must survive.
+        let other = mm();
+        other.restore_space(t, &image).unwrap();
+        let mut buf = [0u8; 13];
+        other.read(t, 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"checkpoint me");
+        let mut buf = [0u8; 8];
+        other.read(t, 4096 - 3, &mut buf).unwrap();
+        assert_eq!(&buf, b"straddle");
+        let again = other.export_space(t).unwrap();
+        assert_eq!(again.content_digest(), image.content_digest());
+        assert_eq!(again.pages, image.pages);
+        // The extra read above is visible in the stats but not the digest.
+        assert_eq!(again.reads, image.reads + 2);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry_and_corrupt_images() {
+        let m = mm();
+        let t = TenantId::new(1);
+        m.create_space(t, 8192).unwrap();
+        m.write(t, 0, b"x").unwrap();
+        let image = m.export_space(t).unwrap();
+
+        let coarse = MemoryManager::new(1 << 20, 8192);
+        assert!(matches!(
+            coarse.restore_space(t, &image),
+            Err(PeriphError::ImageMismatch { .. })
+        ));
+
+        let mut corrupt = image.clone();
+        corrupt.pages[0].vpn = 1000; // beyond the 2-page quota
+        let fresh = mm();
+        assert!(matches!(
+            fresh.restore_space(TenantId::new(2), &corrupt),
+            Err(PeriphError::ProtectionFault { .. })
+        ));
+
+        // Restoring over a live space is refused.
+        assert_eq!(m.restore_space(t, &image), Err(PeriphError::SpaceExists(t)));
     }
 
     #[test]

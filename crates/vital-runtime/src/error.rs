@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use vital_compiler::CompileError;
+use vital_interface::QuiesceError;
 use vital_periph::{PeriphError, TenantId};
 
 /// Errors raised by the system controller.
@@ -42,6 +43,15 @@ pub enum RuntimeError {
     /// The requested cluster shape is unusable (empty layout or an FPGA
     /// with zero blocks).
     InvalidConfig(String),
+    /// Suspending the tenant was refused because a channel could not
+    /// quiesce (a flit is still mid-serialization); settle the tenant past
+    /// the reported cycle and retry.
+    Quiesce(QuiesceError),
+    /// The tenant is still deployed — suspend it before restoring a
+    /// checkpoint under its id.
+    TenantActive(TenantId),
+    /// No parked checkpoint exists for the tenant.
+    NotSuspended(TenantId),
 }
 
 impl fmt::Display for RuntimeError {
@@ -73,6 +83,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Relocation(e) => write!(f, "relocation error: {e}"),
             RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
             RuntimeError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            RuntimeError::Quiesce(e) => write!(f, "cannot suspend: {e}"),
+            RuntimeError::TenantActive(t) => {
+                write!(f, "{t} is still deployed; suspend it first")
+            }
+            RuntimeError::NotSuspended(t) => write!(f, "no parked checkpoint for {t}"),
         }
     }
 }
@@ -83,6 +98,7 @@ impl Error for RuntimeError {
             RuntimeError::Periph(e) => Some(e),
             RuntimeError::Relocation(e) => Some(e),
             RuntimeError::Compile(e) => Some(e),
+            RuntimeError::Quiesce(e) => Some(e),
             _ => None,
         }
     }
@@ -97,6 +113,12 @@ impl From<PeriphError> for RuntimeError {
 impl From<CompileError> for RuntimeError {
     fn from(e: CompileError) -> Self {
         RuntimeError::Relocation(e)
+    }
+}
+
+impl From<QuiesceError> for RuntimeError {
+    fn from(e: QuiesceError) -> Self {
+        RuntimeError::Quiesce(e)
     }
 }
 

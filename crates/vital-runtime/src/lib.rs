@@ -22,7 +22,15 @@
 //! NIC, and undeploy scrubs both.
 //!
 //! [`VitalScheduler`] adapts the same policy to the `vital-cluster`
-//! discrete-event simulator for the paper's §5.5 experiments.
+//! discrete-event simulator for the paper's §5.5 experiments; its
+//! [`VitalScheduler::time_sliced`] mode oversubscribes the cluster by
+//! swapping tenants on quantum expiry.
+//!
+//! Context save/restore: [`SystemController::suspend`] quiesces a tenant's
+//! channels, exports its DRAM, and parks a
+//! [`TenantCheckpoint`] capsule; [`SystemController::resume`] re-admits it
+//! losslessly, and [`SystemController::migrate_live`] chains the two so
+//! `defragment`/`evacuate` move tenants without dropping state.
 //!
 //! # Example
 //!
@@ -65,3 +73,9 @@ pub use error::RuntimeError;
 pub use policy::{allocate_blocks, AllocationOutcome};
 pub use resource_db::{BlockState, FpgaHealth, ResourceDatabase};
 pub use scheduler::VitalScheduler;
+// The checkpoint capsule types appear in the controller's public API;
+// re-export them so downstream users don't need a direct
+// `vital-checkpoint` dependency.
+pub use vital_checkpoint::{
+    quiesce_all, ChannelCheckpoint, CheckpointDigest, PlacementMeta, TenantCheckpoint,
+};

@@ -7,6 +7,9 @@
 //! compile  <name> <S|M|L>    # compile a Table 2 benchmark and register it
 //! deploy   <name>            # allocate blocks + partial reconfiguration
 //! undeploy <tenant-id>       # tear a deployment down
+//! suspend  <tenant-id>       # quiesce + park a checkpoint capsule
+//! resume   <tenant-id>       # restore a suspended tenant losslessly
+//! migrate  <tenant-id>       # live-migrate (suspend + resume in one step)
 //! defrag                     # migrate spanning tenants onto fewer FPGAs
 //! fail     <fpga>            # crash an FPGA (tenants migrate or die)
 //! recover  <fpga>            # bring a failed FPGA back online
@@ -56,6 +59,18 @@ fn print_status(stack: &VitalStack) {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    let suspended = stack.controller().suspended_tenants();
+    if !suspended.is_empty() {
+        println!(
+            "{} suspended tenant(s): {}",
+            suspended.len(),
+            suspended
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     let stats = stack.controller().failure_stats();
     if stats.fpga_failures + stats.evacuations > 0 {
         println!(
@@ -153,6 +168,62 @@ fn main() {
                     Err(e) => println!("undeploy failed: {e}"),
                 }
             }
+            "suspend" => {
+                let tenant = tokens
+                    .next()
+                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
+                let Some(raw) = tenant else {
+                    println!("usage: suspend <tenant-id>");
+                    continue;
+                };
+                match stack.controller().suspend(TenantId::new(raw)) {
+                    Ok(capsule) => println!(
+                        "tenant{raw} suspended: {} flit(s) in {} channel(s), digest {}",
+                        capsule.total_flits(),
+                        capsule.channels.len(),
+                        capsule.digest()
+                    ),
+                    Err(e) => println!("suspend failed: {e}"),
+                }
+            }
+            "resume" => {
+                let tenant = tokens
+                    .next()
+                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
+                let Some(raw) = tenant else {
+                    println!("usage: resume <tenant-id>");
+                    continue;
+                };
+                match stack.controller().resume(TenantId::new(raw)) {
+                    Ok(h) => println!(
+                        "tenant{raw} resumed on {} FPGA(s), reconfig {:?}",
+                        h.fpga_count(),
+                        h.reconfig_duration()
+                    ),
+                    Err(e) => println!("resume failed: {e}"),
+                }
+            }
+            "migrate" => {
+                let tenant = tokens
+                    .next()
+                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
+                let Some(raw) = tenant else {
+                    println!("usage: migrate <tenant-id>");
+                    continue;
+                };
+                match stack.controller().migrate_live(TenantId::new(raw)) {
+                    Ok(m) => println!(
+                        "migrated {}: {} -> {} FPGA(s), hop cost {} -> {}, reconfig {:?}",
+                        m.tenant,
+                        m.fpgas_before,
+                        m.fpgas_after,
+                        m.hop_cost_before,
+                        m.hop_cost_after,
+                        m.reconfig
+                    ),
+                    Err(e) => println!("migrate failed: {e}"),
+                }
+            }
             "defrag" => {
                 let migrated = stack.controller().defragment();
                 if migrated.is_empty() {
@@ -202,8 +273,8 @@ fn main() {
             "quit" | "exit" => break,
             other => {
                 println!(
-                    "unknown command {other:?} \
-                     (compile/deploy/undeploy/defrag/fail/recover/evacuate/status/quit)"
+                    "unknown command {other:?} (compile/deploy/undeploy/suspend/resume/\
+                     migrate/defrag/fail/recover/evacuate/status/quit)"
                 )
             }
         }

@@ -27,6 +27,7 @@
 //! | [`interface`] | latency-insensitive interface (§3.2, §3.5) |
 //! | [`compiler`] | six-step compilation flow (§3.3) |
 //! | [`periph`] | peripheral virtualization (§3.2) |
+//! | [`checkpoint`] | tenant context save/restore capsules (DESIGN.md §11) |
 //! | [`runtime`] | system layer: controller, databases, policy (§3.4) |
 //! | [`cluster`] | discrete-event cluster simulator (§5.2 platform) |
 //! | [`baselines`] | per-device cloud + AmorphOS comparisons (§5.2, §6.2) |
@@ -57,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use vital_baselines as baselines;
+pub use vital_checkpoint as checkpoint;
 pub use vital_cluster as cluster;
 pub use vital_compiler as compiler;
 pub use vital_fabric as fabric;
@@ -75,6 +77,7 @@ pub use stack::{StackConfig, VitalError, VitalStack};
 /// The most commonly used items of the whole stack, for glob import.
 pub mod prelude {
     pub use crate::stack::{StackConfig, VitalError, VitalStack};
+    pub use vital_checkpoint::{CheckpointDigest, TenantCheckpoint};
     pub use vital_cluster::{
         AppRequest, ClusterConfig, ClusterSim, FaultPlan, RetryPolicy, Scheduler,
     };

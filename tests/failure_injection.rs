@@ -107,7 +107,7 @@ fn controller_failure_migrates_tenants_off_the_dead_board() {
 }
 
 /// Acceptance: `evacuate` empties a draining FPGA by live migration and no
-/// tenant loses its DRAM contents (the board stays powered).
+/// tenant loses its DRAM contents — the image travels with the tenant.
 #[test]
 fn evacuation_empties_the_board_and_keeps_dram_contents() {
     let stack = VitalStack::new();
@@ -133,11 +133,16 @@ fn evacuation_empties_the_board_and_keeps_dram_contents() {
         assert!(db.tenants_on(f).is_empty(), "the board must end up empty");
     }
 
-    // DRAM home is untouched: same board, same contents.
+    // Evacuation is a live migration through the checkpoint path: the DRAM
+    // image moves with the tenant to its new home, so the drained board
+    // could be powered down without data loss.
+    assert_eq!(stack.controller().memory_of(home).tenant_count(), 0);
+    let new_home = db.holdings(h.tenant())[0].fpga.index() as usize;
+    assert_ne!(new_home, home, "the tenant must have left its home board");
     let mut buf = [0u8; 18];
     stack
         .controller()
-        .memory_of(home)
+        .memory_of(new_home)
         .read(h.tenant(), 0x100, &mut buf)
         .unwrap();
     assert_eq!(&buf, b"survives the drain");

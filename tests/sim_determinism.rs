@@ -63,6 +63,58 @@ fn identical_runs_are_byte_identical() {
     assert_eq!(chrome_a, chrome_b, "Chrome trace must be byte-identical");
 }
 
+/// One seeded run in preemptive time-slice mode: the workload is sized to
+/// oversubscribe the paper cluster so quantum expiries, swap-outs, and
+/// swap-ins all land on the timeline.
+fn run_once_sliced(seed: u64) -> (SimReport, String, String) {
+    let params = WorkloadParams {
+        requests: 40,
+        mean_interarrival_s: 0.05,
+        mean_service_s: 2.0,
+        seed,
+    };
+    let requests = generate_workload_set(
+        &WorkloadComposition::table3()[0],
+        &params,
+        &SizingModel::default(),
+    );
+
+    let telemetry = Telemetry::sim();
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster()).with_telemetry(telemetry.clone());
+    let report = sim.run(&mut VitalScheduler::time_sliced(0.4), requests);
+    (
+        report,
+        telemetry.export_jsonl(),
+        telemetry.export_chrome_trace(),
+    )
+}
+
+/// Preemption must not cost determinism: quantum expiries interleave with
+/// arrivals and completions in the same event heap, and swap state lives
+/// in maps that are keyed but never iterated — so a time-sliced run is as
+/// reproducible as a plain one.
+#[test]
+fn preemptive_runs_are_byte_identical() {
+    let (report_a, jsonl_a, chrome_a) = run_once_sliced(11);
+    let (report_b, jsonl_b, chrome_b) = run_once_sliced(11);
+
+    assert!(
+        report_a.preemptions > 0,
+        "the oversubscribed workload must actually trigger swaps"
+    );
+    assert!(
+        jsonl_a.contains("sim.preempt") && jsonl_a.contains("sim.swap_in"),
+        "preemption events must ride the sim timeline"
+    );
+
+    let json_a = serde_json::to_string(&report_a).expect("report serializes");
+    let json_b = serde_json::to_string(&report_b).expect("report serializes");
+    assert_eq!(json_a, json_b, "SimReport must be byte-identical");
+    assert_eq!(report_a, report_b);
+    assert_eq!(jsonl_a, jsonl_b, "telemetry JSONL must be byte-identical");
+    assert_eq!(chrome_a, chrome_b, "Chrome trace must be byte-identical");
+}
+
 /// Changing only the seed must change the trace — otherwise the
 /// byte-identity assertion above would pass vacuously.
 #[test]
