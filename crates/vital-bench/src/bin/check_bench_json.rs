@@ -6,6 +6,39 @@
 
 use vital_bench::{reports_dir, BenchRecord};
 
+/// Extra invariants for the `vitald` service-throughput record
+/// (`BENCH_service.json`): the acceptance bar is ≥ 64 concurrent clients
+/// with zero failed (non-rejected) requests, and the tail latency stored
+/// in the config map must be a real number.
+fn check_service_record(rec: &BenchRecord) -> Result<(), String> {
+    let knob = |key: &str| {
+        rec.config
+            .get(key)
+            .ok_or_else(|| format!("service record is missing config knob {key:?}"))
+    };
+    let concurrency: u64 = knob("concurrency")?
+        .parse()
+        .map_err(|e| format!("bad concurrency: {e}"))?;
+    if concurrency < 64 {
+        return Err(format!(
+            "service bench ran only {concurrency} concurrent clients (need >= 64)"
+        ));
+    }
+    let failed: u64 = knob("failed")?
+        .parse()
+        .map_err(|e| format!("bad failed count: {e}"))?;
+    if failed != 0 {
+        return Err(format!("service bench had {failed} failed request(s)"));
+    }
+    let p99: f64 = knob("p99_ms")?
+        .parse()
+        .map_err(|e| format!("bad p99_ms: {e}"))?;
+    if !p99.is_finite() || p99 < 0.0 {
+        return Err(format!("service bench has invalid p99_ms: {p99}"));
+    }
+    Ok(())
+}
+
 fn main() {
     let dir = reports_dir();
     let entries = match std::fs::read_dir(&dir) {
@@ -32,6 +65,9 @@ fn main() {
                     return Err(format!("record name {:?} does not match file", rec.name));
                 }
                 rec.validate()?;
+                if rec.name == "service" {
+                    check_service_record(&rec)?;
+                }
                 Ok(rec)
             });
         match result {

@@ -1,0 +1,190 @@
+//! `vitald` service throughput: N concurrent client sessions hammer the
+//! daemon core with deploy/undeploy cycles through the unified request
+//! API (DESIGN.md §12).
+//!
+//! The interesting property is not raw req/s (the simulated controller is
+//! cheap) but the admission pipeline's behaviour at saturation: every
+//! request must come back *typed* — success, or a retryable rejection
+//! (`Overloaded` backpressure, `InsufficientResources` on a momentarily
+//! full cluster). A request that fails non-retryably, times out past its
+//! retry budget, or never answers counts as **failed**, and the acceptance
+//! bar is zero failures at ≥ 64 concurrent clients.
+//!
+//! Emits `reports/BENCH_service.json`: samples are per-request service
+//! latencies in milliseconds; p99, req/s, and the rejected/failed counts
+//! ride in the config map.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::periph::TenantId;
+use vital::runtime::{ControlRequest, ControlResponse, RuntimeConfig, SystemController};
+use vital::service::{ServiceConfig, Vitald};
+use vital::telemetry::Telemetry;
+use vital_bench::{percentile, quick, write_bench_json, BenchRecord};
+
+/// Concurrent client sessions (the acceptance floor is 64).
+const CONCURRENCY: usize = 64;
+/// Retry budget per request; a retryable rejection beyond this is a
+/// failure.
+const MAX_ATTEMPTS: usize = 1000;
+
+struct Tally {
+    latencies_ms: Mutex<Vec<f64>>,
+    succeeded: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Calls until the request succeeds or the retry budget runs out,
+/// honouring the service's `retry_after_ms` hint (capped so a bench run
+/// stays fast). Returns the successful response, if any.
+fn call_with_retry(
+    client: &vital::service::ServiceClient,
+    req: &ControlRequest,
+    tally: &Tally,
+) -> Option<ControlResponse> {
+    for _ in 0..MAX_ATTEMPTS {
+        let t0 = Instant::now();
+        let resp = client.call(req.clone());
+        match resp.err() {
+            None => {
+                tally
+                    .latencies_ms
+                    .lock()
+                    .unwrap()
+                    .push(t0.elapsed().as_secs_f64() * 1e3);
+                tally.succeeded.fetch_add(1, Ordering::Relaxed);
+                return Some(resp);
+            }
+            Some(e) if e.is_retryable() => {
+                tally.rejected.fetch_add(1, Ordering::Relaxed);
+                let backoff = e.retry_after_ms.unwrap_or(1).min(5);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            Some(_) => break,
+        }
+    }
+    tally.failed.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let iterations = if quick() { 3 } else { 12 };
+
+    // One small app: a deploy/undeploy cycle is the minimal full-lifecycle
+    // unit of work, and 64 sessions cycling it keeps the paper cluster
+    // (60 blocks) near-saturated so backpressure actually engages.
+    let controller = Arc::new(
+        SystemController::new(RuntimeConfig::paper_cluster())
+            .with_telemetry(Telemetry::recording()),
+    );
+    let mut spec = AppSpec::new("svc-bench");
+    spec.add_operator("m", Operator::MacArray { pes: 8 });
+    let compiler = Compiler::new(CompilerConfig::default());
+    controller
+        .register(compiler.compile(&spec).unwrap().into_bitstream())
+        .unwrap();
+
+    let service_config = ServiceConfig::default().with_workers(8);
+    let workers = service_config.workers;
+    let queue_capacity = service_config.queue_capacity;
+    let vitald = Arc::new(Vitald::spawn(Arc::clone(&controller), service_config));
+
+    let tally = Arc::new(Tally {
+        latencies_ms: Mutex::new(Vec::new()),
+        succeeded: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+    });
+
+    let run_t0 = Instant::now();
+    let handles: Vec<_> = (0..CONCURRENCY)
+        .map(|_| {
+            let vitald = Arc::clone(&vitald);
+            let tally = Arc::clone(&tally);
+            std::thread::spawn(move || {
+                let client = vitald.client();
+                for _ in 0..iterations {
+                    let Some(ControlResponse::Deployed(s)) =
+                        call_with_retry(&client, &ControlRequest::deploy("svc-bench"), &tally)
+                    else {
+                        continue;
+                    };
+                    call_with_retry(
+                        &client,
+                        &ControlRequest::undeploy(TenantId::new(s.tenant)),
+                        &tally,
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let run_wall = run_t0.elapsed().as_secs_f64();
+
+    let succeeded = tally.succeeded.load(Ordering::Relaxed);
+    let rejected = tally.rejected.load(Ordering::Relaxed);
+    let failed = tally.failed.load(Ordering::Relaxed);
+    let latencies = tally.latencies_ms.lock().unwrap().clone();
+    let req_per_s = succeeded as f64 / run_wall.max(1e-9);
+    let p99_ms = percentile(&latencies, 0.99);
+
+    println!("service throughput: {CONCURRENCY} concurrent sessions x {iterations} cycles");
+    println!(
+        "  {succeeded} requests ok, {rejected} retryable rejections, {failed} failed \
+         in {run_wall:.2} s  ({req_per_s:.0} req/s)"
+    );
+    println!(
+        "  latency ms: p50 {:.3}  p95 {:.3}  p99 {:.3}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        p99_ms
+    );
+
+    println!("\nper-endpoint service latency (us, from telemetry):");
+    let snapshot = controller.telemetry().metrics();
+    for (name, h) in &snapshot.histograms {
+        if let Some(endpoint) = name.strip_prefix("service.latency_us.") {
+            println!(
+                "  {endpoint:<10} n={:<6} p50 {:>10.1}  p95 {:>10.1}  max {:>10.1}",
+                h.count, h.p50, h.p95, h.max
+            );
+        }
+    }
+    if let Some(batched) = snapshot.counters.get("service.batched_requests") {
+        println!("  {batched} deploys executed in shared admission rounds");
+    }
+
+    if failed > 0 {
+        eprintln!("FAILED: {failed} request(s) exhausted their retry budget");
+    }
+
+    let record = BenchRecord::new("service", latencies, t0.elapsed().as_secs_f64())
+        .with_config("concurrency", CONCURRENCY)
+        .with_config("iterations", iterations)
+        .with_config("workers", workers)
+        .with_config("queue_capacity", queue_capacity)
+        .with_config("succeeded", succeeded)
+        .with_config("rejected", rejected)
+        .with_config("failed", failed)
+        .with_config("req_per_s", format!("{req_per_s:.1}"))
+        .with_config("p99_ms", format!("{p99_ms:.3}"))
+        .with_config("quick", quick());
+    match write_bench_json(&record) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

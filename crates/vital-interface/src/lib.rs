@@ -23,6 +23,11 @@
 //! * [`measure_channel`] — the paper's first benchmark: random traffic over
 //!   one channel, reporting achieved bandwidth and latency.
 //!
+//! It additionally hosts the control plane's shared error taxonomy
+//! ([`ErrorCode`] / [`ApiError`]): the wire-stable failure vocabulary the
+//! system controller, the cluster simulator and the `vitald` service all
+//! report through (see DESIGN.md §12).
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +46,7 @@
 mod channel;
 mod gen;
 mod sim;
+mod status;
 
 pub use channel::{Channel, ChannelSnapshot, ChannelSpec, LinkClass, QuiesceError, CLOCK_MHZ};
 pub use gen::{
@@ -51,3 +57,4 @@ pub use sim::{
     measure_channel, network_from_plan, ActorId, ActorKind, BlockModel, ChannelId,
     ChannelMeasurement, NetworkSim, SimStats,
 };
+pub use status::{ApiError, ErrorCode};

@@ -1,0 +1,240 @@
+//! The shared error taxonomy of the control plane.
+//!
+//! Every layer that fields tenant requests — the system controller
+//! (`vital-runtime`), the cluster simulator (`vital-cluster`) and the
+//! `vitald` service front-end (`vital-service`) — reports failures through
+//! one wire-stable vocabulary: an [`ErrorCode`] naming *what class* of
+//! failure occurred plus a human-readable message. Machine clients switch
+//! on the code; humans read the message. The codes are part of the wire
+//! protocol (DESIGN.md §12) and must never be renamed, only extended.
+//!
+//! This module lives in `vital-interface` because it is the lowest crate
+//! both the runtime and the simulator already depend on; the taxonomy has
+//! no dependencies of its own beyond `serde`.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable, machine-readable failure classes of the control plane.
+///
+/// The serialized form is the variant name (the vendored serde encodes
+/// unit variants as strings), so each variant name is itself the stable
+/// wire code. [`ErrorCode::is_retryable`] partitions the codes into
+/// *rejections* (the request was refused without side effects and may be
+/// retried — capacity pressure, backpressure, drains) and hard failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// No application registered under the requested name.
+    UnknownApp,
+    /// An application with that name already exists with a different image.
+    AppExists,
+    /// Not enough free blocks in the cluster right now (retryable).
+    InsufficientResources,
+    /// No live deployment for the named tenant.
+    UnknownTenant,
+    /// The DRAM bandwidth arbiter could not grant the admission floor
+    /// (retryable once load drops).
+    BandwidthUnavailable,
+    /// A peripheral-virtualization operation (DRAM, vNIC, arbiter) failed.
+    Periph,
+    /// Binding a relocatable bitstream to physical blocks failed.
+    Relocation,
+    /// Compilation on behalf of the control plane failed.
+    Compile,
+    /// The requested configuration (cluster layout, service knobs) is
+    /// unusable.
+    InvalidConfig,
+    /// A channel could not quiesce (a flit is mid-serialization); settle
+    /// past the reported cycle and retry.
+    Quiesce,
+    /// The tenant is still deployed; suspend it before restoring.
+    TenantActive,
+    /// No parked checkpoint exists for the tenant.
+    NotSuspended,
+    /// The only capacity that could satisfy the request sits on a device
+    /// that is draining for maintenance; retry after the drain resolves
+    /// (the error carries a retry-after hint).
+    FpgaDraining,
+    /// The service's bounded request queue is full, or the session exceeded
+    /// its fair share of it; back off and retry (retryable).
+    Overloaded,
+    /// The request spent longer than its deadline queued and was dropped
+    /// *before execution*; it had no side effects (retryable).
+    Timeout,
+    /// The service is draining for shutdown and admits no new requests;
+    /// retry against another instance (retryable).
+    Draining,
+    /// The request kind is not supported by this endpoint (for example a
+    /// `Prepare` against a controller with no application resolver).
+    Unsupported,
+    /// The peer sent a frame that could not be parsed.
+    Protocol,
+    /// A scheduling policy handed the simulator an invalid deployment
+    /// (simulator-side; indicates a policy bug).
+    PolicyBug,
+    /// Any failure that does not fit a more specific class.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling of the code (identical to the serialized
+    /// variant name).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownApp => "UnknownApp",
+            ErrorCode::AppExists => "AppExists",
+            ErrorCode::InsufficientResources => "InsufficientResources",
+            ErrorCode::UnknownTenant => "UnknownTenant",
+            ErrorCode::BandwidthUnavailable => "BandwidthUnavailable",
+            ErrorCode::Periph => "Periph",
+            ErrorCode::Relocation => "Relocation",
+            ErrorCode::Compile => "Compile",
+            ErrorCode::InvalidConfig => "InvalidConfig",
+            ErrorCode::Quiesce => "Quiesce",
+            ErrorCode::TenantActive => "TenantActive",
+            ErrorCode::NotSuspended => "NotSuspended",
+            ErrorCode::FpgaDraining => "FpgaDraining",
+            ErrorCode::Overloaded => "Overloaded",
+            ErrorCode::Timeout => "Timeout",
+            ErrorCode::Draining => "Draining",
+            ErrorCode::Unsupported => "Unsupported",
+            ErrorCode::Protocol => "Protocol",
+            ErrorCode::PolicyBug => "PolicyBug",
+            ErrorCode::Internal => "Internal",
+        }
+    }
+
+    /// `true` for *rejections*: the request was refused without side
+    /// effects and a later retry may succeed. Benchmarks and SLO
+    /// accounting count these separately from hard failures.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::InsufficientResources
+                | ErrorCode::BandwidthUnavailable
+                | ErrorCode::Quiesce
+                | ErrorCode::FpgaDraining
+                | ErrorCode::Overloaded
+                | ErrorCode::Timeout
+                | ErrorCode::Draining
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One wire-encodable control-plane failure: a stable [`ErrorCode`], a
+/// human-readable message, and an optional retry-after hint for
+/// backpressure/drain rejections.
+///
+/// `ControlResponse::Err` carries this instead of a stringified Rust enum,
+/// so remote clients can switch on `code` without parsing prose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// The stable failure class.
+    pub code: ErrorCode,
+    /// Human-readable context (free-form; never parse this).
+    pub message: String,
+    /// For retryable rejections: a hint, in milliseconds, of when a retry
+    /// is worth attempting. `None` when the server has no estimate.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ApiError {
+    /// Builds an error with no retry hint.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attaches a retry-after hint (builder style).
+    #[must_use]
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// `true` when the failure is a retryable rejection (see
+    /// [`ErrorCode::is_retryable`]).
+    pub fn is_retryable(&self) -> bool {
+        self.code.is_retryable()
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms} ms)")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ApiError {}
+
+impl From<crate::QuiesceError> for ApiError {
+    fn from(e: crate::QuiesceError) -> Self {
+        ApiError::new(ErrorCode::Quiesce, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_through_json() {
+        for code in [
+            ErrorCode::UnknownApp,
+            ErrorCode::Overloaded,
+            ErrorCode::FpgaDraining,
+            ErrorCode::Internal,
+        ] {
+            let json = serde_json::to_string(&code).unwrap();
+            assert_eq!(json, format!("{:?}", code.as_str()));
+            let back: ErrorCode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, code);
+        }
+    }
+
+    #[test]
+    fn api_error_roundtrips_and_displays() {
+        let e = ApiError::new(ErrorCode::Overloaded, "queue full").with_retry_after_ms(25);
+        assert!(e.is_retryable());
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ApiError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        let text = e.to_string();
+        assert!(text.contains("Overloaded") && text.contains("25"), "{text}");
+    }
+
+    #[test]
+    fn retryable_partition_is_stable() {
+        assert!(ErrorCode::InsufficientResources.is_retryable());
+        assert!(ErrorCode::Draining.is_retryable());
+        assert!(!ErrorCode::UnknownApp.is_retryable());
+        assert!(!ErrorCode::Internal.is_retryable());
+    }
+
+    #[test]
+    fn quiesce_error_maps_to_code() {
+        let q = crate::QuiesceError::MidSerialization {
+            now: 4,
+            ready_at: 9,
+        };
+        let e = ApiError::from(q);
+        assert_eq!(e.code, ErrorCode::Quiesce);
+        assert!(e.message.contains('9'));
+    }
+}

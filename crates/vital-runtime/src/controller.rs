@@ -14,14 +14,28 @@ use vital_compiler::{
     BLOCK_CONFIG_BITS,
 };
 use vital_fabric::FpgaId;
-use vital_interface::{Channel, ChannelPlan, ChannelSpec, LinkClass};
+use vital_interface::{ApiError, Channel, ChannelPlan, ChannelSpec, LinkClass};
 use vital_netlist::hls::AppSpec;
 use vital_periph::{
     BandwidthArbiter, MemoryManager, ShareGrant, TenantId, VirtualNic, VirtualSwitch,
 };
 use vital_telemetry::Telemetry;
 
-use crate::{allocate_blocks, BitstreamDatabase, FpgaHealth, ResourceDatabase, RuntimeError};
+use crate::api::{
+    ControlRequest, ControlResponse, DeployRequest, DeploySummary, EvacuationSummary,
+    FailureSummary, FpgaStatus, MigrationSummary, StatusSummary, SuspendSummary,
+};
+use crate::{
+    allocate_blocks, AllocationOutcome, BitstreamDatabase, FpgaHealth, ResourceDatabase,
+    RuntimeError,
+};
+
+/// A pluggable compiler hook for [`ControlRequest::Prepare`]: given an
+/// application name the controller has never seen, produce (usually
+/// compile) its bitstream. Installed with
+/// [`SystemController::set_app_resolver`]; a controller without one
+/// answers `Prepare` for unknown names with [`RuntimeError::UnknownApp`].
+pub type AppResolver = Box<dyn Fn(&str) -> Result<AppBitstream, RuntimeError> + Send + Sync>;
 
 /// Configuration of the runtime: cluster shape plus peripheral capacities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -273,6 +287,8 @@ pub struct SystemController {
     next_tenant: AtomicU64,
     failure_stats: Mutex<FailureStats>,
     telemetry: Telemetry,
+    /// Optional compile hook for [`ControlRequest::Prepare`].
+    resolver: Mutex<Option<AppResolver>>,
 }
 
 impl fmt::Debug for SystemController {
@@ -316,6 +332,7 @@ impl SystemController {
             next_tenant: AtomicU64::new(1),
             failure_stats: Mutex::new(FailureStats::default()),
             telemetry: Telemetry::disabled(),
+            resolver: Mutex::new(None),
             config,
         }
     }
@@ -472,25 +489,41 @@ impl SystemController {
     /// [`RuntimeError::BandwidthUnavailable`] when
     /// [`RuntimeConfig::min_bandwidth_fraction`] gates admission and the
     /// arbiter cannot grant the floor.
+    ///
+    /// This is a thin shim over the unified entry point
+    /// ([`SystemController::try_execute`] with a
+    /// [`ControlRequest::Deploy`]); prefer building a [`DeployRequest`]
+    /// when you already speak the request API.
     pub fn deploy_with_quota(
         &self,
         name: &str,
         quota_bytes: u64,
     ) -> Result<DeployHandle, RuntimeError> {
+        let req = DeployRequest::app(name).with_quota_bytes(quota_bytes);
+        match self.try_execute(ControlRequest::Deploy(req))? {
+            ControlResponse::Deployed(s) => Ok(self
+                .handle_of(TenantId::new(s.tenant))
+                .expect("freshly deployed tenant has a live handle")),
+            other => unreachable!("deploy answered with {other:?}"),
+        }
+    }
+
+    /// The deploy implementation behind [`ControlRequest::Deploy`] (fresh
+    /// placements; restores go through
+    /// [`SystemController::do_resume_from`]).
+    fn do_deploy(&self, name: &str, quota_bytes: u64) -> Result<DeployHandle, RuntimeError> {
+        let quota_bytes = if quota_bytes == 0 {
+            self.config.default_quota_bytes
+        } else {
+            quota_bytes
+        };
         let mut span = self.telemetry.span("runtime.deploy");
         span.field("app", name);
         let bitstream = self.bitstreams.get(name)?;
         let needed = bitstream.block_count();
         span.field("needed", needed);
 
-        let free_lists: Vec<_> = (0..self.resources.fpga_count())
-            .map(|f| self.resources.free_blocks_of(f))
-            .collect();
-        let alloc =
-            allocate_blocks(&free_lists, needed).ok_or(RuntimeError::InsufficientResources {
-                needed,
-                free: self.resources.total_free(),
-            })?;
+        let alloc = self.allocate_or_explain(needed)?;
         // The §3.4 policy's round number equals the FPGAs admitted.
         span.field("round", alloc.fpgas_used);
         span.field("fpgas_used", alloc.fpgas_used);
@@ -565,6 +598,30 @@ impl SystemController {
         self.telemetry
             .record_hist("runtime.deploy_hop_cost", alloc.hop_cost as f64);
         Ok(handle)
+    }
+
+    /// Runs the §3.4 allocator over the current free lists. On failure,
+    /// tells a genuinely full cluster ([`RuntimeError::InsufficientResources`])
+    /// apart from capacity parked on a [`Draining`](FpgaHealth::Draining)
+    /// device ([`RuntimeError::Draining`], a typed retry-after rejection).
+    fn allocate_or_explain(&self, needed: usize) -> Result<AllocationOutcome, RuntimeError> {
+        let free_lists: Vec<_> = (0..self.resources.fpga_count())
+            .map(|f| self.resources.free_blocks_of(f))
+            .collect();
+        if let Some(alloc) = allocate_blocks(&free_lists, needed) {
+            return Ok(alloc);
+        }
+        let draining = (0..self.resources.fpga_count()).find(|&f| {
+            self.resources.health_of(f) == FpgaHealth::Draining
+                && self.resources.idle_count_of(f) >= needed
+        });
+        Err(match draining {
+            Some(fpga) => RuntimeError::Draining { fpga, needed },
+            None => RuntimeError::InsufficientResources {
+                needed,
+                free: self.resources.total_free(),
+            },
+        })
     }
 
     /// Primary FPGA = the one hosting the most blocks (lowest index wins
@@ -1179,7 +1236,25 @@ impl SystemController {
     /// * [`RuntimeError::InsufficientResources`] when no placement fits.
     /// * [`RuntimeError::Periph`] / [`RuntimeError::BandwidthUnavailable`]
     ///   for DRAM or bandwidth admission failures.
+    ///
+    /// This is a thin shim over the unified entry point
+    /// ([`SystemController::try_execute`] with a
+    /// [`ControlRequest::Deploy`] whose [`DeployRequest::restore`] is
+    /// set); prefer the request API when you already hold a capsule as a
+    /// value.
     pub fn resume_from(&self, checkpoint: &TenantCheckpoint) -> Result<DeployHandle, RuntimeError> {
+        let req = DeployRequest::restore(checkpoint.clone());
+        match self.try_execute(ControlRequest::Deploy(req))? {
+            ControlResponse::Resumed(s) => Ok(self
+                .handle_of(TenantId::new(s.tenant))
+                .expect("freshly resumed tenant has a live handle")),
+            other => unreachable!("restore answered with {other:?}"),
+        }
+    }
+
+    /// The restore implementation behind a [`ControlRequest::Deploy`]
+    /// carrying a checkpoint capsule.
+    fn do_resume_from(&self, checkpoint: &TenantCheckpoint) -> Result<DeployHandle, RuntimeError> {
         let tenant = checkpoint.tenant;
         if self.tenants.lock().contains_key(&tenant) {
             return Err(RuntimeError::TenantActive(tenant));
@@ -1190,14 +1265,7 @@ impl SystemController {
         let bitstream = self.bitstreams.get(&checkpoint.placement.app)?;
         let needed = bitstream.block_count();
 
-        let free_lists: Vec<_> = (0..self.resources.fpga_count())
-            .map(|f| self.resources.free_blocks_of(f))
-            .collect();
-        let alloc =
-            allocate_blocks(&free_lists, needed).ok_or(RuntimeError::InsufficientResources {
-                needed,
-                free: self.resources.total_free(),
-            })?;
+        let alloc = self.allocate_or_explain(needed)?;
         span.field("fpgas_used", alloc.fpgas_used);
         span.field("hop_cost", alloc.hop_cost);
 
@@ -1359,6 +1427,196 @@ impl SystemController {
     /// The parked checkpoint of a suspended tenant, if any.
     pub fn checkpoint_of(&self, tenant: TenantId) -> Option<TenantCheckpoint> {
         self.suspended.lock().get(&tenant).cloned()
+    }
+
+    /// A clone of the live [`DeployHandle`] of `tenant`, or `None` if the
+    /// tenant is not currently deployed. The snapshot reflects the
+    /// placement at admission time; query
+    /// [`SystemController::resources`] for the live one.
+    pub fn handle_of(&self, tenant: TenantId) -> Option<DeployHandle> {
+        self.tenants.lock().get(&tenant).map(|s| s.handle.clone())
+    }
+
+    /// Installs the compile hook behind [`ControlRequest::Prepare`]: asked
+    /// to prepare an unregistered application, the controller calls the
+    /// resolver to produce its bitstream (the `vitald` daemon installs one
+    /// that compiles the named benchmark workload). Without a resolver,
+    /// preparing an unknown name fails with [`RuntimeError::UnknownApp`].
+    pub fn set_app_resolver(&self, resolver: AppResolver) {
+        *self.resolver.lock() = Some(resolver);
+    }
+
+    /// [`ControlRequest::Prepare`]: ensure the named app is registered,
+    /// resolving (compiling) it if needed.
+    fn prepare(&self, app: &str) -> Result<ControlResponse, RuntimeError> {
+        if self.bitstreams.get(app).is_ok() {
+            return Ok(ControlResponse::Prepared {
+                app: app.to_string(),
+                cache_hit: true,
+            });
+        }
+        let mut span = self.telemetry.span("runtime.prepare");
+        span.field("app", app);
+        // The resolver runs under the lock: concurrent prepares of the
+        // same app would otherwise compile it twice just to race into
+        // `insert_or_get`.
+        let resolver = self.resolver.lock();
+        let resolve = resolver
+            .as_ref()
+            .ok_or_else(|| RuntimeError::UnknownApp(app.to_string()))?;
+        let bitstream = resolve(app)?;
+        self.bitstreams.insert_or_get(bitstream.renamed(app))?;
+        Ok(ControlResponse::Prepared {
+            app: app.to_string(),
+            cache_hit: false,
+        })
+    }
+
+    fn check_fpga(&self, fpga: usize) -> Result<(), RuntimeError> {
+        if fpga < self.resources.fpga_count() {
+            Ok(())
+        } else {
+            Err(RuntimeError::InvalidConfig(format!(
+                "FPGA {fpga} is out of range (cluster has {})",
+                self.resources.fpga_count()
+            )))
+        }
+    }
+
+    /// The unified control-plane entry point: every management operation
+    /// the controller offers, dispatched from one typed
+    /// [`ControlRequest`]. The legacy methods (`deploy`,
+    /// `deploy_with_quota`, `resume_from`, …) are thin shims over this.
+    ///
+    /// # Errors
+    ///
+    /// The union of what the individual operations return, as a typed
+    /// [`RuntimeError`]. Use [`SystemController::execute`] to get failures
+    /// as a [`ControlResponse::Err`] value instead (the wire shape).
+    pub fn try_execute(&self, req: ControlRequest) -> Result<ControlResponse, RuntimeError> {
+        match req {
+            ControlRequest::Deploy(r) => match r.restore {
+                Some(cp) => {
+                    let handle = self.do_resume_from(&cp)?;
+                    Ok(ControlResponse::Resumed(DeploySummary::from(&handle)))
+                }
+                None => {
+                    let handle = self.do_deploy(&r.app, r.quota_bytes)?;
+                    Ok(ControlResponse::Deployed(DeploySummary::from(&handle)))
+                }
+            },
+            ControlRequest::Undeploy { tenant } => {
+                self.undeploy(TenantId::new(tenant))?;
+                Ok(ControlResponse::Undeployed { tenant })
+            }
+            ControlRequest::Suspend { tenant } => {
+                let cp = self.suspend(TenantId::new(tenant))?;
+                Ok(ControlResponse::Suspended(SuspendSummary::from(&cp)))
+            }
+            ControlRequest::Resume { tenant } => {
+                let handle = self.resume(TenantId::new(tenant))?;
+                Ok(ControlResponse::Resumed(DeploySummary::from(&handle)))
+            }
+            ControlRequest::Migrate { tenant } => {
+                let m = self.migrate_live(TenantId::new(tenant))?;
+                Ok(ControlResponse::Migrated(MigrationSummary::from(&m)))
+            }
+            ControlRequest::Evacuate { fpga } => {
+                self.check_fpga(fpga)?;
+                let report = self.evacuate(fpga);
+                Ok(ControlResponse::Evacuated(EvacuationSummary::from_report(
+                    fpga, &report,
+                )))
+            }
+            ControlRequest::Fail { fpga } => {
+                self.check_fpga(fpga)?;
+                let report = self.fail_fpga(fpga);
+                Ok(ControlResponse::FpgaFailed(FailureSummary::from_report(
+                    fpga, &report,
+                )))
+            }
+            ControlRequest::Recover { fpga } => {
+                self.check_fpga(fpga)?;
+                self.recover_fpga(fpga);
+                Ok(ControlResponse::Recovered { fpga })
+            }
+            ControlRequest::Defragment => {
+                let migrations = self
+                    .defragment()
+                    .iter()
+                    .map(MigrationSummary::from)
+                    .collect();
+                Ok(ControlResponse::Defragmented { migrations })
+            }
+            ControlRequest::Status => Ok(ControlResponse::Status(self.status_summary())),
+            ControlRequest::Prepare { app } => self.prepare(&app),
+        }
+    }
+
+    /// Like [`SystemController::try_execute`], but failures come back as a
+    /// [`ControlResponse::Err`] carrying the shared [`ApiError`] taxonomy
+    /// — the exact value a remote `vitald` client would receive, so
+    /// in-process and networked callers behave identically.
+    pub fn execute(&self, req: ControlRequest) -> ControlResponse {
+        self.try_execute(req)
+            .unwrap_or_else(|e| ControlResponse::Err(ApiError::from(&e)))
+    }
+
+    /// Executes a batch admitted as **one allocator round**: the requests
+    /// run back-to-back under a single `runtime.admission_round` telemetry
+    /// span (the `vitald` service batches compatible deploys this way).
+    /// Each request still answers individually — one response per request,
+    /// in order.
+    pub fn execute_many(&self, reqs: Vec<ControlRequest>) -> Vec<ControlResponse> {
+        let mut span = self.telemetry.span("runtime.admission_round");
+        span.field("batch", reqs.len());
+        self.telemetry.inc_counter("runtime.admission_rounds", 1);
+        reqs.into_iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// The [`ControlRequest::Status`] snapshot: per-device health and
+    /// block occupancy plus tenancy and failure counters.
+    pub fn status_summary(&self) -> StatusSummary {
+        let free_counts = self.resources.free_counts();
+        let fpgas = (0..self.resources.fpga_count())
+            .map(|f| {
+                let health = match self.resources.health_of(f) {
+                    FpgaHealth::Online => "Online",
+                    FpgaHealth::Draining => "Draining",
+                    FpgaHealth::Offline => "Offline",
+                };
+                let blocks = (0..self.resources.blocks_of(f))
+                    .map(|b| {
+                        let addr = vital_fabric::BlockAddr::new(
+                            FpgaId::new(f as u32),
+                            vital_fabric::PhysicalBlockId::new(b as u32),
+                        );
+                        match self.resources.state(addr) {
+                            Some(crate::BlockState::Active(t)) => t.raw(),
+                            _ => 0,
+                        }
+                    })
+                    .collect();
+                FpgaStatus {
+                    fpga: f,
+                    health: health.to_string(),
+                    blocks,
+                    free: free_counts[f],
+                }
+            })
+            .collect();
+        let stats = self.failure_stats();
+        StatusSummary {
+            fpgas,
+            total_free: self.resources.total_free(),
+            live_tenants: self.live_tenants().iter().map(|t| t.raw()).collect(),
+            suspended_tenants: self.suspended_tenants().iter().map(|t| t.raw()).collect(),
+            fpga_failures: stats.fpga_failures,
+            fpga_recoveries: stats.fpga_recoveries,
+            evacuations: stats.evacuations,
+            tenants_migrated: stats.tenants_migrated,
+            tenants_torn_down: stats.tenants_torn_down,
+        }
     }
 }
 

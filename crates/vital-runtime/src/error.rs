@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use vital_compiler::CompileError;
-use vital_interface::QuiesceError;
+use vital_interface::{ApiError, ErrorCode, QuiesceError};
 use vital_periph::{PeriphError, TenantId};
 
 /// Errors raised by the system controller.
@@ -52,6 +52,17 @@ pub enum RuntimeError {
     TenantActive(TenantId),
     /// No parked checkpoint exists for the tenant.
     NotSuspended(TenantId),
+    /// The request failed for free blocks, but enough *idle* blocks to
+    /// satisfy it sit on a [`Draining`](crate::FpgaHealth::Draining)
+    /// device: capacity exists, it just is not allocatable until the drain
+    /// resolves. A typed retry-after rejection — retry once the device
+    /// finishes draining (or is recovered).
+    Draining {
+        /// The draining FPGA holding enough idle blocks.
+        fpga: usize,
+        /// Blocks the request needs.
+        needed: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -88,6 +99,11 @@ impl fmt::Display for RuntimeError {
                 write!(f, "{t} is still deployed; suspend it first")
             }
             RuntimeError::NotSuspended(t) => write!(f, "no parked checkpoint for {t}"),
+            RuntimeError::Draining { fpga, needed } => write!(
+                f,
+                "FPGA {fpga} is draining: {needed} idle block(s) there could satisfy \
+                 the request once the drain resolves; retry later"
+            ),
         }
     }
 }
@@ -122,6 +138,41 @@ impl From<QuiesceError> for RuntimeError {
     }
 }
 
+impl RuntimeError {
+    /// The stable control-plane code of this error (the shared taxonomy of
+    /// [`vital_interface::ErrorCode`]). `ControlResponse::Err` carries this
+    /// code plus the rendered message, so machine clients never parse the
+    /// prose.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            RuntimeError::UnknownApp(_) => ErrorCode::UnknownApp,
+            RuntimeError::AppExists(_) => ErrorCode::AppExists,
+            RuntimeError::InsufficientResources { .. } => ErrorCode::InsufficientResources,
+            RuntimeError::UnknownTenant(_) => ErrorCode::UnknownTenant,
+            RuntimeError::BandwidthUnavailable { .. } => ErrorCode::BandwidthUnavailable,
+            RuntimeError::Periph(_) => ErrorCode::Periph,
+            RuntimeError::Relocation(_) => ErrorCode::Relocation,
+            RuntimeError::Compile(_) => ErrorCode::Compile,
+            RuntimeError::InvalidConfig(_) => ErrorCode::InvalidConfig,
+            RuntimeError::Quiesce(_) => ErrorCode::Quiesce,
+            RuntimeError::TenantActive(_) => ErrorCode::TenantActive,
+            RuntimeError::NotSuspended(_) => ErrorCode::NotSuspended,
+            RuntimeError::Draining { .. } => ErrorCode::FpgaDraining,
+        }
+    }
+}
+
+impl From<&RuntimeError> for ApiError {
+    fn from(e: &RuntimeError) -> Self {
+        let api = ApiError::new(e.code(), e.to_string());
+        match e {
+            // Draining is a maintenance window: hint a coarse retry delay.
+            RuntimeError::Draining { .. } => api.with_retry_after_ms(1_000),
+            _ => api,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +183,25 @@ mod tests {
         assert_err::<RuntimeError>();
         let e = RuntimeError::Periph(PeriphError::UnknownNic(5));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_map_to_shared_taxonomy() {
+        assert_eq!(
+            RuntimeError::UnknownApp("x".into()).code(),
+            ErrorCode::UnknownApp
+        );
+        assert_eq!(
+            RuntimeError::InsufficientResources { needed: 4, free: 1 }.code(),
+            ErrorCode::InsufficientResources
+        );
+        let draining = RuntimeError::Draining { fpga: 2, needed: 5 };
+        let api = ApiError::from(&draining);
+        assert_eq!(api.code, ErrorCode::FpgaDraining);
+        assert!(api.is_retryable());
+        assert!(api.retry_after_ms.is_some(), "draining carries a hint");
+        let hard = ApiError::from(&RuntimeError::UnknownTenant(TenantId::new(9)));
+        assert!(!hard.is_retryable());
+        assert!(hard.message.contains('9'));
     }
 }

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod bitstream_db;
 mod controller;
 mod error;
@@ -64,10 +65,14 @@ mod policy;
 mod resource_db;
 mod scheduler;
 
+pub use api::{
+    ControlRequest, ControlResponse, DeployRequest, DeploySummary, EvacuationSummary,
+    FailureSummary, FpgaStatus, MigrationSummary, StatusSummary, SuspendSummary,
+};
 pub use bitstream_db::{BitstreamDatabase, CacheStats};
 pub use controller::{
-    CompileOutcome, DeployHandle, EvacuationReport, FailureReport, FailureStats, Migration,
-    RuntimeConfig, SystemController,
+    AppResolver, CompileOutcome, DeployHandle, EvacuationReport, FailureReport, FailureStats,
+    Migration, RuntimeConfig, SystemController,
 };
 pub use error::RuntimeError;
 pub use policy::{allocate_blocks, AllocationOutcome};

@@ -186,6 +186,20 @@ impl ResourceDatabase {
             .unwrap_or_default()
     }
 
+    /// Unclaimed blocks on one FPGA **regardless of its health**. Where
+    /// [`ResourceDatabase::free_counts`] reports what is allocatable right
+    /// now, this reports raw idle capacity — the number the controller
+    /// uses to tell "the cluster is full" apart from "capacity exists but
+    /// sits on a [`Draining`](FpgaHealth::Draining) device".
+    pub fn idle_count_of(&self, fpga: usize) -> usize {
+        let inner = self.inner.read();
+        inner
+            .states
+            .get(fpga)
+            .map(|blocks| blocks.iter().filter(|s| **s == BlockState::Free).count())
+            .unwrap_or(0)
+    }
+
     /// Total free blocks.
     pub fn total_free(&self) -> usize {
         self.free_counts().iter().sum()

@@ -1,0 +1,106 @@
+//! The `vitald` daemon: a `SystemController` over the paper cluster,
+//! fronted by the admission pipeline and the TCP wire protocol.
+//!
+//! ```text
+//! vitald [--listen ADDR] [--workers N] [--queue-depth N]
+//!        [--timeout-ms MS] [--batch-max N]
+//! ```
+//!
+//! Connect with `vitalctl --connect ADDR` or any client speaking the
+//! length-prefixed JSON protocol of DESIGN.md §12. Benchmarks of the
+//! paper suite deploy by name (`lenet-S` … `vgg-L`): the daemon installs
+//! a resolver that compiles them on first use.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vital_runtime::{RuntimeConfig, SystemController};
+use vital_service::{benchmark_resolver, ServiceConfig, ServiceServer, Vitald};
+use vital_telemetry::Telemetry;
+
+struct Options {
+    listen: String,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut listen = "127.0.0.1:7700".to_string();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--workers" => {
+                config = config.with_workers(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--queue-depth" => {
+                config = config.with_queue_capacity(
+                    value("--queue-depth")?
+                        .parse()
+                        .map_err(|e| format!("--queue-depth: {e}"))?,
+                );
+            }
+            "--timeout-ms" => {
+                config = config.with_request_timeout(Duration::from_millis(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                ));
+            }
+            "--batch-max" => {
+                config = config.with_batch_max(
+                    value("--batch-max")?
+                        .parse()
+                        .map_err(|e| format!("--batch-max: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "vitald [--listen ADDR] [--workers N] [--queue-depth N] \
+                     [--timeout-ms MS] [--batch-max N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Options { listen, config })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("vitald: {e}");
+            std::process::exit(2);
+        }
+    };
+    let controller = Arc::new(
+        SystemController::new(RuntimeConfig::paper_cluster())
+            .with_telemetry(Telemetry::recording()),
+    );
+    controller.set_app_resolver(benchmark_resolver());
+    let vitald = Vitald::spawn(controller, opts.config.clone());
+    let server = match ServiceServer::serve(&vitald, &opts.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vitald: cannot listen on {}: {e}", opts.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "vitald listening on {} ({} workers, queue depth {})",
+        server.local_addr(),
+        opts.config.workers,
+        opts.config.queue_capacity
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

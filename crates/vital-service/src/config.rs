@@ -1,0 +1,101 @@
+//! Tuning knobs of one `vitald` instance.
+
+use std::time::Duration;
+
+/// Configuration of the admission pipeline and worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads executing requests against the controller.
+    pub workers: usize,
+    /// Total requests the admission queue holds before new submissions
+    /// are rejected with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Queued requests allowed per session; one chatty tenant cannot
+    /// starve the others past this.
+    pub per_session_limit: usize,
+    /// Deadline per request, covering both queue wait and execution. A
+    /// request that goes stale in the queue is answered `Timeout` without
+    /// ever executing; a caller stops waiting after the same span.
+    pub request_timeout: Duration,
+    /// Most compatible deploys batched into a single allocator round
+    /// (`1` disables batching).
+    pub batch_max: usize,
+    /// Artificial pause before each executed request — a fault-injection
+    /// knob for tests that need a provably full queue. Zero in production.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            per_session_limit: 32,
+            request_timeout: Duration::from_secs(30),
+            batch_max: 8,
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Override the worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the admission-queue capacity (minimum 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Override the per-session queued-request allowance (minimum 1).
+    #[must_use]
+    pub fn with_per_session_limit(mut self, limit: usize) -> Self {
+        self.per_session_limit = limit.max(1);
+        self
+    }
+
+    /// Override the per-request deadline.
+    #[must_use]
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Override the deploy-batching limit (`1` disables batching).
+    #[must_use]
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Inject an artificial pause before each executed request (tests).
+    #[must_use]
+    pub fn with_worker_delay(mut self, delay: Duration) -> Self {
+        self.worker_delay = delay;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_to_sane_minimums() {
+        let c = ServiceConfig::default()
+            .with_workers(0)
+            .with_queue_capacity(0)
+            .with_per_session_limit(0)
+            .with_batch_max(0);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.queue_capacity, 1);
+        assert_eq!(c.per_session_limit, 1);
+        assert_eq!(c.batch_max, 1);
+    }
+}

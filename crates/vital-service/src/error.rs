@@ -1,0 +1,128 @@
+//! Service-layer failures, distinct from [`vital_runtime::RuntimeError`]:
+//! these arise *around* the controller — admission, transport, deadlines —
+//! never inside it. They map onto the same shared taxonomy
+//! ([`vital_interface::ErrorCode`]) so a client sees one vocabulary.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use vital_interface::{ApiError, ErrorCode};
+
+/// Errors raised by the `vitald` service and its clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The admission queue (or the caller's per-session allowance) is
+    /// full. The request was **not** enqueued and has no side effects —
+    /// back off and retry.
+    Overloaded {
+        /// Suggested back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The service is draining toward shutdown and admits no new
+    /// requests. Queued work still completes.
+    Draining {
+        /// Suggested back-off before retrying (against a restarted
+        /// instance), in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request missed its deadline — either it went stale in the
+    /// queue (never executed) or the caller stopped waiting.
+    Timeout {
+        /// The deadline that was missed.
+        after: Duration,
+    },
+    /// The peer closed the connection.
+    Disconnected,
+    /// A malformed frame or envelope arrived on the wire.
+    Protocol(String),
+    /// An I/O error on the transport.
+    Io(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { retry_after_ms } => write!(
+                f,
+                "service overloaded: admission queue is full, retry after {retry_after_ms} ms"
+            ),
+            ServiceError::Draining { retry_after_ms } => write!(
+                f,
+                "service is draining for shutdown, retry after {retry_after_ms} ms"
+            ),
+            ServiceError::Timeout { after } => {
+                write!(f, "request timed out after {} ms", after.as_millis())
+            }
+            ServiceError::Disconnected => write!(f, "peer disconnected"),
+            ServiceError::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            ServiceError::Io(reason) => write!(f, "transport error: {reason}"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+impl ServiceError {
+    /// The stable control-plane code of this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServiceError::Draining { .. } => ErrorCode::Draining,
+            ServiceError::Timeout { .. } => ErrorCode::Timeout,
+            ServiceError::Disconnected | ServiceError::Io(_) => ErrorCode::Internal,
+            ServiceError::Protocol(_) => ErrorCode::Protocol,
+        }
+    }
+}
+
+impl From<&ServiceError> for ApiError {
+    fn from(e: &ServiceError) -> Self {
+        let api = ApiError::new(e.code(), e.to_string());
+        match e {
+            ServiceError::Overloaded { retry_after_ms }
+            | ServiceError::Draining { retry_after_ms } => api.with_retry_after_ms(*retry_after_ms),
+            _ => api,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => ServiceError::Disconnected,
+            // Socket read deadlines surface as either kind depending on
+            // the platform; both mean "nothing arrived in time".
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                ServiceError::Timeout {
+                    after: Duration::ZERO,
+                }
+            }
+            _ => ServiceError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_errors_map_to_shared_taxonomy() {
+        let e = ServiceError::Overloaded { retry_after_ms: 50 };
+        let api = ApiError::from(&e);
+        assert_eq!(api.code, ErrorCode::Overloaded);
+        assert_eq!(api.retry_after_ms, Some(50));
+        assert!(api.is_retryable());
+
+        let api = ApiError::from(&ServiceError::Timeout {
+            after: Duration::from_millis(250),
+        });
+        assert_eq!(api.code, ErrorCode::Timeout);
+        assert!(api.message.contains("250"));
+
+        let api = ApiError::from(&ServiceError::Protocol("bad frame".into()));
+        assert!(!api.is_retryable());
+    }
+}

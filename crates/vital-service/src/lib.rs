@@ -1,0 +1,115 @@
+//! `vitald` — the multi-tenant control-plane service in front of the
+//! [`SystemController`] (DESIGN.md §12).
+//!
+//! The paper's hypervisor layer needs a *service*, not a library: many
+//! tenants submitting management operations concurrently, with admission
+//! control between them and the controller. This crate provides that
+//! daemon three ways at once:
+//!
+//! * **One request API** — every operation is a typed
+//!   [`ControlRequest`](vital_runtime::ControlRequest) answered by a
+//!   [`ControlResponse`](vital_runtime::ControlResponse) (defined in
+//!   `vital-runtime`, executed by
+//!   [`SystemController::execute`](vital_runtime::SystemController::execute)),
+//!   so in-process and remote callers speak the same types end to end.
+//! * **An admission pipeline** — a bounded, session-fair queue
+//!   ([`ServiceConfig::queue_capacity`] /
+//!   [`ServiceConfig::per_session_limit`]) feeding a worker pool.
+//!   Overload is a typed, side-effect-free rejection
+//!   ([`ServiceError::Overloaded`]) issued at push time; per-request
+//!   deadlines expire stale jobs unexecuted; compatible deploys at the
+//!   queue head are batched into one allocator round
+//!   ([`ServiceConfig::batch_max`]).
+//! * **A wire protocol** — length-prefixed JSON frames over TCP
+//!   ([`ServiceServer`] / [`RemoteClient`]), carrying the same enums as
+//!   the in-process path.
+//!
+//! Shutdown is graceful: [`Vitald::shutdown`] drains the queue (new
+//! submissions answered [`ServiceError::Draining`] with a retry hint)
+//! and completes queued work before the workers exit.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vital_runtime::{ControlRequest, ControlResponse, RuntimeConfig, SystemController};
+//! use vital_service::{ServiceConfig, Vitald};
+//!
+//! let controller = Arc::new(SystemController::new(RuntimeConfig::paper_cluster()));
+//! let vitald = Vitald::spawn(controller, ServiceConfig::default());
+//! let client = vitald.client();
+//! let resp = client.call(ControlRequest::Status);
+//! assert!(matches!(resp, ControlResponse::Status(_)));
+//! vitald.shutdown();
+//! ```
+//!
+//! [`SystemController`]: vital_runtime::SystemController
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod error;
+mod queue;
+mod server;
+mod service;
+mod slot;
+mod wire;
+
+pub use client::RemoteClient;
+pub use config::ServiceConfig;
+pub use error::ServiceError;
+pub use server::ServiceServer;
+pub use service::{ServiceClient, Vitald};
+pub use wire::{read_frame, write_frame, RequestEnvelope, ResponseEnvelope, MAX_FRAME_BYTES};
+
+use vital_compiler::{Compiler, CompilerConfig};
+use vital_runtime::{AppResolver, RuntimeError};
+use vital_workloads::{benchmarks, Size};
+
+/// An [`AppResolver`] over the paper's benchmark suite: resolves names of
+/// the form `<benchmark>-<S|M|L>` (e.g. `"lenet-S"`) by synthesizing and
+/// compiling the matching [`DnnBenchmark`](vital_workloads::DnnBenchmark)
+/// variant. The `vitald` daemon installs this so remote clients can
+/// `Prepare`/`Deploy` benchmarks by name without shipping netlists.
+pub fn benchmark_resolver() -> AppResolver {
+    Box::new(|name: &str| {
+        let (bench, size) = name
+            .rsplit_once('-')
+            .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))?;
+        let size = match size {
+            "S" => Size::Small,
+            "M" => Size::Medium,
+            "L" => Size::Large,
+            _ => return Err(RuntimeError::UnknownApp(name.to_string())),
+        };
+        let suite = benchmarks();
+        let b = suite
+            .iter()
+            .find(|b| b.name() == bench)
+            .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))?;
+        let compiled = Compiler::new(CompilerConfig::default())
+            .compile(&b.spec(size))
+            .map_err(RuntimeError::Compile)?;
+        Ok(compiled.into_bitstream())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_resolver_rejects_unknown_names() {
+        let resolve = benchmark_resolver();
+        assert!(matches!(
+            resolve("nonsense"),
+            Err(RuntimeError::UnknownApp(_))
+        ));
+        assert!(matches!(
+            resolve("lenet-X"),
+            Err(RuntimeError::UnknownApp(_))
+        ));
+    }
+}

@@ -1,0 +1,272 @@
+//! The bounded, session-fair admission queue.
+//!
+//! Submissions are grouped by session and drained round-robin, so one
+//! chatty tenant cannot starve the rest. The queue is bounded twice over —
+//! a global capacity and a per-session allowance — and a submission that
+//! would exceed either is rejected **at push time** with
+//! [`ServiceError::Overloaded`]: the request never executes, acquires no
+//! resources, and therefore cannot leak anything. Backpressure is a typed
+//! answer, not a deadlock.
+//!
+//! Built on [`std::sync::Mutex`]/[`Condvar`] (the vendored `parking_lot`
+//! carries no condition variable) — the queue holds the lock only for
+//! pointer shuffling, never across request execution.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::error::ServiceError;
+use crate::slot::SlotHandle;
+use vital_runtime::ControlRequest;
+
+/// One queued request: what to run, who asked, and where to put the
+/// answer.
+pub(crate) struct Job {
+    /// The request to execute.
+    pub req: ControlRequest,
+    /// The submitting session.
+    pub session: u64,
+    /// When the job entered the queue (latency accounting).
+    pub enqueued: Instant,
+    /// Deadline after which the job is answered `Timeout` unexecuted.
+    pub deadline: Instant,
+    /// Completion slot the submitting client waits on.
+    pub slot: SlotHandle,
+}
+
+struct Inner {
+    /// Pending jobs per session.
+    sessions: BTreeMap<u64, VecDeque<Job>>,
+    /// Round-robin rotation over sessions with pending jobs.
+    order: VecDeque<u64>,
+    /// Total queued jobs (sum of all session queues).
+    len: usize,
+    /// Once set, pushes are rejected with `Draining`; pops keep serving
+    /// until the queue is empty, then return `None`.
+    draining: bool,
+}
+
+/// The session-fair bounded queue between clients and the worker pool.
+pub(crate) struct FairQueue {
+    capacity: usize,
+    per_session: usize,
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    /// Signalled whenever the queue shrinks (shutdown waits on empty).
+    got_smaller: Condvar,
+}
+
+impl FairQueue {
+    pub fn new(capacity: usize, per_session: usize) -> Self {
+        FairQueue {
+            capacity,
+            per_session,
+            inner: Mutex::new(Inner {
+                sessions: BTreeMap::new(),
+                order: VecDeque::new(),
+                len: 0,
+                draining: false,
+            }),
+            not_empty: Condvar::new(),
+            got_smaller: Condvar::new(),
+        }
+    }
+
+    /// Admits a job, or rejects it without side effects.
+    pub fn push(&self, job: Job, retry_after_ms: u64) -> Result<(), ServiceError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.draining {
+            return Err(ServiceError::Draining { retry_after_ms });
+        }
+        if inner.len >= self.capacity {
+            return Err(ServiceError::Overloaded { retry_after_ms });
+        }
+        let session = job.session;
+        let q = inner.sessions.entry(session).or_default();
+        if q.len() >= self.per_session {
+            return Err(ServiceError::Overloaded { retry_after_ms });
+        }
+        let was_empty = q.is_empty();
+        q.push_back(job);
+        inner.len += 1;
+        if was_empty {
+            inner.order.push_back(session);
+        }
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next job round-robin, blocking while the queue is empty.
+    /// Returns `None` once the queue is draining *and* empty — the worker
+    /// exit condition.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = Self::take_next(&mut inner) {
+                self.got_smaller.notify_all();
+                return Some(job);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Takes up to `max` additional *batchable* head-of-queue jobs,
+    /// following the same rotation as [`FairQueue::pop`]. Only session
+    /// heads are taken, so per-session submission order is preserved.
+    /// Never blocks.
+    pub fn pop_batchable(&self, max: usize) -> Vec<Job> {
+        let mut batch = Vec::new();
+        if max == 0 {
+            return batch;
+        }
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        // Each session gets one look per sweep; stop when a full sweep
+        // yields nothing batchable.
+        let mut misses = 0;
+        while batch.len() < max && misses < inner.order.len() {
+            let Some(&session) = inner.order.front() else {
+                break;
+            };
+            let head_batchable = inner
+                .sessions
+                .get(&session)
+                .and_then(|q| q.front())
+                .is_some_and(|j| j.req.is_batchable() && j.deadline > Instant::now());
+            if head_batchable {
+                let job = Self::take_next(&mut inner).expect("head exists");
+                batch.push(job);
+                misses = 0;
+            } else {
+                inner.order.rotate_left(1);
+                misses += 1;
+            }
+        }
+        if !batch.is_empty() {
+            self.got_smaller.notify_all();
+        }
+        batch
+    }
+
+    fn take_next(inner: &mut Inner) -> Option<Job> {
+        let session = *inner.order.front()?;
+        let q = inner
+            .sessions
+            .get_mut(&session)
+            .expect("ordered session has a queue");
+        let job = q.pop_front().expect("ordered session queue is non-empty");
+        inner.len -= 1;
+        inner.order.pop_front();
+        if q.is_empty() {
+            inner.sessions.remove(&session);
+        } else {
+            // Rotate: the session goes to the back of the service order.
+            inner.order.push_back(session);
+        }
+        Some(job)
+    }
+
+    /// Flips the queue into draining mode: new pushes are rejected with
+    /// `Draining`, queued jobs still execute, and blocked workers wake so
+    /// they can observe the exit condition.
+    pub fn drain(&self) {
+        self.inner.lock().expect("queue lock poisoned").draining = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Blocks until every queued job has been taken by a worker.
+    pub fn wait_empty(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        while inner.len > 0 {
+            inner = self.got_smaller.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Queued jobs right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn job(session: u64) -> Job {
+        Job {
+            req: ControlRequest::Status,
+            session,
+            enqueued: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(60),
+            slot: SlotHandle::new(),
+        }
+    }
+
+    fn deploy_job(session: u64) -> Job {
+        Job {
+            req: ControlRequest::deploy("app"),
+            ..job(session)
+        }
+    }
+
+    #[test]
+    fn bounded_push_rejects_overloaded() {
+        let q = FairQueue::new(2, 2);
+        q.push(job(1), 10).unwrap();
+        q.push(job(1), 10).unwrap();
+        let err = q.push(job(1), 10).unwrap_err();
+        assert!(matches!(err, ServiceError::Overloaded { .. }));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn per_session_cap_rejects_before_global() {
+        let q = FairQueue::new(100, 1);
+        q.push(job(1), 10).unwrap();
+        assert!(matches!(
+            q.push(job(1), 10),
+            Err(ServiceError::Overloaded { .. })
+        ));
+        // A different session still fits.
+        q.push(job(2), 10).unwrap();
+    }
+
+    #[test]
+    fn pop_is_round_robin_across_sessions() {
+        let q = FairQueue::new(100, 10);
+        q.push(job(1), 10).unwrap();
+        q.push(job(1), 10).unwrap();
+        q.push(job(2), 10).unwrap();
+        let order: Vec<u64> = (0..3).map(|_| q.pop().unwrap().session).collect();
+        assert_eq!(order, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn draining_rejects_pushes_and_unblocks_pop() {
+        let q = FairQueue::new(10, 10);
+        q.push(job(1), 10).unwrap();
+        q.drain();
+        assert!(matches!(
+            q.push(job(1), 10),
+            Err(ServiceError::Draining { .. })
+        ));
+        assert!(q.pop().is_some(), "queued work survives the drain");
+        assert!(q.pop().is_none(), "drained and empty means stop");
+    }
+
+    #[test]
+    fn pop_batchable_takes_only_deploy_heads() {
+        let q = FairQueue::new(100, 10);
+        q.push(deploy_job(1), 10).unwrap();
+        q.push(job(1), 10).unwrap(); // status behind the deploy
+        q.push(deploy_job(2), 10).unwrap();
+        let batch = q.pop_batchable(8);
+        assert_eq!(batch.len(), 2, "one deploy head per session");
+        assert_eq!(q.len(), 1, "the status job stays queued");
+    }
+}

@@ -1,0 +1,154 @@
+//! The TCP front of a [`Vitald`]: one listener thread accepting
+//! connections, one thread per connection, each connection a session.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::service::{ServiceClient, Vitald};
+use crate::wire::{read_frame, write_frame, RequestEnvelope, ResponseEnvelope};
+use crate::ServiceError;
+
+/// How often blocking loops re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running TCP listener bound to a [`Vitald`]. Stops (and joins its
+/// threads) on [`ServiceServer::stop`] or drop.
+pub struct ServiceServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServiceServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting. Each
+    /// connection becomes its own service session.
+    pub fn serve(vitald: &Vitald, addr: &str) -> std::io::Result<ServiceServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conn_threads);
+        // Sessions are minted in the accept loop, so the handle must not
+        // borrow the Vitald: pre-mint is impossible (sessions are
+        // per-connection), hence a factory closure over fresh clients.
+        let clients = ClientFactory::new(vitald);
+        let accept_thread = std::thread::Builder::new()
+            .name("vitald-accept".to_string())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let client = clients.fresh();
+                            let conn_stop = Arc::clone(&accept_stop);
+                            let handle = std::thread::Builder::new()
+                                .name("vitald-conn".to_string())
+                                .spawn(move || serve_connection(stream, client, conn_stop))
+                                .expect("spawn connection thread");
+                            accept_conns
+                                .lock()
+                                .expect("connection list poisoned")
+                                .push(handle);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })?;
+
+        Ok(ServiceServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects idle connections, joins every thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("connection list poisoned")
+            .drain(..)
+            .collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServiceServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Mints a fresh [`ServiceClient`] (session) per accepted connection
+/// without keeping a borrow on the [`Vitald`].
+struct ClientFactory {
+    template: ServiceClient,
+}
+
+impl ClientFactory {
+    fn new(vitald: &Vitald) -> Self {
+        ClientFactory {
+            template: vitald.client(),
+        }
+    }
+
+    fn fresh(&self) -> ServiceClient {
+        self.template.sibling()
+    }
+}
+
+fn serve_connection(stream: TcpStream, client: ServiceClient, stop: Arc<AtomicBool>) {
+    // A finite read timeout keeps the thread responsive to shutdown even
+    // on an idle connection.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while !stop.load(Ordering::Relaxed) {
+        let envelope: RequestEnvelope = match read_frame(&mut reader) {
+            Ok(env) => env,
+            // Idle poll tick (the read deadline elapsed with no frame):
+            // loop to re-check the stop flag.
+            Err(ServiceError::Timeout { .. }) => continue,
+            Err(_) => return, // disconnect or garbage: drop the session
+        };
+        let resp = client.call(envelope.req);
+        let reply = ResponseEnvelope {
+            id: envelope.id,
+            resp,
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The daemon core: a worker pool draining the fair queue into the
+//! [`SystemController`], plus the in-process client.
+//!
+//! Request lifecycle (DESIGN.md §12): **queued** (admitted by
+//! [`FairQueue::push`]) → **admitted** (taken by a worker; stale jobs are
+//! answered `Timeout` here without executing) → **executing** (a
+//! [`SystemController::execute`] call, or one `execute_many` round for a
+//! batch of compatible deploys) → **done** (the response lands in the
+//! caller's completion slot).
+//!
+//! [`FairQueue::push`]: crate::queue::FairQueue::push
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use vital_runtime::{ControlRequest, ControlResponse, SystemController};
+use vital_telemetry::Telemetry;
+
+use crate::config::ServiceConfig;
+use crate::error::ServiceError;
+use crate::queue::{FairQueue, Job};
+use crate::slot::SlotHandle;
+
+/// Per-endpoint latency histogram name (telemetry metric names must be
+/// `'static`).
+fn latency_hist(endpoint: &str) -> &'static str {
+    match endpoint {
+        "deploy" => "service.latency_us.deploy",
+        "restore" => "service.latency_us.restore",
+        "undeploy" => "service.latency_us.undeploy",
+        "suspend" => "service.latency_us.suspend",
+        "resume" => "service.latency_us.resume",
+        "migrate" => "service.latency_us.migrate",
+        "evacuate" => "service.latency_us.evacuate",
+        "fail" => "service.latency_us.fail",
+        "recover" => "service.latency_us.recover",
+        "defrag" => "service.latency_us.defrag",
+        "status" => "service.latency_us.status",
+        "prepare" => "service.latency_us.prepare",
+        _ => "service.latency_us.other",
+    }
+}
+
+struct ServiceInner {
+    controller: Arc<SystemController>,
+    queue: FairQueue,
+    config: ServiceConfig,
+    next_session: AtomicU64,
+}
+
+impl ServiceInner {
+    fn telemetry(&self) -> &Telemetry {
+        self.controller.telemetry()
+    }
+
+    /// Suggested client back-off: half the request deadline, at least
+    /// 1 ms — long enough to matter, short enough to retry within one
+    /// deadline.
+    fn retry_after_ms(&self) -> u64 {
+        (self.config.request_timeout.as_millis() as u64 / 2).max(1)
+    }
+
+    fn submit(&self, session: u64, req: ControlRequest) -> Result<SlotHandle, ServiceError> {
+        let slot = SlotHandle::new();
+        let now = Instant::now();
+        let job = Job {
+            req,
+            session,
+            enqueued: now,
+            deadline: now + self.config.request_timeout,
+            slot: slot.clone(),
+        };
+        self.queue.push(job, self.retry_after_ms()).map_err(|e| {
+            let name = match e {
+                ServiceError::Draining { .. } => "service.rejected_draining",
+                _ => "service.rejected_overload",
+            };
+            self.telemetry().inc_counter(name, 1);
+            e
+        })?;
+        Ok(slot)
+    }
+
+    /// Answers one job: stale jobs get `Timeout` unexecuted; live ones
+    /// run against the controller, with latency accounted per endpoint.
+    fn finish(&self, job: Job, resp: ControlResponse) {
+        let endpoint = job.req.endpoint();
+        let elapsed_us = job.enqueued.elapsed().as_micros() as f64;
+        let telemetry = self.telemetry();
+        telemetry.record_hist(latency_hist(endpoint), elapsed_us);
+        telemetry.inc_counter("service.requests", 1);
+        if !resp.is_ok() {
+            telemetry.inc_counter("service.request_errors", 1);
+        }
+        job.slot.complete(resp);
+    }
+
+    fn expire(&self, job: Job) {
+        let timeout = ServiceError::Timeout {
+            after: self.config.request_timeout,
+        };
+        self.telemetry().inc_counter("service.timeouts", 1);
+        job.slot.complete(ControlResponse::Err((&timeout).into()));
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            if Instant::now() >= job.deadline {
+                // Stale in the queue: answered without executing, so the
+                // rejection provably acquired nothing.
+                self.expire(job);
+                continue;
+            }
+            if !self.config.worker_delay.is_zero() {
+                std::thread::sleep(self.config.worker_delay);
+            }
+            let mut span = self.telemetry().span("service.request");
+            span.field("endpoint", job.req.endpoint());
+            span.field("session", job.session);
+            if job.req.is_batchable() && self.config.batch_max > 1 {
+                // One admission round for every compatible deploy at the
+                // head of the queue.
+                let mut jobs = vec![job];
+                jobs.extend(self.queue.pop_batchable(self.config.batch_max - 1));
+                span.field("batch", jobs.len());
+                if jobs.len() > 1 {
+                    self.telemetry()
+                        .inc_counter("service.batched_requests", jobs.len() as u64);
+                }
+                let reqs: Vec<ControlRequest> = jobs.iter().map(|j| j.req.clone()).collect();
+                let resps = self.controller.execute_many(reqs);
+                for (job, resp) in jobs.into_iter().zip(resps) {
+                    self.finish(job, resp);
+                }
+            } else {
+                let resp = self.controller.execute(job.req.clone());
+                self.finish(job, resp);
+            }
+        }
+    }
+}
+
+/// The `vitald` daemon: owns a worker pool over one
+/// [`SystemController`] and hands out sessions ([`ServiceClient`]).
+/// Dropping without [`Vitald::shutdown`] aborts queued work with
+/// `Draining` answers.
+pub struct Vitald {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Vitald {
+    /// Starts the worker pool over `controller`.
+    pub fn spawn(controller: Arc<SystemController>, config: ServiceConfig) -> Self {
+        let inner = Arc::new(ServiceInner {
+            queue: FairQueue::new(config.queue_capacity, config.per_session_limit),
+            controller,
+            config,
+            next_session: AtomicU64::new(1),
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("vitald-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Vitald { inner, workers }
+    }
+
+    /// A new session: requests submitted through the returned client get
+    /// their own fairness allowance in the admission queue.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            inner: Arc::clone(&self.inner),
+            session: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The controller behind the service.
+    pub fn controller(&self) -> &Arc<SystemController> {
+        &self.inner.controller
+    }
+
+    /// Queued (not yet executing) requests right now.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Graceful shutdown: stop admitting (new submissions are answered
+    /// `Draining` with a retry hint), let every queued request finish,
+    /// then join the workers.
+    pub fn shutdown(mut self) {
+        self.inner.queue.drain();
+        self.inner.queue.wait_empty();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Vitald {
+    fn drop(&mut self) {
+        self.inner.queue.drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// An in-process client: one session against a [`Vitald`]. Cheap to
+/// clone-per-thread via [`Vitald::client`]; safe to share (`&self`
+/// methods).
+pub struct ServiceClient {
+    inner: Arc<ServiceInner>,
+    session: u64,
+}
+
+impl ServiceClient {
+    /// The session id of this client.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// A client on the same service under a **fresh** session id — the
+    /// sibling gets its own fairness allowance, exactly like
+    /// [`Vitald::client`].
+    pub fn sibling(&self) -> ServiceClient {
+        ServiceClient {
+            inner: Arc::clone(&self.inner),
+            session: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Submits a request and waits for its typed answer. Never blocks
+    /// past the configured request timeout; admission rejections
+    /// (`Overloaded`, `Draining`) and deadline misses come back as
+    /// [`ControlResponse::Err`] values carrying the shared taxonomy, the
+    /// same shape a remote client sees.
+    pub fn call(&self, req: ControlRequest) -> ControlResponse {
+        match self.try_call(req) {
+            Ok(resp) => resp,
+            Err(e) => ControlResponse::Err((&e).into()),
+        }
+    }
+
+    /// Like [`ServiceClient::call`], with service-layer failures as a
+    /// typed [`ServiceError`] instead of a response value.
+    pub fn try_call(&self, req: ControlRequest) -> Result<ControlResponse, ServiceError> {
+        let slot = self.inner.submit(self.session, req)?;
+        // Wait a little past the service deadline: a job taken right at
+        // its deadline still answers.
+        let grace = self.inner.config.request_timeout / 4;
+        slot.wait(self.inner.config.request_timeout + grace)
+            .ok_or(ServiceError::Timeout {
+                after: self.inner.config.request_timeout,
+            })
+    }
+}

@@ -1,0 +1,78 @@
+//! The completion slot a client waits on: a one-shot rendezvous between
+//! the worker that executes a request and the caller that submitted it.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vital_runtime::ControlResponse;
+
+struct Slot {
+    response: Mutex<Option<ControlResponse>>,
+    done: Condvar,
+}
+
+/// A cloneable handle on one request's completion slot. The worker
+/// [`complete`](SlotHandle::complete)s it exactly once; the client
+/// [`wait`](SlotHandle::wait)s with a deadline.
+#[derive(Clone)]
+pub(crate) struct SlotHandle(Arc<Slot>);
+
+impl SlotHandle {
+    pub fn new() -> Self {
+        SlotHandle(Arc::new(Slot {
+            response: Mutex::new(None),
+            done: Condvar::new(),
+        }))
+    }
+
+    /// Publishes the response and wakes the waiter.
+    pub fn complete(&self, resp: ControlResponse) {
+        *self.0.response.lock().expect("slot lock poisoned") = Some(resp);
+        self.0.done.notify_all();
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses. `None`
+    /// means the caller gave up — the request may still execute.
+    pub fn wait(&self, timeout: Duration) -> Option<ControlResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.0.response.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(resp) = guard.take() {
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .0
+                .done
+                .wait_timeout(guard, deadline - now)
+                .expect("slot lock poisoned");
+            guard = g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_times_out_without_completion() {
+        let slot = SlotHandle::new();
+        assert!(slot.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn wait_sees_completion_from_another_thread() {
+        let slot = SlotHandle::new();
+        let remote = slot.clone();
+        let t = std::thread::spawn(move || {
+            remote.complete(ControlResponse::Undeployed { tenant: 1 });
+        });
+        let resp = slot.wait(Duration::from_secs(5)).expect("completed");
+        assert_eq!(resp, ControlResponse::Undeployed { tenant: 1 });
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! The `vitald` wire protocol (DESIGN.md §12).
+//!
+//! Frames are length-prefixed JSON: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Each request frame carries a
+//! [`RequestEnvelope`] (client-chosen correlation id plus the
+//! [`ControlRequest`]); the service answers with a [`ResponseEnvelope`]
+//! echoing the id. Responses on one connection arrive in request order.
+//! Oversized frames are refused before allocation.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+use vital_runtime::{ControlRequest, ControlResponse};
+
+use crate::error::ServiceError;
+
+/// Hard ceiling on one frame's payload — a checkpoint capsule with a
+/// populated DRAM image is the largest legitimate payload.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// One request on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub req: ControlRequest,
+}
+
+/// One response on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The correlation id of the request this answers.
+    pub id: u64,
+    /// The typed answer.
+    pub resp: ControlResponse,
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), ServiceError> {
+    let payload = serde_json::to_string(value)
+        .map_err(|e| ServiceError::Protocol(e.to_string()))?
+        .into_bytes();
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ServiceError::Protocol(format!(
+            "frame of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame. [`ServiceError::Disconnected`]
+/// on a clean EOF at a frame boundary.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, ServiceError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServiceError::Protocol(format!(
+            "peer announced a {len} byte frame (limit {MAX_FRAME_BYTES})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| ServiceError::Protocol(format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ServiceError::Protocol(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let env = RequestEnvelope {
+            id: 42,
+            req: ControlRequest::deploy("lenet-S"),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &env).unwrap();
+        assert_eq!(
+            u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize,
+            buf.len() - 4
+        );
+        let back: RequestEnvelope = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn eof_reads_as_disconnected() {
+        let empty: &[u8] = &[];
+        let err = read_frame::<_, RequestEnvelope>(&mut &*empty).unwrap_err();
+        assert_eq!(err, ServiceError::Disconnected);
+    }
+
+    #[test]
+    fn oversized_announcements_are_refused_before_allocation() {
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let err = read_frame::<_, RequestEnvelope>(&mut &huge[..]).unwrap_err();
+        assert!(matches!(err, ServiceError::Protocol(_)));
+    }
+}

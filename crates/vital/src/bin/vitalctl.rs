@@ -1,11 +1,17 @@
-//! `vitalctl` — a scriptable console for the ViTAL system controller
-//! (the API surface of paper Fig. 6, driven interactively).
+//! `vitalctl` — a scriptable console for the ViTAL control plane.
+//!
+//! Every command is one typed [`ControlRequest`] answered by one
+//! [`ControlResponse`] — the unified request API of DESIGN.md §12. By
+//! default the console runs an **in-process** `vitald` (daemon core plus
+//! controller in this process); with `--connect HOST:PORT` the same
+//! commands go to a **remote** daemon over the wire protocol instead, and
+//! the rendering is identical because the response types are.
 //!
 //! Reads commands from stdin (one per line; `#` comments allowed):
 //!
 //! ```text
-//! compile  <name> <S|M|L>    # compile a Table 2 benchmark and register it
-//! deploy   <name>            # allocate blocks + partial reconfiguration
+//! compile  <name> <S|M|L>    # prepare a Table 2 benchmark (compile + register)
+//! deploy   <name> [quota-mb] # allocate blocks + partial reconfiguration
 //! undeploy <tenant-id>       # tear a deployment down
 //! suspend  <tenant-id>       # quiesce + park a checkpoint capsule
 //! resume   <tenant-id>       # restore a suspended tenant losslessly
@@ -25,74 +31,201 @@
 //! ```
 
 use std::io::BufRead;
+use std::sync::Arc;
 
-use vital::fabric::{BlockAddr, FpgaId, PhysicalBlockId};
-use vital::periph::TenantId;
-use vital::prelude::*;
-use vital::runtime::BlockState;
-use vital::workloads::benchmarks;
+use vital::runtime::{
+    ControlRequest, ControlResponse, DeployRequest, RuntimeConfig, SystemController,
+};
+use vital::service::{benchmark_resolver, RemoteClient, ServiceClient, ServiceConfig, Vitald};
+use vital::telemetry::Telemetry;
 
-fn print_status(stack: &VitalStack) {
-    let db = stack.controller().resources();
-    println!("cluster occupancy ('.' = free, digit = tenant id % 10):");
-    for f in 0..db.fpga_count() {
-        let mut row = String::new();
-        for b in 0..db.blocks_of(f) {
-            let addr = BlockAddr::new(FpgaId::new(f as u32), PhysicalBlockId::new(b as u32));
-            row.push(match db.state(addr) {
-                Some(BlockState::Active(t)) => {
-                    char::from_digit((t.raw() % 10) as u32, 10).unwrap_or('?')
-                }
-                _ => '.',
-            });
+/// Where commands are executed: an in-process daemon core, or a remote
+/// `vitald` over TCP. Both speak `ControlRequest` → `ControlResponse`.
+enum Backend {
+    Local {
+        /// Kept alive for the session; dropped (drained) on exit.
+        _vitald: Vitald,
+        client: ServiceClient,
+    },
+    Remote(RemoteClient),
+}
+
+impl Backend {
+    fn call(&self, req: ControlRequest) -> ControlResponse {
+        match self {
+            Backend::Local { client, .. } => client.call(req),
+            Backend::Remote(remote) => remote
+                .call(req)
+                .unwrap_or_else(|e| ControlResponse::Err((&e).into())),
         }
-        println!("  fpga{f}: {row}");
     }
-    let tenants = stack.controller().live_tenants();
-    println!(
-        "{} blocks free, {} live tenant(s): {}",
-        db.total_free(),
-        tenants.len(),
-        tenants
-            .iter()
-            .map(|t| t.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    let suspended = stack.controller().suspended_tenants();
-    if !suspended.is_empty() {
-        println!(
-            "{} suspended tenant(s): {}",
-            suspended.len(),
-            suspended
-                .iter()
-                .map(|t| t.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-    }
-    let stats = stack.controller().failure_stats();
-    if stats.fpga_failures + stats.evacuations > 0 {
-        println!(
-            "failures: {} crash(es), {} recover(ies), {} evacuation(s); \
-             {} tenant(s) migrated, {} torn down",
-            stats.fpga_failures,
-            stats.fpga_recoveries,
-            stats.evacuations,
-            stats.tenants_migrated,
-            stats.tenants_torn_down
-        );
+}
+
+fn parse_tenant(token: Option<&str>) -> Option<u64> {
+    token.and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok())
+}
+
+fn render(resp: &ControlResponse) {
+    match resp {
+        ControlResponse::Deployed(s) => println!(
+            "deployed {} as tenant{} on {} FPGA(s) ({} blocks, primary fpga{}, \
+             reconfig {} us, {:.1} Gb/s)",
+            s.app, s.tenant, s.fpgas, s.blocks, s.primary_fpga, s.reconfig_us, s.granted_gbps
+        ),
+        ControlResponse::Undeployed { tenant } => println!("tenant{tenant} undeployed"),
+        ControlResponse::Suspended(s) => println!(
+            "tenant{} suspended: {} flit(s) in {} channel(s), {} DRAM byte(s) parked",
+            s.tenant, s.flits, s.channels, s.dram_bytes
+        ),
+        ControlResponse::Resumed(s) => println!(
+            "tenant{} resumed on {} FPGA(s), reconfig {} us",
+            s.tenant, s.fpgas, s.reconfig_us
+        ),
+        ControlResponse::Migrated(m) => println!(
+            "migrated tenant{}: {} -> {} FPGA(s), hop cost {} -> {}, reconfig {} us",
+            m.tenant,
+            m.fpgas_before,
+            m.fpgas_after,
+            m.hop_cost_before,
+            m.hop_cost_after,
+            m.reconfig_us
+        ),
+        ControlResponse::Evacuated(e) => println!(
+            "fpga{} draining: {} migrated, {} could not move",
+            e.fpga,
+            e.migrated.len(),
+            e.unmoved.len()
+        ),
+        ControlResponse::FpgaFailed(r) => println!(
+            "fpga{} offline: {} tenant(s) migrated, {} torn down",
+            r.fpga,
+            r.migrated.len(),
+            r.torn_down.len()
+        ),
+        ControlResponse::Recovered { fpga } => println!("fpga{fpga} back online"),
+        ControlResponse::Defragmented { migrations } => {
+            if migrations.is_empty() {
+                println!("nothing to defragment");
+            } else {
+                for m in migrations {
+                    println!(
+                        "migrated tenant{}: {} -> {} FPGA(s), reconfig {} us",
+                        m.tenant, m.fpgas_before, m.fpgas_after, m.reconfig_us
+                    );
+                }
+            }
+        }
+        ControlResponse::Status(s) => {
+            println!("cluster occupancy ('.' = free, digit = tenant id % 10):");
+            for f in &s.fpgas {
+                let row: String = f
+                    .blocks
+                    .iter()
+                    .map(|&t| {
+                        if t == 0 {
+                            '.'
+                        } else {
+                            char::from_digit((t % 10) as u32, 10).unwrap_or('?')
+                        }
+                    })
+                    .collect();
+                println!("  fpga{}: {row}  [{}]", f.fpga, f.health);
+            }
+            let ids = |v: &[u64]| {
+                v.iter()
+                    .map(|t| format!("tenant{t}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!(
+                "{} blocks free, {} live tenant(s): {}",
+                s.total_free,
+                s.live_tenants.len(),
+                ids(&s.live_tenants)
+            );
+            if !s.suspended_tenants.is_empty() {
+                println!(
+                    "{} suspended tenant(s): {}",
+                    s.suspended_tenants.len(),
+                    ids(&s.suspended_tenants)
+                );
+            }
+            if s.fpga_failures + s.evacuations > 0 {
+                println!(
+                    "failures: {} crash(es), {} recover(ies), {} evacuation(s); \
+                     {} tenant(s) migrated, {} torn down",
+                    s.fpga_failures,
+                    s.fpga_recoveries,
+                    s.evacuations,
+                    s.tenants_migrated,
+                    s.tenants_torn_down
+                );
+            }
+        }
+        ControlResponse::Prepared { app, cache_hit } => {
+            if *cache_hit {
+                println!("{app} already registered");
+            } else {
+                println!("{app} compiled and registered");
+            }
+        }
+        ControlResponse::Err(e) => println!("error: {e}"),
+        other => println!("{other:?}"),
     }
 }
 
 fn main() {
-    let stack = VitalStack::new();
-    let suite = benchmarks();
-    println!(
-        "vitalctl: {} FPGAs x {} blocks; type 'status' or see --help in the source header",
-        stack.controller().resources().fpga_count(),
-        stack.controller().resources().blocks_per_fpga()
-    );
+    let mut connect: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--connect" => match args.next() {
+                Some(addr) => connect = Some(addr),
+                None => {
+                    eprintln!("vitalctl: --connect needs HOST:PORT");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("vitalctl [--connect HOST:PORT]  (commands on stdin; see source header)");
+                return;
+            }
+            other => {
+                eprintln!("vitalctl: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let backend = match &connect {
+        Some(addr) => match RemoteClient::connect(addr) {
+            Ok(remote) => {
+                println!("vitalctl: connected to vitald at {addr}");
+                Backend::Remote(remote)
+            }
+            Err(e) => {
+                eprintln!("vitalctl: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let controller = Arc::new(
+                SystemController::new(RuntimeConfig::paper_cluster())
+                    .with_telemetry(Telemetry::recording()),
+            );
+            controller.set_app_resolver(benchmark_resolver());
+            let vitald = Vitald::spawn(controller, ServiceConfig::default());
+            let client = vitald.client();
+            println!(
+                "vitalctl: in-process vitald over the paper cluster \
+                 (use --connect HOST:PORT for a remote daemon)"
+            );
+            Backend::Local {
+                _vitald: vitald,
+                client,
+            }
+        }
+    };
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -103,181 +236,93 @@ fn main() {
         }
         let mut tokens = line.split_whitespace();
         let cmd = tokens.next().unwrap_or("");
-        match cmd {
+        let req = match cmd {
             "compile" => {
                 let (Some(name), Some(size)) = (tokens.next(), tokens.next()) else {
                     println!("usage: compile <benchmark> <S|M|L>");
                     continue;
                 };
-                let size = match size {
-                    "S" | "s" => Size::Small,
-                    "M" | "m" => Size::Medium,
-                    "L" | "l" => Size::Large,
-                    other => {
-                        println!("unknown size {other:?} (use S, M or L)");
-                        continue;
-                    }
-                };
-                let Some(bench) = suite.iter().find(|b| b.name() == name) else {
-                    println!(
-                        "unknown benchmark {name:?}; available: {}",
-                        suite
-                            .iter()
-                            .map(|b| b.name())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    );
+                let size = size.to_ascii_uppercase();
+                if !matches!(size.as_str(), "S" | "M" | "L") {
+                    println!("unknown size {size:?} (use S, M or L)");
                     continue;
-                };
-                let spec = bench.spec(size);
-                print!("compiling {} ... ", spec.name());
-                match stack.compile_and_register(&spec) {
-                    Ok(compiled) => println!(
-                        "ok: {} blocks, {:?} compile time",
-                        compiled.bitstream().block_count(),
-                        compiled.timings().total()
-                    ),
-                    Err(e) => println!("failed: {e}"),
+                }
+                ControlRequest::Prepare {
+                    app: format!("{name}-{size}"),
                 }
             }
             "deploy" => {
                 let Some(name) = tokens.next() else {
-                    println!("usage: deploy <name>");
+                    println!("usage: deploy <name> [quota-mb]");
                     continue;
                 };
-                match stack.deploy(name) {
-                    Ok(h) => println!(
-                        "deployed as {} on {} FPGA(s), reconfig {:?}",
-                        h.tenant(),
-                        h.fpga_count(),
-                        h.reconfig_duration()
-                    ),
-                    Err(e) => println!("deploy failed: {e}"),
+                let mut dr = DeployRequest::app(name);
+                if let Some(mb) = tokens.next().and_then(|t| t.parse::<u64>().ok()) {
+                    dr = dr.with_quota_bytes(mb << 20);
                 }
+                ControlRequest::Deploy(dr)
             }
-            "undeploy" => {
-                let tenant = tokens
-                    .next()
-                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
-                let Some(raw) = tenant else {
+            "undeploy" => match parse_tenant(tokens.next()) {
+                Some(tenant) => ControlRequest::Undeploy { tenant },
+                None => {
                     println!("usage: undeploy <tenant-id>");
                     continue;
-                };
-                match stack.undeploy(TenantId::new(raw)) {
-                    Ok(()) => println!("tenant{raw} undeployed"),
-                    Err(e) => println!("undeploy failed: {e}"),
                 }
-            }
-            "suspend" => {
-                let tenant = tokens
-                    .next()
-                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
-                let Some(raw) = tenant else {
+            },
+            "suspend" => match parse_tenant(tokens.next()) {
+                Some(tenant) => ControlRequest::Suspend { tenant },
+                None => {
                     println!("usage: suspend <tenant-id>");
                     continue;
-                };
-                match stack.controller().suspend(TenantId::new(raw)) {
-                    Ok(capsule) => println!(
-                        "tenant{raw} suspended: {} flit(s) in {} channel(s), digest {}",
-                        capsule.total_flits(),
-                        capsule.channels.len(),
-                        capsule.digest()
-                    ),
-                    Err(e) => println!("suspend failed: {e}"),
                 }
-            }
-            "resume" => {
-                let tenant = tokens
-                    .next()
-                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
-                let Some(raw) = tenant else {
+            },
+            "resume" => match parse_tenant(tokens.next()) {
+                Some(tenant) => ControlRequest::Resume { tenant },
+                None => {
                     println!("usage: resume <tenant-id>");
                     continue;
-                };
-                match stack.controller().resume(TenantId::new(raw)) {
-                    Ok(h) => println!(
-                        "tenant{raw} resumed on {} FPGA(s), reconfig {:?}",
-                        h.fpga_count(),
-                        h.reconfig_duration()
-                    ),
-                    Err(e) => println!("resume failed: {e}"),
                 }
-            }
-            "migrate" => {
-                let tenant = tokens
-                    .next()
-                    .and_then(|t| t.trim_start_matches("tenant").parse::<u64>().ok());
-                let Some(raw) = tenant else {
+            },
+            "migrate" => match parse_tenant(tokens.next()) {
+                Some(tenant) => ControlRequest::Migrate { tenant },
+                None => {
                     println!("usage: migrate <tenant-id>");
                     continue;
-                };
-                match stack.controller().migrate_live(TenantId::new(raw)) {
-                    Ok(m) => println!(
-                        "migrated {}: {} -> {} FPGA(s), hop cost {} -> {}, reconfig {:?}",
-                        m.tenant,
-                        m.fpgas_before,
-                        m.fpgas_after,
-                        m.hop_cost_before,
-                        m.hop_cost_after,
-                        m.reconfig
-                    ),
-                    Err(e) => println!("migrate failed: {e}"),
                 }
-            }
-            "defrag" => {
-                let migrated = stack.controller().defragment();
-                if migrated.is_empty() {
-                    println!("nothing to defragment");
-                } else {
-                    for m in &migrated {
-                        println!(
-                            "migrated {}: {} -> {} FPGA(s), reconfig {:?}",
-                            m.tenant, m.fpgas_before, m.fpgas_after, m.reconfig
-                        );
-                    }
-                }
-            }
-            "fail" => {
-                let Some(fpga) = tokens.next().and_then(|t| t.parse::<usize>().ok()) else {
+            },
+            "defrag" => ControlRequest::Defragment,
+            "fail" => match tokens.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(fpga) => ControlRequest::Fail { fpga },
+                None => {
                     println!("usage: fail <fpga>");
                     continue;
-                };
-                let report = stack.controller().fail_fpga(fpga);
-                println!(
-                    "fpga{fpga} offline: {} tenant(s) migrated, {} torn down",
-                    report.migrated.len(),
-                    report.torn_down.len()
-                );
-            }
-            "recover" => {
-                let Some(fpga) = tokens.next().and_then(|t| t.parse::<usize>().ok()) else {
+                }
+            },
+            "recover" => match tokens.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(fpga) => ControlRequest::Recover { fpga },
+                None => {
                     println!("usage: recover <fpga>");
                     continue;
-                };
-                stack.controller().recover_fpga(fpga);
-                println!("fpga{fpga} back online");
-            }
-            "evacuate" => {
-                let Some(fpga) = tokens.next().and_then(|t| t.parse::<usize>().ok()) else {
+                }
+            },
+            "evacuate" => match tokens.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(fpga) => ControlRequest::Evacuate { fpga },
+                None => {
                     println!("usage: evacuate <fpga>");
                     continue;
-                };
-                let report = stack.controller().evacuate(fpga);
-                println!(
-                    "fpga{fpga} draining: {} migrated, {} could not move",
-                    report.migrated.len(),
-                    report.unmoved.len()
-                );
-            }
-            "status" => print_status(&stack),
+                }
+            },
+            "status" => ControlRequest::Status,
             "quit" | "exit" => break,
             other => {
                 println!(
                     "unknown command {other:?} (compile/deploy/undeploy/suspend/resume/\
                      migrate/defrag/fail/recover/evacuate/status/quit)"
-                )
+                );
+                continue;
             }
-        }
+        };
+        render(&backend.call(req));
     }
     println!("bye");
 }

@@ -29,6 +29,7 @@
 //! | [`periph`] | peripheral virtualization (§3.2) |
 //! | [`checkpoint`] | tenant context save/restore capsules (DESIGN.md §11) |
 //! | [`runtime`] | system layer: controller, databases, policy (§3.4) |
+//! | [`service`] | `vitald` control-plane daemon + wire protocol (DESIGN.md §12) |
 //! | [`cluster`] | discrete-event cluster simulator (§5.2 platform) |
 //! | [`baselines`] | per-device cloud + AmorphOS comparisons (§5.2, §6.2) |
 //! | [`workloads`] | Table 2 benchmarks + Table 3 workload sets (§5.1) |
@@ -67,6 +68,7 @@ pub use vital_netlist as netlist;
 pub use vital_periph as periph;
 pub use vital_placer as placer;
 pub use vital_runtime as runtime;
+pub use vital_service as service;
 pub use vital_telemetry as telemetry;
 pub use vital_workloads as workloads;
 
@@ -86,7 +88,9 @@ pub mod prelude {
     pub use vital_netlist::hls::{AppSpec, Operator};
     pub use vital_periph::TenantId;
     pub use vital_runtime::{
-        DeployHandle, FailureStats, FpgaHealth, RuntimeConfig, SystemController, VitalScheduler,
+        ControlRequest, ControlResponse, DeployHandle, DeployRequest, FailureStats, FpgaHealth,
+        RuntimeConfig, SystemController, VitalScheduler,
     };
+    pub use vital_service::{ServiceConfig, Vitald};
     pub use vital_workloads::{benchmarks, generate_workload_set, Size, WorkloadComposition};
 }

@@ -1,0 +1,313 @@
+//! Stress tests for the `vitald` daemon core: many concurrent sessions
+//! interleaving lifecycle operations through in-process clients must leave
+//! the controller consistent, and the bounded admission queue must answer
+//! overload with typed `Overloaded` rejections — never a deadlock, never a
+//! leaked resource.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use vital::compiler::{AppBitstream, Compiler, CompilerConfig};
+use vital::interface::ErrorCode;
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::periph::TenantId;
+use vital::runtime::{ControlRequest, ControlResponse, RuntimeConfig, SystemController};
+use vital::service::{RemoteClient, ServiceConfig, ServiceServer, Vitald};
+
+const NAMES: [&str; 3] = ["small", "medium", "large"];
+
+/// Compiled once for the whole test binary: compilation is the expensive
+/// part and the bitstreams are immutable, so every test reuses the same
+/// images on a fresh controller.
+fn bitstreams() -> &'static Vec<AppBitstream> {
+    static CACHE: OnceLock<Vec<AppBitstream>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let ops = [
+            Operator::MacArray { pes: 8 },
+            Operator::Custom {
+                slices: 2000,
+                dsps: 1800,
+                brams: 64,
+            },
+            Operator::Custom {
+                slices: 4000,
+                dsps: 3700,
+                brams: 128,
+            },
+        ];
+        NAMES
+            .iter()
+            .zip(ops)
+            .map(|(name, op)| {
+                let mut spec = AppSpec::new(*name);
+                spec.add_operator("m", op);
+                compiler.compile(&spec).unwrap().into_bitstream()
+            })
+            .collect()
+    })
+}
+
+fn controller() -> Arc<SystemController> {
+    let c = SystemController::new(RuntimeConfig::paper_cluster());
+    for bs in bitstreams() {
+        c.register(bs.clone()).unwrap();
+    }
+    Arc::new(c)
+}
+
+/// Pre-flight snapshot of every leak-visible gauge in the controller.
+struct Baseline {
+    total_blocks: usize,
+    free_bytes: Vec<u64>,
+}
+
+impl Baseline {
+    fn capture(c: &SystemController) -> Self {
+        let fpgas = c.resources().fpga_count();
+        Baseline {
+            total_blocks: c.resources().total_free(),
+            free_bytes: (0..fpgas).map(|f| c.memory_of(f).free_bytes()).collect(),
+        }
+    }
+
+    /// After every tenant is gone, nothing may remain allocated.
+    fn assert_restored(&self, c: &SystemController) {
+        assert_eq!(
+            c.resources().total_free(),
+            self.total_blocks,
+            "leaked blocks"
+        );
+        for (f, &bytes) in self.free_bytes.iter().enumerate() {
+            assert_eq!(
+                c.memory_of(f).tenant_count(),
+                0,
+                "leaked DRAM space on fpga{f}"
+            );
+            assert_eq!(
+                c.memory_of(f).free_bytes(),
+                bytes,
+                "leaked DRAM bytes on fpga{f}"
+            );
+            assert!(
+                c.arbiter_of(f).total_demand_gbps().abs() < 1e-9,
+                "leaked bandwidth share on fpga{f}"
+            );
+        }
+        assert_eq!(c.switch().nic_count(), 0, "leaked vNIC");
+    }
+}
+
+/// Tears down every live and suspended tenant through the service API.
+fn drain_tenants(vitald: &Vitald) {
+    let client = vitald.client();
+    for t in vitald.controller().suspended_tenants() {
+        let resp = client.call(ControlRequest::resume(t));
+        assert!(
+            resp.is_ok() || resp.err().is_some(),
+            "resume of suspended tenant{t} must answer"
+        );
+    }
+    for t in vitald.controller().live_tenants() {
+        match client.call(ControlRequest::undeploy(t)) {
+            ControlResponse::Undeployed { .. } => {}
+            other => panic!("undeploying survivor tenant{t} failed: {other:?}"),
+        }
+    }
+}
+
+/// Sixteen sessions interleave deploy / suspend / resume / migrate /
+/// undeploy through their own clients; whatever each operation answers,
+/// the controller must end consistent once every tenant is drained.
+#[test]
+fn interleaved_sessions_leave_the_controller_consistent() {
+    let controller = controller();
+    let baseline = Baseline::capture(&controller);
+    let vitald = Arc::new(Vitald::spawn(
+        Arc::clone(&controller),
+        ServiceConfig::default().with_workers(4),
+    ));
+
+    let threads = 16;
+    let iterations = 6;
+    let answered = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let vitald = Arc::clone(&vitald);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let client = vitald.client();
+                for iter in 0..iterations {
+                    let name = NAMES[(i + iter) % NAMES.len()];
+                    let resp = client.call(ControlRequest::deploy(name));
+                    answered.fetch_add(1, Ordering::Relaxed);
+                    let ControlResponse::Deployed(s) = resp else {
+                        // A full cluster answers InsufficientResources;
+                        // that is a legitimate response, not a failure.
+                        continue;
+                    };
+                    let tenant = TenantId::new(s.tenant);
+                    if iter % 3 == 1 {
+                        let suspended = client.call(ControlRequest::suspend(tenant));
+                        if suspended.is_ok() {
+                            let _ = client.call(ControlRequest::resume(tenant));
+                        }
+                    } else if iter % 3 == 2 {
+                        let _ = client.call(ControlRequest::migrate(tenant));
+                    }
+                    // The tenant may have been torn down by a concurrent
+                    // defrag losing a race; only a typed answer is required.
+                    let resp = client.call(ControlRequest::undeploy(tenant));
+                    assert!(
+                        resp.is_ok() || resp.err().is_some(),
+                        "undeploy must answer with a typed response"
+                    );
+                }
+                // A status probe per thread exercises the read path too.
+                assert!(client.call(ControlRequest::Status).is_ok());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    assert_eq!(
+        answered.load(Ordering::Relaxed),
+        (threads * iterations) as u64,
+        "every deploy received an answer"
+    );
+
+    drain_tenants(&vitald);
+    baseline.assert_restored(&controller);
+    Arc::try_unwrap(vitald)
+        .unwrap_or_else(|_| panic!("vitald still shared"))
+        .shutdown();
+}
+
+/// With one slow worker and a tiny queue, a burst of deploys must be
+/// rejected with `Overloaded` at admission — and because rejection happens
+/// before execution, undeploying the few admitted tenants must restore the
+/// cluster exactly (a rejected deploy acquired nothing).
+#[test]
+fn overload_rejects_with_typed_backpressure_and_leaks_nothing() {
+    let controller = controller();
+    let baseline = Baseline::capture(&controller);
+    let vitald = Arc::new(Vitald::spawn(
+        Arc::clone(&controller),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(2)
+            .with_per_session_limit(1)
+            .with_batch_max(1)
+            .with_worker_delay(Duration::from_millis(25))
+            .with_request_timeout(Duration::from_secs(30)),
+    ));
+
+    let clients = 24;
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let vitald = Arc::clone(&vitald);
+            let overloaded = Arc::clone(&overloaded);
+            std::thread::spawn(move || {
+                let client = vitald.client();
+                // Two back-to-back submissions per session: with a
+                // per-session allowance of one, the second of any pair
+                // racing its own head is also a rejection candidate.
+                for _ in 0..2 {
+                    match client.call(ControlRequest::deploy("small")) {
+                        ControlResponse::Err(e) if e.code == ErrorCode::Overloaded => {
+                            assert!(e.is_retryable(), "Overloaded must be retryable");
+                            assert!(
+                                e.retry_after_ms.is_some(),
+                                "Overloaded must carry a retry hint"
+                            );
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join()
+            .expect("client thread panicked — deadlock or panic under overload");
+    }
+
+    assert!(
+        overloaded.load(Ordering::Relaxed) > 0,
+        "a {clients}-client burst against a 2-deep queue must trip Overloaded"
+    );
+
+    drain_tenants(&vitald);
+    baseline.assert_restored(&controller);
+}
+
+/// A draining daemon answers new submissions `Draining` with a retry hint
+/// instead of accepting work it will never run.
+#[test]
+fn shutdown_drain_rejects_new_requests_with_retry_after() {
+    let controller = controller();
+    let vitald = Vitald::spawn(Arc::clone(&controller), ServiceConfig::default());
+    let client = vitald.client();
+    assert!(client.call(ControlRequest::Status).is_ok());
+    vitald.shutdown();
+    // The client outlives the daemon handle; its submissions must now be
+    // refused, typed, and retryable.
+    match client.call(ControlRequest::Status) {
+        ControlResponse::Err(e) => {
+            assert_eq!(e.code, ErrorCode::Draining);
+            assert!(
+                e.retry_after_ms.is_some(),
+                "Draining must carry a retry hint"
+            );
+        }
+        other => panic!("a draining service must reject, got {other:?}"),
+    }
+}
+
+/// Full wire round trip: a TCP server over an in-process daemon, driven by
+/// two concurrent remote clients.
+#[test]
+fn tcp_server_serves_concurrent_remote_clients() {
+    let controller = controller();
+    let baseline = Baseline::capture(&controller);
+    let vitald = Vitald::spawn(Arc::clone(&controller), ServiceConfig::default());
+    let server = ServiceServer::serve(&vitald, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let remote = RemoteClient::connect(&addr).expect("connect");
+                for _ in 0..3 {
+                    let resp = remote
+                        .call(ControlRequest::deploy(NAMES[i % NAMES.len()]))
+                        .expect("wire call");
+                    if let ControlResponse::Deployed(s) = resp {
+                        let resp = remote
+                            .call(ControlRequest::undeploy(TenantId::new(s.tenant)))
+                            .expect("wire call");
+                        assert!(
+                            matches!(resp, ControlResponse::Undeployed { .. }),
+                            "undeploy over the wire failed: {resp:?}"
+                        );
+                    }
+                }
+                let status = remote.call(ControlRequest::Status).expect("wire call");
+                assert!(status.is_ok());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("remote client thread panicked");
+    }
+
+    server.stop();
+    drain_tenants(&vitald);
+    baseline.assert_restored(&controller);
+    vitald.shutdown();
+}
