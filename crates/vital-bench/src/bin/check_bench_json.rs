@@ -3,8 +3,19 @@
 //! invariants, exiting non-zero if any file is missing, unparsable, or
 //! invalid — so a report binary that silently stops emitting valid JSON
 //! fails the build instead of rotting.
+//!
+//! With `--compare <baseline.json>` it additionally acts as the
+//! **performance gate** (DESIGN.md §13): the freshly generated
+//! `BENCH_service.json` is compared point-by-point against the committed
+//! baseline record, and the build fails if any sweep point's throughput
+//! dropped more than 15 % or its p99 latency rose more than 25 %.
 
 use vital_bench::{reports_dir, BenchRecord};
+
+/// Throughput may regress at most this fraction before the gate fails.
+const MAX_THROUGHPUT_DROP: f64 = 0.15;
+/// p99 latency may rise at most this fraction before the gate fails.
+const MAX_P99_RISE: f64 = 0.25;
 
 /// Extra invariants for the `vitald` service-throughput record
 /// (`BENCH_service.json`): the acceptance bar is ≥ 64 concurrent clients
@@ -39,7 +50,89 @@ fn check_service_record(rec: &BenchRecord) -> Result<(), String> {
     Ok(())
 }
 
+/// Compares the current service record against the committed baseline
+/// over every `*.req_per_s` / `*.p99_ms` config key present in **both**
+/// records. Returns the list of regressions; errors on malformed input
+/// or an empty intersection (a renamed sweep must re-baseline, not
+/// silently pass).
+fn compare_records(current: &BenchRecord, baseline: &BenchRecord) -> Result<Vec<String>, String> {
+    let parse = |rec: &BenchRecord, key: &str| -> Result<f64, String> {
+        rec.config[key]
+            .parse::<f64>()
+            .map_err(|e| format!("bad value for {key:?}: {e}"))
+    };
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for key in current.config.keys() {
+        if !baseline.config.contains_key(key) {
+            continue;
+        }
+        if key.ends_with(".req_per_s") || key == "req_per_s" {
+            let (cur, base) = (parse(current, key)?, parse(baseline, key)?);
+            if base <= 0.0 {
+                continue;
+            }
+            matched += 1;
+            if cur < base * (1.0 - MAX_THROUGHPUT_DROP) {
+                regressions.push(format!(
+                    "{key}: throughput {cur:.0} req/s is {:.0} % below baseline {base:.0}",
+                    (1.0 - cur / base) * 100.0
+                ));
+            }
+        } else if key.ends_with(".p99_ms") || key == "p99_ms" {
+            let (cur, base) = (parse(current, key)?, parse(baseline, key)?);
+            if base <= 0.0 {
+                continue;
+            }
+            if cur > base * (1.0 + MAX_P99_RISE) {
+                regressions.push(format!(
+                    "{key}: p99 {cur:.3} ms is {:.0} % above baseline {base:.3}",
+                    (cur / base - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if matched == 0 {
+        return Err(
+            "no throughput points shared between the current record and the baseline — \
+             regenerate the baseline with fig_service_throughput --baseline"
+                .to_string(),
+        );
+    }
+    Ok(regressions)
+}
+
+/// Runs the perf gate: loads `BENCH_service.json` and the baseline at
+/// `path`, returning the regression list (empty = pass).
+fn run_compare(path: &str) -> Result<Vec<String>, String> {
+    let load = |p: &std::path::Path| -> Result<BenchRecord, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let current = load(&reports_dir().join("BENCH_service.json"))?;
+    let baseline = load(std::path::Path::new(path))?;
+    compare_records(&current, &baseline)
+}
+
 fn main() {
+    let mut compare: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--compare" => match args.next() {
+                Some(path) => compare = Some(path),
+                None => {
+                    eprintln!("--compare needs a baseline file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let dir = reports_dir();
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
@@ -85,6 +178,20 @@ fn main() {
         }
     }
 
+    if let Some(path) = &compare {
+        match run_compare(path) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("perf gate: no regression against {path}");
+            }
+            Ok(regressions) => {
+                for r in regressions {
+                    failures.push(format!("perf gate: {r}"));
+                }
+            }
+            Err(e) => failures.push(format!("perf gate: {e}")),
+        }
+    }
+
     for f in &failures {
         eprintln!("FAIL {f}");
     }
@@ -99,4 +206,64 @@ fn main() {
         std::process::exit(1);
     }
     println!("{checked} bench report(s) valid");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(points: &[(&str, &str)]) -> BenchRecord {
+        let mut rec = BenchRecord::new("service", vec![1.0], 0.1);
+        for (k, v) in points {
+            rec = rec.with_config(k, v);
+        }
+        rec
+    }
+
+    #[test]
+    fn compare_passes_within_thresholds() {
+        let base = record(&[
+            ("point.64x8.req_per_s", "100000"),
+            ("point.64x8.p99_ms", "2.0"),
+        ]);
+        let cur = record(&[
+            ("point.64x8.req_per_s", "90000"),
+            ("point.64x8.p99_ms", "2.4"),
+        ]);
+        assert!(compare_records(&cur, &base).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_flags_throughput_drop_and_p99_rise() {
+        let base = record(&[
+            ("point.64x8.req_per_s", "100000"),
+            ("point.64x8.p99_ms", "2.0"),
+        ]);
+        let cur = record(&[
+            ("point.64x8.req_per_s", "80000"),
+            ("point.64x8.p99_ms", "3.0"),
+        ]);
+        let regressions = compare_records(&cur, &base).unwrap();
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+    }
+
+    #[test]
+    fn compare_requires_a_shared_point() {
+        let base = record(&[("point.64x1.req_per_s", "100000")]);
+        let cur = record(&[("point.64x8.req_per_s", "100000")]);
+        assert!(compare_records(&cur, &base).is_err());
+    }
+
+    #[test]
+    fn compare_ignores_points_missing_from_either_side() {
+        let base = record(&[
+            ("point.64x8.req_per_s", "100000"),
+            ("point.512x8.req_per_s", "100000"),
+        ]);
+        let cur = record(&[
+            ("point.64x8.req_per_s", "99000"),
+            ("point.4096x8.req_per_s", "1"),
+        ]);
+        assert!(compare_records(&cur, &base).unwrap().is_empty());
+    }
 }

@@ -132,12 +132,24 @@ pub fn reports_dir() -> PathBuf {
 /// Returns an error if the record fails [`BenchRecord::validate`] or the
 /// file cannot be written.
 pub fn write_bench_json(record: &BenchRecord) -> std::io::Result<PathBuf> {
+    write_json_named(record, &format!("BENCH_{}.json", record.name))
+}
+
+/// Validates `record` and writes it to `reports/<file_name>` — the
+/// escape hatch for non-`BENCH_` artifacts such as the committed
+/// `BASELINE_service.json` the perf gate compares against.
+///
+/// # Errors
+///
+/// Returns an error if the record fails [`BenchRecord::validate`] or the
+/// file cannot be written.
+pub fn write_json_named(record: &BenchRecord, file_name: &str) -> std::io::Result<PathBuf> {
     record
         .validate()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let dir = reports_dir();
     std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("BENCH_{}.json", record.name));
+    let path = dir.join(file_name);
     let json = serde_json::to_string_pretty(record)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::write(&path, json + "\n")?;

@@ -289,6 +289,28 @@ pub struct SystemController {
     telemetry: Telemetry,
     /// Optional compile hook for [`ControlRequest::Prepare`].
     resolver: Mutex<Option<AppResolver>>,
+    /// Bumped at the *end* of every mutation that feeds
+    /// [`SystemController::status_summary`] (via [`StatusDirty`] drop
+    /// guards, so early error returns bump too).
+    status_gen: AtomicU64,
+    /// Memoized snapshot keyed by the generation it was built at. The
+    /// control plane is read-mostly — thousands of `Status` polls per
+    /// mutation — so serving a clone of the cached summary instead of
+    /// re-walking every block turns `Status` from the most expensive
+    /// read into the cheapest.
+    status_cache: Mutex<Option<(u64, StatusSummary)>>,
+}
+
+/// Drop guard that marks the status snapshot stale. Bumping on drop —
+/// after the mutation finished — means a concurrent `status_summary`
+/// that observed partial state can never be served past this point: its
+/// cache entry is keyed to the pre-bump generation.
+struct StatusDirty<'a>(&'a AtomicU64);
+
+impl Drop for StatusDirty<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
 }
 
 impl fmt::Debug for SystemController {
@@ -333,6 +355,8 @@ impl SystemController {
             failure_stats: Mutex::new(FailureStats::default()),
             telemetry: Telemetry::disabled(),
             resolver: Mutex::new(None),
+            status_gen: AtomicU64::new(0),
+            status_cache: Mutex::new(None),
             config,
         }
     }
@@ -512,6 +536,7 @@ impl SystemController {
     /// placements; restores go through
     /// [`SystemController::do_resume_from`]).
     fn do_deploy(&self, name: &str, quota_bytes: u64) -> Result<DeployHandle, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let quota_bytes = if quota_bytes == 0 {
             self.config.default_quota_bytes
         } else {
@@ -705,6 +730,7 @@ impl SystemController {
     /// leaks the later ones. The first failure encountered is returned;
     /// the tenant is gone either way.
     pub fn undeploy(&self, tenant: TenantId) -> Result<(), RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.undeploy");
         span.field("tenant", tenant.raw());
         let state = self
@@ -756,6 +782,7 @@ impl SystemController {
     /// original binding snapshot — query [`SystemController::resources`]
     /// for the live placement.
     pub fn defragment(&self) -> Vec<Migration> {
+        let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.defragment");
         let mut migrated = Vec::new();
         loop {
@@ -836,6 +863,7 @@ impl SystemController {
     ///
     /// Idempotent: failing an already-offline device affects no one.
     pub fn fail_fpga(&self, fpga: usize) -> FailureReport {
+        let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.fail_fpga");
         span.field("fpga", fpga);
         self.resources.set_health(fpga, FpgaHealth::Offline);
@@ -869,6 +897,7 @@ impl SystemController {
     /// again. Nothing is migrated back — the next deployments simply see
     /// the capacity.
     pub fn recover_fpga(&self, fpga: usize) {
+        let _dirty = self.mark_status_dirty();
         self.resources.set_health(fpga, FpgaHealth::Online);
         self.failure_stats.lock().fpga_recoveries += 1;
     }
@@ -885,6 +914,7 @@ impl SystemController {
     /// again once capacity frees up, or [`SystemController::recover_fpga`]
     /// to cancel the drain.
     pub fn evacuate(&self, fpga: usize) -> EvacuationReport {
+        let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.evacuate");
         span.field("fpga", fpga);
         self.resources.set_health(fpga, FpgaHealth::Draining);
@@ -1066,6 +1096,7 @@ impl SystemController {
     ///
     /// Returns [`RuntimeError::UnknownTenant`] for undeployed tenants.
     pub fn run_tenant(&self, tenant: TenantId, cycles: u64) -> Result<(), RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let mut tenants = self.tenants.lock();
         let state = tenants
             .get_mut(&tenant)
@@ -1095,6 +1126,7 @@ impl SystemController {
     ///
     /// Returns [`RuntimeError::UnknownTenant`] for undeployed tenants.
     pub fn settle_tenant(&self, tenant: TenantId, cycles: u64) -> Result<(), RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let mut tenants = self.tenants.lock();
         let state = tenants
             .get_mut(&tenant)
@@ -1142,6 +1174,7 @@ impl SystemController {
     /// * [`RuntimeError::UnknownApp`] / [`RuntimeError::Periph`] if the
     ///   bitstream or DRAM space vanished out from under the tenant.
     pub fn suspend(&self, tenant: TenantId) -> Result<TenantCheckpoint, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.suspend");
         span.field("tenant", tenant.raw());
         let mut tenants = self.tenants.lock();
@@ -1255,6 +1288,7 @@ impl SystemController {
     /// The restore implementation behind a [`ControlRequest::Deploy`]
     /// carrying a checkpoint capsule.
     fn do_resume_from(&self, checkpoint: &TenantCheckpoint) -> Result<DeployHandle, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let tenant = checkpoint.tenant;
         if self.tenants.lock().contains_key(&tenant) {
             return Err(RuntimeError::TenantActive(tenant));
@@ -1379,6 +1413,7 @@ impl SystemController {
     /// the tenant is suspended, not lost — resume it once capacity
     /// returns.
     pub fn migrate_live(&self, tenant: TenantId) -> Result<Migration, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.migrate_live");
         span.field("tenant", tenant.raw());
         // Wait out any open serialization window.
@@ -1568,15 +1603,57 @@ impl SystemController {
     /// Each request still answers individually — one response per request,
     /// in order.
     pub fn execute_many(&self, reqs: Vec<ControlRequest>) -> Vec<ControlResponse> {
+        self.execute_round(reqs, 1)
+    }
+
+    /// Like [`SystemController::execute_many`], annotated with how many
+    /// admission-queue shards contributed requests to the round. A
+    /// sharded `vitald` sweeps compatible deploys from every shard into
+    /// one allocator round so sharding does not fragment batching; the
+    /// `shards_spanned` field makes those cross-shard rounds visible in
+    /// telemetry (`runtime.cross_shard_rounds`).
+    pub fn execute_round(
+        &self,
+        reqs: Vec<ControlRequest>,
+        shards_spanned: usize,
+    ) -> Vec<ControlResponse> {
         let mut span = self.telemetry.span("runtime.admission_round");
         span.field("batch", reqs.len());
+        span.field("shards", shards_spanned);
         self.telemetry.inc_counter("runtime.admission_rounds", 1);
+        if shards_spanned > 1 {
+            self.telemetry.inc_counter("runtime.cross_shard_rounds", 1);
+        }
         reqs.into_iter().map(|r| self.execute(r)).collect()
     }
 
+    /// Arms a [`StatusDirty`] guard; hold it across any mutation the
+    /// status snapshot must observe.
+    fn mark_status_dirty(&self) -> StatusDirty<'_> {
+        StatusDirty(&self.status_gen)
+    }
+
     /// The [`ControlRequest::Status`] snapshot: per-device health and
-    /// block occupancy plus tenancy and failure counters.
+    /// block occupancy plus tenancy and failure counters. Served from a
+    /// generation-stamped cache — rebuilding the snapshot walks every
+    /// block in the cluster, which a `Status`-polling control plane does
+    /// thousands of times between mutations.
     pub fn status_summary(&self) -> StatusSummary {
+        let generation = self.status_gen.load(Ordering::Acquire);
+        {
+            let cache = self.status_cache.lock();
+            if let Some((cached_gen, cached)) = cache.as_ref() {
+                if *cached_gen == generation {
+                    return cached.clone();
+                }
+            }
+        }
+        let summary = self.build_status_summary();
+        *self.status_cache.lock() = Some((generation, summary.clone()));
+        summary
+    }
+
+    fn build_status_summary(&self) -> StatusSummary {
         let free_counts = self.resources.free_counts();
         let fpgas = (0..self.resources.fpga_count())
             .map(|f| {

@@ -2,12 +2,14 @@
 //! fronted by the admission pipeline and the TCP wire protocol.
 //!
 //! ```text
-//! vitald [--listen ADDR] [--workers N] [--queue-depth N]
-//!        [--timeout-ms MS] [--batch-max N]
+//! vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N]
+//!        [--queue-depth N] [--timeout-ms MS] [--batch-max N]
 //! ```
 //!
 //! Connect with `vitalctl --connect ADDR` or any client speaking the
-//! length-prefixed JSON protocol of DESIGN.md §12. Benchmarks of the
+//! length-prefixed protocol of DESIGN.md §13 (binary or JSON frames —
+//! the daemon answers each request in the format it arrived in).
+//! Benchmarks of the
 //! paper suite deploy by name (`lenet-S` … `vgg-L`): the daemon installs
 //! a resolver that compiles them on first use.
 
@@ -38,6 +40,20 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--workers: {e}"))?,
                 );
             }
+            "--shards" => {
+                config = config.with_shards(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+            }
+            "--io-threads" => {
+                config = config.with_io_threads(
+                    value("--io-threads")?
+                        .parse()
+                        .map_err(|e| format!("--io-threads: {e}"))?,
+                );
+            }
             "--queue-depth" => {
                 config = config.with_queue_capacity(
                     value("--queue-depth")?
@@ -61,8 +77,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "vitald [--listen ADDR] [--workers N] [--queue-depth N] \
-                     [--timeout-ms MS] [--batch-max N]"
+                    "vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N] \
+                     [--queue-depth N] [--timeout-ms MS] [--batch-max N]"
                 );
                 std::process::exit(0);
             }
@@ -94,9 +110,11 @@ fn main() {
         }
     };
     println!(
-        "vitald listening on {} ({} workers, queue depth {})",
+        "vitald listening on {} ({} workers, {} shards, {} io threads, queue depth {})",
         server.local_addr(),
         opts.config.workers,
+        opts.config.effective_shards(),
+        opts.config.io_threads,
         opts.config.queue_capacity
     );
     // Serve until killed.

@@ -7,13 +7,22 @@ use std::sync::Mutex;
 use vital_runtime::{ControlRequest, ControlResponse};
 
 use crate::error::ServiceError;
-use crate::wire::{read_frame, write_frame, RequestEnvelope, ResponseEnvelope};
+use crate::wire::{
+    read_frame, write_frame, RequestEnvelope, ResponseEnvelope, WireFormat, MAX_FRAME_BYTES,
+};
 
 /// A connection to a remote `vitald`. One request is in flight at a time
 /// (`&self` calls serialize on an internal lock); responses arrive in
 /// request order per connection.
+///
+/// Frames go out in the compact binary encoding by default;
+/// [`RemoteClient::connect_with`] selects [`WireFormat::Json`] for
+/// interop with line tools (the server mirrors whichever format each
+/// request arrived in).
 pub struct RemoteClient {
     io: Mutex<Io>,
+    format: WireFormat,
+    max_frame_bytes: usize,
     next_id: std::sync::atomic::AtomicU64,
 }
 
@@ -23,8 +32,16 @@ struct Io {
 }
 
 impl RemoteClient {
-    /// Connects to a `vitald` at `addr` (e.g. `"127.0.0.1:7700"`).
+    /// Connects to a `vitald` at `addr` (e.g. `"127.0.0.1:7700"`) using
+    /// the binary frame encoding.
     pub fn connect(addr: &str) -> std::io::Result<RemoteClient> {
+        Self::connect_with(addr, WireFormat::Binary)
+    }
+
+    /// Connects with an explicit frame encoding. `WireFormat::Json`
+    /// keeps the wire readable (and PR 5 compatible) at roughly 2× the
+    /// bytes.
+    pub fn connect_with(addr: &str, format: WireFormat) -> std::io::Result<RemoteClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
@@ -33,6 +50,8 @@ impl RemoteClient {
                 writer,
                 reader: BufReader::new(stream),
             }),
+            format,
+            max_frame_bytes: MAX_FRAME_BYTES,
             next_id: std::sync::atomic::AtomicU64::new(1),
         })
     }
@@ -46,8 +65,9 @@ impl RemoteClient {
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut io = self.io.lock().expect("client lock poisoned");
-        write_frame(&mut io.writer, &RequestEnvelope { id, req })?;
-        let reply: ResponseEnvelope = read_frame(&mut io.reader)?;
+        write_frame(&mut io.writer, &RequestEnvelope { id, req }, self.format)?;
+        let (reply, _): (ResponseEnvelope, WireFormat) =
+            read_frame(&mut io.reader, self.max_frame_bytes)?;
         if reply.id != id {
             return Err(ServiceError::Protocol(format!(
                 "response id {} does not match request id {id}",

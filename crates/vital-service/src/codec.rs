@@ -1,0 +1,356 @@
+//! Compact binary encoding of the serde [`Value`] data model.
+//!
+//! The JSON wire format spends most of its bytes on field names, quoting
+//! and decimal rendering; this codec keeps the same self-describing tree
+//! shape but writes it as tagged binary: one tag byte per node, LEB128
+//! varints for integers and lengths, raw little-endian `f64` bits, and
+//! UTF-8 string bytes with a length prefix. Any `#[derive(Serialize)]`
+//! type round-trips through it unchanged, because the vendored serde
+//! lowers every type to a [`Value`] first.
+//!
+//! Decoding is hardened against hostile input: every length claim is
+//! checked against the bytes actually present *before* any allocation,
+//! nesting depth is capped so a deeply recursive frame cannot overflow
+//! the stack, and every error is a typed [`ServiceError::Protocol`].
+
+use serde::Value;
+
+use crate::error::ServiceError;
+
+/// Maximum nesting depth of sequences/maps accepted by the decoder. The
+/// control-plane DTOs are a handful of levels deep; 64 leaves headroom
+/// while keeping hostile recursion bounded.
+const MAX_DEPTH: usize = 64;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_U64: u8 = 4;
+const TAG_F64: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+/// Appends the LEB128 varint encoding of `n` to `out`.
+fn put_varint(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// ZigZag-maps a signed integer onto an unsigned one (small magnitudes
+/// stay small regardless of sign).
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+/// Serializes one value tree onto the end of `out`.
+pub(crate) fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::I64(n) => {
+            out.push(TAG_I64);
+            put_varint(out, zigzag(*n));
+        }
+        Value::U64(n) => {
+            out.push(TAG_U64);
+            put_varint(out, *n);
+        }
+        Value::F64(f) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(TAG_SEQ);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(TAG_MAP);
+            put_varint(out, entries.len() as u64);
+            for (k, val) in entries {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+/// A bounds-checked cursor over the bytes of one frame payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, ServiceError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| truncated("tag byte"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, ServiceError> {
+        let mut n: u64 = 0;
+        for shift in 0..10 {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| truncated("varint"))?;
+            self.pos += 1;
+            let low = u64::from(byte & 0x7f);
+            if shift == 9 && byte > 1 {
+                return Err(ServiceError::Protocol(
+                    "varint overflows 64 bits".to_string(),
+                ));
+            }
+            n |= low << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(n);
+            }
+        }
+        Err(ServiceError::Protocol(
+            "varint never terminated".to_string(),
+        ))
+    }
+
+    /// A length claim is only honoured when that many bytes are actually
+    /// present — an attacker-controlled length can never drive an
+    /// allocation past the frame it arrived in.
+    fn take(&mut self, claimed: u64, what: &str) -> Result<&'a [u8], ServiceError> {
+        let remaining = self.bytes.len() - self.pos;
+        let len = usize::try_from(claimed).unwrap_or(usize::MAX);
+        if len > remaining {
+            return Err(ServiceError::Protocol(format!(
+                "{what} claims {claimed} bytes but only {remaining} remain in the frame"
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// An element-count claim is bounded by the remaining bytes (every
+    /// element costs at least one byte on the wire), so `Vec::with_capacity`
+    /// below never trusts the peer.
+    fn count(&mut self, what: &str) -> Result<usize, ServiceError> {
+        let claimed = self.varint()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if claimed > remaining {
+            return Err(ServiceError::Protocol(format!(
+                "{what} claims {claimed} elements but only {remaining} bytes remain"
+            )));
+        }
+        Ok(claimed as usize)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, ServiceError> {
+        let len = self.varint()?;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|e| ServiceError::Protocol(format!("{what} is not UTF-8: {e}")))
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ServiceError> {
+        if depth > MAX_DEPTH {
+            return Err(ServiceError::Protocol(format!(
+                "frame nests deeper than {MAX_DEPTH} levels"
+            )));
+        }
+        match self.u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_I64 => Ok(Value::I64(unzigzag(self.varint()?))),
+            TAG_U64 => Ok(Value::U64(self.varint()?)),
+            TAG_F64 => {
+                let bytes = self.take(8, "f64")?;
+                Ok(Value::F64(f64::from_le_bytes(
+                    bytes.try_into().expect("take(8) returned 8 bytes"),
+                )))
+            }
+            TAG_STR => Ok(Value::Str(self.str("string")?)),
+            TAG_SEQ => {
+                let n = self.count("sequence")?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Seq(items))
+            }
+            TAG_MAP => {
+                let n = self.count("map")?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = self.str("map key")?;
+                    entries.push((key, self.value(depth + 1)?));
+                }
+                Ok(Value::Map(entries))
+            }
+            tag => Err(ServiceError::Protocol(format!("unknown value tag {tag}"))),
+        }
+    }
+}
+
+/// Deserializes one value tree from `bytes`, requiring the whole slice to
+/// be consumed (a frame carries exactly one value).
+pub(crate) fn decode_value(bytes: &[u8]) -> Result<Value, ServiceError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let value = cursor.value(0)?;
+    if cursor.pos != bytes.len() {
+        return Err(ServiceError::Protocol(format!(
+            "{} trailing byte(s) after the encoded value",
+            bytes.len() - cursor.pos
+        )));
+    }
+    Ok(value)
+}
+
+fn truncated(what: &str) -> ServiceError {
+    ServiceError::Protocol(format!("frame truncated while reading {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    fn roundtrip(v: Value) {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        assert_eq!(decode_value(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::I64(-1));
+        roundtrip(Value::I64(i64::MIN));
+        roundtrip(Value::U64(u64::MAX));
+        roundtrip(Value::F64(1.5e300));
+        roundtrip(Value::F64(-0.0));
+        roundtrip(Value::Str("héllo".to_string()));
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        roundtrip(Value::Seq(vec![
+            Value::U64(1),
+            Value::Str("two".into()),
+            Value::Seq(vec![Value::Null]),
+        ]));
+        roundtrip(Value::Map(vec![
+            ("a".to_string(), Value::U64(7)),
+            ("b".to_string(), Value::Map(vec![])),
+        ]));
+    }
+
+    #[test]
+    fn binary_beats_json_on_size() {
+        let req = vital_runtime::ControlRequest::deploy("lenet-S");
+        let mut bin = Vec::new();
+        encode_value(&req.to_value(), &mut bin);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(
+            bin.len() < json.len(),
+            "binary {} bytes vs json {} bytes",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Str("hello".into()), &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_value(&buf[..cut]).unwrap_err();
+            assert!(matches!(err, ServiceError::Protocol(_)), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_claims_are_rejected_before_allocation() {
+        // A string claiming u64::MAX bytes with none present.
+        let mut buf = vec![TAG_STR];
+        put_varint(&mut buf, u64::MAX);
+        assert!(matches!(
+            decode_value(&buf).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
+        // A sequence claiming more elements than bytes remain.
+        let mut buf = vec![TAG_SEQ];
+        put_varint(&mut buf, 1 << 40);
+        assert!(matches!(
+            decode_value(&buf).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn hostile_nesting_depth_is_rejected() {
+        // 200 nested single-element sequences.
+        let mut buf = Vec::new();
+        for _ in 0..200 {
+            buf.push(TAG_SEQ);
+            buf.push(1);
+        }
+        buf.push(TAG_NULL);
+        assert!(matches!(
+            decode_value(&buf).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = Vec::new();
+        encode_value(&Value::U64(5), &mut buf);
+        buf.push(0xff);
+        assert!(matches!(
+            decode_value(&buf).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            decode_value(&[0x2a]).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn zigzag_is_an_involution() {
+        for n in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+    }
+}

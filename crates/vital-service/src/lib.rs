@@ -12,17 +12,24 @@
 //!   `vital-runtime`, executed by
 //!   [`SystemController::execute`](vital_runtime::SystemController::execute)),
 //!   so in-process and remote callers speak the same types end to end.
-//! * **An admission pipeline** — a bounded, session-fair queue
-//!   ([`ServiceConfig::queue_capacity`] /
-//!   [`ServiceConfig::per_session_limit`]) feeding a worker pool.
-//!   Overload is a typed, side-effect-free rejection
+//! * **A sharded admission pipeline** — independent bounded,
+//!   session-fair queue shards ([`ServiceConfig::shards`]), each drained
+//!   by its own slice of the worker pool. Sessions land on the
+//!   less-loaded of two randomly chosen shards (power-of-two-choices)
+//!   and stay pinned there, so per-session ordering holds while load
+//!   spreads. Overload is a typed, side-effect-free rejection
 //!   ([`ServiceError::Overloaded`]) issued at push time; per-request
 //!   deadlines expire stale jobs unexecuted; compatible deploys at the
-//!   queue head are batched into one allocator round
-//!   ([`ServiceConfig::batch_max`]).
-//! * **A wire protocol** — length-prefixed JSON frames over TCP
-//!   ([`ServiceServer`] / [`RemoteClient`]), carrying the same enums as
-//!   the in-process path.
+//!   queue heads — across **all** shards — are batched into one
+//!   allocator round ([`ServiceConfig::batch_max`]).
+//! * **A wire protocol** — length-prefixed frames over TCP
+//!   ([`ServiceServer`] / [`RemoteClient`]) in a compact binary encoding
+//!   ([`WireFormat::Binary`]), with the PR 5 JSON frames still accepted
+//!   and answered in kind ([`WireFormat::Json`], used by
+//!   `vitalctl --connect`). The server is a non-blocking reactor: a few
+//!   I/O threads ([`ServiceConfig::io_threads`]) multiplex thousands of
+//!   connections, pipelining requests per connection via
+//!   [`PendingCall`].
 //!
 //! Shutdown is graceful: [`Vitald::shutdown`] drains the queue (new
 //! submissions answered [`ServiceError::Draining`] with a retry hint)
@@ -49,11 +56,13 @@
 #![warn(missing_docs)]
 
 mod client;
+mod codec;
 mod config;
 mod error;
 mod queue;
 mod server;
 mod service;
+mod shard;
 mod slot;
 mod wire;
 
@@ -61,8 +70,11 @@ pub use client::RemoteClient;
 pub use config::ServiceConfig;
 pub use error::ServiceError;
 pub use server::ServiceServer;
-pub use service::{ServiceClient, Vitald};
-pub use wire::{read_frame, write_frame, RequestEnvelope, ResponseEnvelope, MAX_FRAME_BYTES};
+pub use service::{PendingCall, ServiceClient, Vitald};
+pub use wire::{
+    encode_frame, read_frame, write_frame, Envelope, FrameDecoder, RequestEnvelope,
+    ResponseEnvelope, WireFormat, MAX_FRAME_BYTES,
+};
 
 use vital_compiler::{Compiler, CompilerConfig};
 use vital_runtime::{AppResolver, RuntimeError};

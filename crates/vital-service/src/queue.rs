@@ -99,14 +99,45 @@ impl FairQueue {
     }
 
     /// Takes the next job round-robin, blocking while the queue is empty.
-    /// Returns `None` once the queue is draining *and* empty — the worker
-    /// exit condition.
+    /// Returns `None` once the queue is draining *and* empty. Workers use
+    /// [`FairQueue::pop_many`]; this single-job form remains as the
+    /// reference semantics the batched pop is tested against.
+    #[cfg(test)]
     pub fn pop(&self) -> Option<Job> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
         loop {
             if let Some(job) = Self::take_next(&mut inner) {
                 self.got_smaller.notify_all();
                 return Some(job);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Takes up to `max` jobs in one lock acquisition, blocking while the
+    /// queue is empty — the worker fast path: at high load one
+    /// mutex/condvar round trip is amortized over the whole sweep instead
+    /// of paid per request. Jobs come out in exactly the order repeated
+    /// [`FairQueue::pop`] calls would produce (round-robin across
+    /// sessions, FIFO within one). Returns `None` once draining *and*
+    /// empty.
+    pub fn pop_many(&self, max: usize) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = Self::take_next(&mut inner) {
+                let mut jobs = vec![job];
+                while jobs.len() < max {
+                    match Self::take_next(&mut inner) {
+                        Some(j) => jobs.push(j),
+                        None => break,
+                    }
+                }
+                drop(inner);
+                self.got_smaller.notify_all();
+                return Some(jobs);
             }
             if inner.draining {
                 return None;
@@ -190,6 +221,16 @@ impl FairQueue {
     pub fn len(&self) -> usize {
         self.inner.lock().expect("queue lock poisoned").len
     }
+
+    /// `true` while `session` has jobs queued here (the shard layer uses
+    /// this to decide whether a session pin may be dropped).
+    pub fn has_session(&self, session: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("queue lock poisoned")
+            .sessions
+            .contains_key(&session)
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +298,24 @@ mod tests {
         ));
         assert!(q.pop().is_some(), "queued work survives the drain");
         assert!(q.pop().is_none(), "drained and empty means stop");
+    }
+
+    #[test]
+    fn pop_many_matches_pop_order_in_one_lock() {
+        let q = FairQueue::new(100, 10);
+        q.push(job(1), 10).unwrap();
+        q.push(job(1), 10).unwrap();
+        q.push(job(2), 10).unwrap();
+        let jobs = q.pop_many(2).unwrap();
+        assert_eq!(
+            jobs.iter().map(|j| j.session).collect::<Vec<_>>(),
+            vec![1, 2],
+            "round-robin order, exactly like repeated pop"
+        );
+        let rest = q.pop_many(8).unwrap();
+        assert_eq!(rest.len(), 1, "takes what is there without blocking");
+        q.drain();
+        assert!(q.pop_many(8).is_none(), "drained and empty means stop");
     }
 
     #[test]

@@ -1,19 +1,51 @@
-//! The TCP front of a [`Vitald`]: one listener thread accepting
-//! connections, one thread per connection, each connection a session.
+//! The TCP front of a [`Vitald`]: one accept thread plus a small pool of
+//! reactor threads, each multiplexing many **non-blocking** connections
+//! (DESIGN.md §13).
+//!
+//! The PR 5 server spent one OS thread per connection, parked in a
+//! blocking read — four thousand clients meant four thousand stacks and
+//! a context switch per frame. The reactor model inverts that: each I/O
+//! thread owns a set of non-blocking sockets and sweeps them — flush
+//! pending writes, read whatever bytes arrived, feed the incremental
+//! [`FrameDecoder`], submit complete requests ([`ServiceClient::submit`]
+//! — non-blocking), and poll outstanding [`PendingCall`]s, serializing
+//! finished responses in **request order** per connection. Requests from
+//! one connection therefore pipeline: many can be in flight before the
+//! first response is written back.
+//!
+//! Error containment per connection: a malformed or oversized frame
+//! poisons only that connection (it is dropped without a reply, exactly
+//! like PR 5); admission rejections (`Overloaded`, `Draining`) are
+//! answered inline as typed [`ControlResponse::Err`] frames without ever
+//! touching a worker.
 
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::service::{ServiceClient, Vitald};
-use crate::wire::{read_frame, write_frame, RequestEnvelope, ResponseEnvelope};
+use vital_runtime::ControlResponse;
+
+use crate::service::{PendingCall, ServiceClient, Vitald};
+use crate::wire::{FrameDecoder, RequestEnvelope, ResponseEnvelope, WireFormat};
 use crate::ServiceError;
 
-/// How often blocking loops re-check the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How long an idle reactor sweep (no bytes moved, nothing completed)
+/// sleeps before the next one, and how often the accept loop re-checks
+/// the stop flag.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Reads per sweep are bounded by this scratch size per connection.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Stop reading from a connection whose unflushed response bytes exceed
+/// this (a slow reader cannot balloon server memory); reads resume once
+/// the backlog drains.
+const WRITE_BACKLOG_LIMIT: usize = 4 << 20;
 
 /// A running TCP listener bound to a [`Vitald`]. Stops (and joins its
 /// threads) on [`ServiceServer::stop`] or drop.
@@ -21,46 +53,64 @@ pub struct ServiceServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    io_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServiceServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting. Each
-    /// connection becomes its own service session.
+    /// connection becomes its own service session, assigned to the
+    /// reactor thread with the fewest live connections.
     pub fn serve(vitald: &Vitald, addr: &str) -> std::io::Result<ServiceServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let config = vitald.config();
+        let max_frame_bytes = config.max_frame_bytes;
+        let io_thread_count = config.io_threads.max(1);
+
+        // One inbox per reactor: the accept loop pushes fresh streams, the
+        // reactor drains them into its connection set.
+        let inboxes: Vec<Arc<Inbox>> = (0..io_thread_count)
+            .map(|_| {
+                Arc::new(Inbox {
+                    streams: Mutex::new(Vec::new()),
+                    load: AtomicUsize::new(0),
+                })
+            })
+            .collect();
+
+        let mut io_threads = Vec::with_capacity(io_thread_count);
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let inbox = Arc::clone(inbox);
+            let stop = Arc::clone(&stop);
+            let clients = ClientFactory::new(vitald);
+            io_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("vitald-io-{i}"))
+                    .spawn(move || reactor_loop(inbox, clients, stop, max_frame_bytes))?,
+            );
+        }
 
         let accept_stop = Arc::clone(&stop);
-        let accept_conns = Arc::clone(&conn_threads);
-        // Sessions are minted in the accept loop, so the handle must not
-        // borrow the Vitald: pre-mint is impossible (sessions are
-        // per-connection), hence a factory closure over fresh clients.
-        let clients = ClientFactory::new(vitald);
         let accept_thread = std::thread::Builder::new()
             .name("vitald-accept".to_string())
             .spawn(move || {
                 while !accept_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let client = clients.fresh();
-                            let conn_stop = Arc::clone(&accept_stop);
-                            let handle = std::thread::Builder::new()
-                                .name("vitald-conn".to_string())
-                                .spawn(move || serve_connection(stream, client, conn_stop))
-                                .expect("spawn connection thread");
-                            accept_conns
-                                .lock()
-                                .expect("connection list poisoned")
-                                .push(handle);
+                            // Least-loaded reactor gets the connection.
+                            let target = inboxes
+                                .iter()
+                                .min_by_key(|ib| ib.load.load(Ordering::Relaxed))
+                                .expect("at least one reactor");
+                            target.load.fetch_add(1, Ordering::Relaxed);
+                            target.streams.lock().expect("inbox poisoned").push(stream);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(POLL_INTERVAL);
+                            std::thread::sleep(ACCEPT_POLL);
                         }
-                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
                     }
                 }
             })?;
@@ -69,7 +119,7 @@ impl ServiceServer {
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
-            conn_threads,
+            io_threads,
         })
     }
 
@@ -78,7 +128,7 @@ impl ServiceServer {
         self.addr
     }
 
-    /// Stops accepting, disconnects idle connections, joins every thread.
+    /// Stops accepting, disconnects every connection, joins every thread.
     pub fn stop(mut self) {
         self.halt();
     }
@@ -88,13 +138,7 @@ impl ServiceServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let handles: Vec<_> = self
-            .conn_threads
-            .lock()
-            .expect("connection list poisoned")
-            .drain(..)
-            .collect();
-        for t in handles {
+        for t in self.io_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -104,6 +148,13 @@ impl Drop for ServiceServer {
     fn drop(&mut self) {
         self.halt();
     }
+}
+
+/// Hand-off point between the accept loop and one reactor.
+struct Inbox {
+    streams: Mutex<Vec<TcpStream>>,
+    /// Live connections owned by the reactor (accept-side load metric).
+    load: AtomicUsize,
 }
 
 /// Mints a fresh [`ServiceClient`] (session) per accepted connection
@@ -124,31 +175,241 @@ impl ClientFactory {
     }
 }
 
-fn serve_connection(stream: TcpStream, client: ServiceClient, stop: Arc<AtomicBool>) {
-    // A finite read timeout keeps the thread responsive to shutdown even
-    // on an idle connection.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
+/// A response owed to the peer, in request order.
+enum Owed {
+    /// Executing (or queued) in the service; resolves via its slot.
+    InFlight(u64, PendingCall),
+    /// Already decided (admission rejection), awaiting serialization.
+    Ready(u64, ControlResponse),
+}
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: TcpStream,
+    client: ServiceClient,
+    decoder: FrameDecoder,
+    /// Responses owed, FIFO in request arrival order.
+    owed: VecDeque<Owed>,
+    /// Serialized-but-unflushed response bytes.
+    outbuf: Vec<u8>,
+    written: usize,
+    /// Encoding of the most recent request; responses mirror it.
+    format: WireFormat,
+    /// Peer closed its write side; serve what is owed, then drop.
+    eof: bool,
+    /// Poisoned (protocol violation or I/O error): drop immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, client: ServiceClient, max_frame_bytes: usize) -> Self {
+        Conn {
+            stream,
+            client,
+            decoder: FrameDecoder::new(max_frame_bytes),
+            owed: VecDeque::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            format: WireFormat::Binary,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// `true` once the connection can be dropped.
+    fn finished(&self) -> bool {
+        self.dead || (self.eof && self.owed.is_empty() && self.written == self.outbuf.len())
+    }
+
+    /// Flushes as much of `outbuf` as the socket accepts right now.
+    /// Returns bytes written this sweep.
+    fn flush(&mut self) -> usize {
+        let mut progressed = 0;
+        while self.written < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.written += n;
+                    progressed += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.written == self.outbuf.len() && !self.outbuf.is_empty() {
+            self.outbuf.clear();
+            self.written = 0;
+        }
+        progressed
+    }
+
+    /// Reads available bytes and turns complete frames into submissions.
+    /// Returns bytes read this sweep.
+    fn pump_reads(&mut self, scratch: &mut [u8]) -> usize {
+        if self.eof || self.dead {
+            return 0;
+        }
+        // Backpressure: a peer that won't read its responses doesn't get
+        // to keep submitting.
+        if self.outbuf.len() - self.written > WRITE_BACKLOG_LIMIT {
+            return 0;
+        }
+        let mut progressed = 0;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed += n;
+                    self.decoder.extend(&scratch[..n]);
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return progressed;
+                }
+            }
+        }
+        loop {
+            match self.decoder.next_frame::<RequestEnvelope>() {
+                Ok(Some((env, format))) => {
+                    self.format = format;
+                    match self.client.submit(env.req) {
+                        Ok(pending) => self.owed.push_back(Owed::InFlight(env.id, pending)),
+                        // Typed admission rejection: answered in line,
+                        // in order, without a worker.
+                        Err(e) => self
+                            .owed
+                            .push_back(Owed::Ready(env.id, ControlResponse::Err((&e).into()))),
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Garbage on the wire poisons this connection only.
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Serializes every response that is ready, strictly in request
+    /// order. Returns responses serialized this sweep.
+    fn pump_responses(&mut self, max_frame_bytes: usize) -> usize {
+        let mut progressed = 0;
+        while let Some(front) = self.owed.front() {
+            let resolved = match front {
+                Owed::Ready(..) => true,
+                Owed::InFlight(_, pending) => {
+                    // Peek-resolve: replace in place so order holds.
+                    if let Some(resp) = pending.poll() {
+                        let id = match self.owed.front() {
+                            Some(Owed::InFlight(id, _)) => *id,
+                            _ => unreachable!("front just matched InFlight"),
+                        };
+                        self.owed[0] = Owed::Ready(id, resp);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !resolved {
+                break;
+            }
+            let Some(Owed::Ready(id, resp)) = self.owed.pop_front() else {
+                unreachable!("front resolved to Ready above");
+            };
+            let reply = ResponseEnvelope { id, resp };
+            if crate::wire::encode_frame(&reply, self.format, max_frame_bytes, &mut self.outbuf)
+                .is_err()
+            {
+                // A response too large for the frame limit: answer with a
+                // typed protocol error instead of silence.
+                let e = ServiceError::Protocol(format!(
+                    "response exceeds the {max_frame_bytes} byte frame limit"
+                ));
+                let fallback = ResponseEnvelope {
+                    id: reply.id,
+                    resp: ControlResponse::Err((&e).into()),
+                };
+                if crate::wire::encode_frame(
+                    &fallback,
+                    self.format,
+                    max_frame_bytes,
+                    &mut self.outbuf,
+                )
+                .is_err()
+                {
+                    self.dead = true;
+                    break;
+                }
+            }
+            progressed += 1;
+        }
+        progressed
+    }
+}
+
+fn reactor_loop(
+    inbox: Arc<Inbox>,
+    clients: ClientFactory,
+    stop: Arc<AtomicBool>,
+    max_frame_bytes: usize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
     while !stop.load(Ordering::Relaxed) {
-        let envelope: RequestEnvelope = match read_frame(&mut reader) {
-            Ok(env) => env,
-            // Idle poll tick (the read deadline elapsed with no frame):
-            // loop to re-check the stop flag.
-            Err(ServiceError::Timeout { .. }) => continue,
-            Err(_) => return, // disconnect or garbage: drop the session
-        };
-        let resp = client.call(envelope.req);
-        let reply = ResponseEnvelope {
-            id: envelope.id,
-            resp,
-        };
-        if write_frame(&mut writer, &reply).is_err() {
-            return;
+        let mut progressed = 0usize;
+
+        // Adopt newly accepted connections.
+        let fresh: Vec<TcpStream> = inbox
+            .streams
+            .lock()
+            .expect("inbox poisoned")
+            .drain(..)
+            .collect();
+        for stream in fresh {
+            progressed += 1;
+            if stream.set_nonblocking(true).is_err() {
+                inbox.load.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn::new(stream, clients.fresh(), max_frame_bytes));
+        }
+
+        for conn in conns.iter_mut() {
+            progressed += conn.flush();
+            progressed += conn.pump_reads(&mut scratch);
+            progressed += conn.pump_responses(max_frame_bytes);
+            progressed += conn.flush();
+        }
+
+        let before = conns.len();
+        conns.retain(|c| !c.finished());
+        let dropped = before - conns.len();
+        if dropped > 0 {
+            inbox.load.fetch_sub(dropped, Ordering::Relaxed);
+            progressed += dropped;
+        }
+
+        if progressed == 0 {
+            std::thread::sleep(IDLE_SLEEP);
         }
     }
 }

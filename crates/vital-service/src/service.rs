@@ -1,26 +1,32 @@
-//! The daemon core: a worker pool draining the fair queue into the
-//! [`SystemController`], plus the in-process client.
+//! The daemon core: per-shard worker pools draining a [`ShardSet`] into
+//! the [`SystemController`], plus the in-process client.
 //!
-//! Request lifecycle (DESIGN.md §12): **queued** (admitted by
-//! [`FairQueue::push`]) → **admitted** (taken by a worker; stale jobs are
-//! answered `Timeout` here without executing) → **executing** (a
-//! [`SystemController::execute`] call, or one `execute_many` round for a
-//! batch of compatible deploys) → **done** (the response lands in the
-//! caller's completion slot).
+//! Request lifecycle (DESIGN.md §13): **queued** (admitted by
+//! [`ShardSet::push`] — power-of-two-choices picks the session's shard) →
+//! **admitted** (taken by the shard's worker; stale jobs are answered
+//! `Timeout` here without executing) → **executing** (a
+//! [`SystemController::execute`] call, or one `execute_round` for a batch
+//! of compatible deploys swept across shards) → **done** (the response
+//! lands in the caller's completion slot).
 //!
-//! [`FairQueue::push`]: crate::queue::FairQueue::push
+//! Submission is non-blocking: [`ServiceClient::submit`] returns a
+//! [`PendingCall`] immediately, which the caller may poll
+//! ([`PendingCall::poll`]) or block on ([`PendingCall::wait`]). The TCP
+//! reactor multiplexes thousands of connections by polling pending calls
+//! between I/O sweeps; [`ServiceClient::call`] is submit-then-wait.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vital_runtime::{ControlRequest, ControlResponse, SystemController};
 use vital_telemetry::Telemetry;
 
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
-use crate::queue::{FairQueue, Job};
+use crate::queue::Job;
+use crate::shard::ShardSet;
 use crate::slot::SlotHandle;
 
 /// Per-endpoint latency histogram name (telemetry metric names must be
@@ -45,7 +51,7 @@ fn latency_hist(endpoint: &str) -> &'static str {
 
 struct ServiceInner {
     controller: Arc<SystemController>,
-    queue: FairQueue,
+    shards: ShardSet,
     config: ServiceConfig,
     next_session: AtomicU64,
 }
@@ -62,7 +68,18 @@ impl ServiceInner {
         (self.config.request_timeout.as_millis() as u64 / 2).max(1)
     }
 
-    fn submit(&self, session: u64, req: ControlRequest) -> Result<SlotHandle, ServiceError> {
+    /// Admits one request. `pinned` is the client's cached shard
+    /// placement (`usize::MAX` = not placed yet): after the first
+    /// submission the client remembers its shard and skips the shared
+    /// pin table entirely — the hot path costs one shard-queue lock, no
+    /// global state. A rejection clears both the cache and the table pin
+    /// so the session is not nailed to a full shard.
+    fn submit(
+        &self,
+        session: u64,
+        pinned: &AtomicUsize,
+        req: ControlRequest,
+    ) -> Result<SlotHandle, ServiceError> {
         let slot = SlotHandle::new();
         let now = Instant::now();
         let job = Job {
@@ -72,14 +89,26 @@ impl ServiceInner {
             deadline: now + self.config.request_timeout,
             slot: slot.clone(),
         };
-        self.queue.push(job, self.retry_after_ms()).map_err(|e| {
-            let name = match e {
-                ServiceError::Draining { .. } => "service.rejected_draining",
-                _ => "service.rejected_overload",
-            };
-            self.telemetry().inc_counter(name, 1);
-            e
-        })?;
+        let shard = match pinned.load(Ordering::Relaxed) {
+            usize::MAX => {
+                let s = self.shards.place(session);
+                pinned.store(s, Ordering::Relaxed);
+                s
+            }
+            s => s,
+        };
+        self.shards
+            .push_to(shard, job, self.retry_after_ms())
+            .map_err(|e| {
+                pinned.store(usize::MAX, Ordering::Relaxed);
+                self.shards.unpin_idle(session, shard);
+                let name = match e {
+                    ServiceError::Draining { .. } => "service.rejected_draining",
+                    _ => "service.rejected_overload",
+                };
+                self.telemetry().inc_counter(name, 1);
+                e
+            })?;
         Ok(slot)
     }
 
@@ -105,44 +134,82 @@ impl ServiceInner {
         job.slot.complete(ControlResponse::Err((&timeout).into()));
     }
 
-    fn worker_loop(&self) {
-        while let Some(job) = self.queue.pop() {
-            if Instant::now() >= job.deadline {
-                // Stale in the queue: answered without executing, so the
-                // rejection provably acquired nothing.
-                self.expire(job);
-                continue;
-            }
-            if !self.config.worker_delay.is_zero() {
-                std::thread::sleep(self.config.worker_delay);
-            }
-            let mut span = self.telemetry().span("service.request");
-            span.field("endpoint", job.req.endpoint());
-            span.field("session", job.session);
-            if job.req.is_batchable() && self.config.batch_max > 1 {
-                // One admission round for every compatible deploy at the
-                // head of the queue.
-                let mut jobs = vec![job];
-                jobs.extend(self.queue.pop_batchable(self.config.batch_max - 1));
-                span.field("batch", jobs.len());
-                if jobs.len() > 1 {
-                    self.telemetry()
-                        .inc_counter("service.batched_requests", jobs.len() as u64);
+    /// Executes one batch of compatible deploys as a single allocator
+    /// round, sweeping further batchable heads across the other shards
+    /// when there is room.
+    fn run_batch(&self, shard: usize, mut jobs: Vec<Job>) {
+        let room = self.config.batch_max.saturating_sub(jobs.len());
+        let stolen_shards = if room > 0 {
+            let (extra, stolen) = self.shards.pop_batchable_across(shard, room);
+            jobs.extend(extra);
+            stolen
+        } else {
+            0
+        };
+        let mut span = self.telemetry().span("service.request");
+        span.field("endpoint", jobs[0].req.endpoint());
+        span.field("shard", shard);
+        span.field("batch", jobs.len());
+        if jobs.len() > 1 {
+            self.telemetry()
+                .inc_counter("service.batched_requests", jobs.len() as u64);
+        }
+        if stolen_shards > 0 {
+            self.telemetry()
+                .inc_counter("service.cross_shard_batches", 1);
+        }
+        let reqs: Vec<ControlRequest> = jobs.iter().map(|j| j.req.clone()).collect();
+        let resps = self.controller.execute_round(reqs, 1 + stolen_shards);
+        for (job, resp) in jobs.into_iter().zip(resps) {
+            self.finish(job, resp);
+        }
+    }
+
+    /// One worker, bound to one shard. Jobs are taken in sweeps of up to
+    /// `batch_max` per lock acquisition and executed in pop order;
+    /// consecutive batchable jobs within a sweep — plus batchable heads
+    /// swept from the other shards — run as one allocator round, so one
+    /// admission round serves deploys cluster-wide.
+    fn worker_loop(&self, shard: usize) {
+        let sweep = self.config.batch_max.max(1);
+        while let Some(jobs) = self.shards.shard(shard).pop_many(sweep) {
+            let mut jobs = jobs.into_iter().peekable();
+            while let Some(job) = jobs.next() {
+                if Instant::now() >= job.deadline {
+                    // Stale in the queue: answered without executing, so
+                    // the rejection provably acquired nothing.
+                    self.expire(job);
+                    continue;
                 }
-                let reqs: Vec<ControlRequest> = jobs.iter().map(|j| j.req.clone()).collect();
-                let resps = self.controller.execute_many(reqs);
-                for (job, resp) in jobs.into_iter().zip(resps) {
+                if !self.config.worker_delay.is_zero() {
+                    std::thread::sleep(self.config.worker_delay);
+                }
+                if job.req.is_batchable() && self.config.batch_max > 1 {
+                    // Group the maximal run of consecutive batchable jobs
+                    // (pop order is preserved, so per-session FIFO holds).
+                    let mut batch = vec![job];
+                    while batch.len() < self.config.batch_max
+                        && jobs
+                            .peek()
+                            .is_some_and(|j| j.req.is_batchable() && Instant::now() < j.deadline)
+                    {
+                        batch.push(jobs.next().expect("peeked"));
+                    }
+                    self.run_batch(shard, batch);
+                } else {
+                    let mut span = self.telemetry().span("service.request");
+                    span.field("endpoint", job.req.endpoint());
+                    span.field("session", job.session);
+                    span.field("shard", shard);
+                    let resp = self.controller.execute(job.req.clone());
                     self.finish(job, resp);
                 }
-            } else {
-                let resp = self.controller.execute(job.req.clone());
-                self.finish(job, resp);
             }
         }
     }
 }
 
-/// The `vitald` daemon: owns a worker pool over one
+/// The `vitald` daemon: owns per-shard worker pools over one
 /// [`SystemController`] and hands out sessions ([`ServiceClient`]).
 /// Dropping without [`Vitald::shutdown`] aborts queued work with
 /// `Draining` answers.
@@ -152,10 +219,13 @@ pub struct Vitald {
 }
 
 impl Vitald {
-    /// Starts the worker pool over `controller`.
+    /// Starts the worker pool over `controller`. The shard count is
+    /// [`ServiceConfig::effective_shards`]; workers are distributed
+    /// round-robin across shards, so every shard has at least one.
     pub fn spawn(controller: Arc<SystemController>, config: ServiceConfig) -> Self {
+        let shards = config.effective_shards();
         let inner = Arc::new(ServiceInner {
-            queue: FairQueue::new(config.queue_capacity, config.per_session_limit),
+            shards: ShardSet::new(shards, config.queue_capacity, config.per_session_limit),
             controller,
             config,
             next_session: AtomicU64::new(1),
@@ -165,7 +235,7 @@ impl Vitald {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("vitald-worker-{i}"))
-                    .spawn(move || inner.worker_loop())
+                    .spawn(move || inner.worker_loop(i % shards))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -178,6 +248,7 @@ impl Vitald {
         ServiceClient {
             inner: Arc::clone(&self.inner),
             session: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+            pinned: AtomicUsize::new(usize::MAX),
         }
     }
 
@@ -186,17 +257,27 @@ impl Vitald {
         &self.inner.controller
     }
 
-    /// Queued (not yet executing) requests right now.
+    /// The configuration this daemon was spawned with.
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Queued (not yet executing) requests right now, across all shards.
     pub fn queue_len(&self) -> usize {
-        self.inner.queue.len()
+        self.inner.shards.len()
+    }
+
+    /// Admission shards actually running.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.shard_count()
     }
 
     /// Graceful shutdown: stop admitting (new submissions are answered
     /// `Draining` with a retry hint), let every queued request finish,
     /// then join the workers.
     pub fn shutdown(mut self) {
-        self.inner.queue.drain();
-        self.inner.queue.wait_empty();
+        self.inner.shards.drain();
+        self.inner.shards.wait_empty();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -205,9 +286,53 @@ impl Vitald {
 
 impl Drop for Vitald {
     fn drop(&mut self) {
-        self.inner.queue.drain();
+        self.inner.shards.drain();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+    }
+}
+
+/// One submitted request awaiting its answer: poll it from a reactor or
+/// block on it from a thread. Obtained from [`ServiceClient::submit`].
+pub struct PendingCall {
+    slot: SlotHandle,
+    deadline: Instant,
+    timeout: Duration,
+}
+
+impl PendingCall {
+    /// Polls for the answer without blocking. Past the deadline (plus a
+    /// small grace for a job taken right at its deadline), synthesizes a
+    /// typed `Timeout` response — so a reactor never waits forever.
+    pub fn poll(&self) -> Option<ControlResponse> {
+        if let Some(resp) = self.slot.try_take() {
+            return Some(resp);
+        }
+        let grace = self.timeout / 4;
+        if Instant::now() >= self.deadline + grace {
+            let e = ServiceError::Timeout {
+                after: self.timeout,
+            };
+            return Some(ControlResponse::Err((&e).into()));
+        }
+        None
+    }
+
+    /// Blocks until the answer arrives; a deadline miss is the same typed
+    /// `Timeout` response a poll would synthesize.
+    pub fn wait(&self) -> ControlResponse {
+        // Wait a little past the service deadline: a job taken right at
+        // its deadline still answers.
+        let grace = self.timeout / 4;
+        match self.slot.wait(self.timeout + grace) {
+            Some(resp) => resp,
+            None => {
+                let e = ServiceError::Timeout {
+                    after: self.timeout,
+                };
+                ControlResponse::Err((&e).into())
+            }
         }
     }
 }
@@ -218,6 +343,11 @@ impl Drop for Vitald {
 pub struct ServiceClient {
     inner: Arc<ServiceInner>,
     session: u64,
+    /// Cached shard placement (`usize::MAX` until the first submission).
+    /// Session affinity makes placement a per-session constant, so after
+    /// the first request the client bypasses the shared pin table — the
+    /// submit hot path touches only its own shard's queue lock.
+    pinned: AtomicUsize,
 }
 
 impl ServiceClient {
@@ -227,13 +357,27 @@ impl ServiceClient {
     }
 
     /// A client on the same service under a **fresh** session id — the
-    /// sibling gets its own fairness allowance, exactly like
-    /// [`Vitald::client`].
+    /// sibling gets its own fairness allowance (and its own
+    /// power-of-two-choices shard), exactly like [`Vitald::client`].
     pub fn sibling(&self) -> ServiceClient {
         ServiceClient {
             inner: Arc::clone(&self.inner),
             session: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+            pinned: AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// Submits a request without waiting for it: the returned
+    /// [`PendingCall`] resolves when a worker answers. Admission
+    /// rejections (`Overloaded`, `Draining`) surface immediately as the
+    /// `Err` arm — nothing was enqueued.
+    pub fn submit(&self, req: ControlRequest) -> Result<PendingCall, ServiceError> {
+        let slot = self.inner.submit(self.session, &self.pinned, req)?;
+        Ok(PendingCall {
+            slot,
+            deadline: Instant::now() + self.inner.config.request_timeout,
+            timeout: self.inner.config.request_timeout,
+        })
     }
 
     /// Submits a request and waits for its typed answer. Never blocks
@@ -251,9 +395,7 @@ impl ServiceClient {
     /// Like [`ServiceClient::call`], with service-layer failures as a
     /// typed [`ServiceError`] instead of a response value.
     pub fn try_call(&self, req: ControlRequest) -> Result<ControlResponse, ServiceError> {
-        let slot = self.inner.submit(self.session, req)?;
-        // Wait a little past the service deadline: a job taken right at
-        // its deadline still answers.
+        let slot = self.inner.submit(self.session, &self.pinned, req)?;
         let grace = self.inner.config.request_timeout / 4;
         slot.wait(self.inner.config.request_timeout + grace)
             .ok_or(ServiceError::Timeout {

@@ -31,6 +31,12 @@ impl SlotHandle {
         self.0.done.notify_all();
     }
 
+    /// Takes the response if it has already arrived, without blocking —
+    /// the poll the non-blocking server reactor uses between I/O sweeps.
+    pub fn try_take(&self) -> Option<ControlResponse> {
+        self.0.response.lock().expect("slot lock poisoned").take()
+    }
+
     /// Blocks until the response arrives or `timeout` elapses. `None`
     /// means the caller gave up — the request may still execute.
     pub fn wait(&self, timeout: Duration) -> Option<ControlResponse> {
@@ -62,6 +68,18 @@ mod tests {
     fn wait_times_out_without_completion() {
         let slot = SlotHandle::new();
         assert!(slot.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let slot = SlotHandle::new();
+        assert!(slot.try_take().is_none());
+        slot.complete(ControlResponse::Undeployed { tenant: 9 });
+        assert_eq!(
+            slot.try_take(),
+            Some(ControlResponse::Undeployed { tenant: 9 })
+        );
+        assert!(slot.try_take().is_none(), "one-shot: taken means gone");
     }
 
     #[test]

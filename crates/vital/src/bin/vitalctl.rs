@@ -36,7 +36,9 @@ use std::sync::Arc;
 use vital::runtime::{
     ControlRequest, ControlResponse, DeployRequest, RuntimeConfig, SystemController,
 };
-use vital::service::{benchmark_resolver, RemoteClient, ServiceClient, ServiceConfig, Vitald};
+use vital::service::{
+    benchmark_resolver, RemoteClient, ServiceClient, ServiceConfig, Vitald, WireFormat,
+};
 use vital::telemetry::Telemetry;
 
 /// Where commands are executed: an in-process daemon core, or a remote
@@ -198,7 +200,9 @@ fn main() {
     }
 
     let backend = match &connect {
-        Some(addr) => match RemoteClient::connect(addr) {
+        // JSON frames: keeps `vitalctl --connect` wire-compatible with
+        // older daemons (the server answers in the request's format).
+        Some(addr) => match RemoteClient::connect_with(addr, WireFormat::Json) {
             Ok(remote) => {
                 println!("vitalctl: connected to vitald at {addr}");
                 Backend::Remote(remote)

@@ -13,7 +13,7 @@ use vital::interface::ErrorCode;
 use vital::netlist::hls::{AppSpec, Operator};
 use vital::periph::TenantId;
 use vital::runtime::{ControlRequest, ControlResponse, RuntimeConfig, SystemController};
-use vital::service::{RemoteClient, ServiceConfig, ServiceServer, Vitald};
+use vital::service::{RemoteClient, ServiceConfig, ServiceServer, Vitald, WireFormat};
 
 const NAMES: [&str; 3] = ["small", "medium", "large"];
 
@@ -310,4 +310,147 @@ fn tcp_server_serves_concurrent_remote_clients() {
     drain_tenants(&vitald);
     baseline.assert_restored(&controller);
     vitald.shutdown();
+}
+
+/// Binary and JSON clients share one server; the server answers each
+/// connection in the format its requests arrive in.
+#[test]
+fn tcp_server_speaks_both_wire_formats() {
+    let controller = controller();
+    let vitald = Vitald::spawn(Arc::clone(&controller), ServiceConfig::default());
+    let server = ServiceServer::serve(&vitald, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let binary = RemoteClient::connect_with(&addr, WireFormat::Binary).expect("connect binary");
+    let json = RemoteClient::connect_with(&addr, WireFormat::Json).expect("connect json");
+    for _ in 0..3 {
+        assert!(binary
+            .call(ControlRequest::Status)
+            .expect("binary call")
+            .is_ok());
+        assert!(json
+            .call(ControlRequest::Status)
+            .expect("json call")
+            .is_ok());
+    }
+
+    server.stop();
+    vitald.shutdown();
+}
+
+/// A peer writing garbage — an oversized length announcement, then on a
+/// second connection undecodable bytes — gets its connection dropped
+/// without a reply, while a well-behaved client on the same server keeps
+/// being served.
+#[test]
+fn malformed_and_oversized_frames_poison_only_their_connection() {
+    use std::io::{Read, Write};
+
+    let controller = controller();
+    let vitald = Vitald::spawn(Arc::clone(&controller), ServiceConfig::default());
+    let server = ServiceServer::serve(&vitald, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let healthy = RemoteClient::connect(&addr).expect("connect healthy");
+    assert!(healthy.call(ControlRequest::Status).expect("call").is_ok());
+
+    // An announcement far past the frame limit: the server must refuse
+    // it before allocating and close the connection.
+    let mut oversized = std::net::TcpStream::connect(&addr).expect("connect");
+    oversized
+        .write_all(&(u32::MAX).to_be_bytes())
+        .expect("write length");
+    let mut buf = [0u8; 16];
+    oversized
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    assert_eq!(
+        oversized.read(&mut buf).expect("read EOF"),
+        0,
+        "oversized announcement must be answered with a close, not a reply"
+    );
+
+    // A well-formed length followed by bytes that decode as neither
+    // binary nor JSON: same fate.
+    let mut garbage = std::net::TcpStream::connect(&addr).expect("connect");
+    garbage
+        .write_all(&8u32.to_be_bytes())
+        .expect("write length");
+    garbage
+        .write_all(&[0xFFu8; 8])
+        .expect("write garbage payload");
+    garbage
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    assert_eq!(
+        garbage.read(&mut buf).expect("read EOF"),
+        0,
+        "garbage payload must drop the connection"
+    );
+
+    // The healthy connection rode through both incidents.
+    assert!(healthy.call(ControlRequest::Status).expect("call").is_ok());
+
+    server.stop();
+    vitald.shutdown();
+}
+
+/// 4096 sessions multiplexed over 32 driver threads, pipelined through
+/// the non-blocking submission API against an 8-shard daemon: every
+/// request must come back typed (kept small enough for CI — the full
+/// sweep lives in `fig_service_throughput`).
+#[test]
+fn four_thousand_sessions_all_get_typed_answers() {
+    let controller = controller();
+    let vitald = Arc::new(Vitald::spawn(
+        Arc::clone(&controller),
+        ServiceConfig::default()
+            .with_workers(8)
+            .with_shards(8)
+            // Headroom over the 4096 concurrent submissions: sessions pin
+            // to shards, so per-shard load is balanced only approximately.
+            .with_queue_capacity(8192),
+    ));
+
+    let drivers = 32;
+    let sessions_per_driver = 128;
+    let requests_per_session = 2;
+    let answered = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..drivers)
+        .map(|_| {
+            let vitald = Arc::clone(&vitald);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let clients: Vec<_> = (0..sessions_per_driver).map(|_| vitald.client()).collect();
+                for _ in 0..requests_per_session {
+                    // Pipeline one wave: submit across every session,
+                    // then collect the wave's answers.
+                    let pending: Vec<_> = clients
+                        .iter()
+                        .map(|c| c.submit(ControlRequest::Status).expect("submit status"))
+                        .collect();
+                    for p in pending {
+                        assert!(
+                            p.wait().is_ok(),
+                            "a Status under an 8-shard daemon must succeed"
+                        );
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("driver thread panicked");
+    }
+    assert_eq!(
+        answered.load(Ordering::Relaxed),
+        (drivers * sessions_per_driver * requests_per_session) as u64,
+        "every pipelined request received an answer"
+    );
+    assert_eq!(vitald.shard_count(), 8);
+
+    Arc::try_unwrap(vitald)
+        .unwrap_or_else(|_| panic!("vitald still shared"))
+        .shutdown();
 }
