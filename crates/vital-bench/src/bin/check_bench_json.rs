@@ -4,11 +4,13 @@
 //! invalid — so a report binary that silently stops emitting valid JSON
 //! fails the build instead of rotting.
 //!
-//! With `--compare <baseline.json>` it additionally acts as the
-//! **performance gate** (DESIGN.md §13): the freshly generated
-//! `BENCH_service.json` is compared point-by-point against the committed
-//! baseline record, and the build fails if any sweep point's throughput
-//! dropped more than 15 % or its p99 latency rose more than 25 %.
+//! With `--compare <baseline.json>` (repeatable) it additionally acts as
+//! the **performance gate** (DESIGN.md §13): the baseline's `name` field
+//! names the bench it anchors, the freshly generated `BENCH_<name>.json`
+//! is compared point-by-point against it, and the build fails on any
+//! regression past the thresholds — throughput (`.req_per_s`,
+//! `.blocks_per_s`) down more than 15 %, p99 latency (`.p99_ms`) up more
+//! than 25 %, or P&R speedup (`.speedup_x`) down more than 15 %.
 
 use vital_bench::{reports_dir, BenchRecord};
 
@@ -16,6 +18,9 @@ use vital_bench::{reports_dir, BenchRecord};
 const MAX_THROUGHPUT_DROP: f64 = 0.15;
 /// p99 latency may rise at most this fraction before the gate fails.
 const MAX_P99_RISE: f64 = 0.25;
+/// A sweep point's speedup may fall at most this fraction before the gate
+/// fails.
+const MAX_SPEEDUP_DROP: f64 = 0.15;
 
 /// Extra invariants for the `vitald` service-throughput record
 /// (`BENCH_service.json`): the acceptance bar is ≥ 64 concurrent clients
@@ -50,11 +55,11 @@ fn check_service_record(rec: &BenchRecord) -> Result<(), String> {
     Ok(())
 }
 
-/// Compares the current service record against the committed baseline
-/// over every `*.req_per_s` / `*.p99_ms` config key present in **both**
-/// records. Returns the list of regressions; errors on malformed input
-/// or an empty intersection (a renamed sweep must re-baseline, not
-/// silently pass).
+/// Compares the current record against the committed baseline over every
+/// gated config key (`*.req_per_s`, `*.blocks_per_s`, `*.p99_ms`,
+/// `*.speedup_x`) present in **both** records. Returns the list of
+/// regressions; errors on malformed input or an empty intersection (a
+/// renamed sweep must re-baseline, not silently pass).
 fn compare_records(current: &BenchRecord, baseline: &BenchRecord) -> Result<Vec<String>, String> {
     let parse = |rec: &BenchRecord, key: &str| -> Result<f64, String> {
         rec.config[key]
@@ -67,7 +72,9 @@ fn compare_records(current: &BenchRecord, baseline: &BenchRecord) -> Result<Vec<
         if !baseline.config.contains_key(key) {
             continue;
         }
-        if key.ends_with(".req_per_s") || key == "req_per_s" {
+        let throughput_like =
+            key.ends_with(".req_per_s") || key == "req_per_s" || key.ends_with(".blocks_per_s");
+        if throughput_like {
             let (cur, base) = (parse(current, key)?, parse(baseline, key)?);
             if base <= 0.0 {
                 continue;
@@ -75,7 +82,7 @@ fn compare_records(current: &BenchRecord, baseline: &BenchRecord) -> Result<Vec<
             matched += 1;
             if cur < base * (1.0 - MAX_THROUGHPUT_DROP) {
                 regressions.push(format!(
-                    "{key}: throughput {cur:.0} req/s is {:.0} % below baseline {base:.0}",
+                    "{key}: throughput {cur:.0} is {:.0} % below baseline {base:.0}",
                     (1.0 - cur / base) * 100.0
                 ));
             }
@@ -90,37 +97,56 @@ fn compare_records(current: &BenchRecord, baseline: &BenchRecord) -> Result<Vec<
                     (cur / base - 1.0) * 100.0
                 ));
             }
+        } else if key.ends_with(".speedup_x") {
+            let (cur, base) = (parse(current, key)?, parse(baseline, key)?);
+            if base <= 0.0 {
+                continue;
+            }
+            matched += 1;
+            if cur < base * (1.0 - MAX_SPEEDUP_DROP) {
+                regressions.push(format!(
+                    "{key}: speedup {cur:.2}x is {:.0} % below baseline {base:.2}x",
+                    (1.0 - cur / base) * 100.0
+                ));
+            }
         }
     }
     if matched == 0 {
-        return Err(
-            "no throughput points shared between the current record and the baseline — \
-             regenerate the baseline with fig_service_throughput --baseline"
-                .to_string(),
-        );
+        return Err(format!(
+            "no gated points shared between BENCH_{}.json and the baseline — \
+             regenerate the baseline with the report binary's --baseline flag",
+            current.name
+        ));
     }
     Ok(regressions)
 }
 
-/// Runs the perf gate: loads `BENCH_service.json` and the baseline at
-/// `path`, returning the regression list (empty = pass).
+/// Runs one perf gate: loads the baseline at `path`, infers the current
+/// report from the baseline's `name` (`BENCH_<name>.json`), and returns
+/// the regression list (empty = pass).
 fn run_compare(path: &str) -> Result<Vec<String>, String> {
     let load = |p: &std::path::Path| -> Result<BenchRecord, String> {
         let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
         serde_json::from_str(&text).map_err(|e| format!("{}: {e}", p.display()))
     };
-    let current = load(&reports_dir().join("BENCH_service.json"))?;
     let baseline = load(std::path::Path::new(path))?;
+    let current = load(&reports_dir().join(format!("BENCH_{}.json", baseline.name)))?;
+    if current.name != baseline.name {
+        return Err(format!(
+            "baseline {path} anchors bench {:?} but the current report names itself {:?}",
+            baseline.name, current.name
+        ));
+    }
     compare_records(&current, &baseline)
 }
 
 fn main() {
-    let mut compare: Option<String> = None;
+    let mut compares: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--compare" => match args.next() {
-                Some(path) => compare = Some(path),
+                Some(path) => compares.push(path),
                 None => {
                     eprintln!("--compare needs a baseline file path");
                     std::process::exit(2);
@@ -178,7 +204,7 @@ fn main() {
         }
     }
 
-    if let Some(path) = &compare {
+    for path in &compares {
         match run_compare(path) {
             Ok(regressions) if regressions.is_empty() => {
                 println!("perf gate: no regression against {path}");
@@ -244,6 +270,25 @@ mod tests {
             ("point.64x8.p99_ms", "3.0"),
         ]);
         let regressions = compare_records(&cur, &base).unwrap();
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+    }
+
+    #[test]
+    fn compare_gates_speedup_and_block_throughput() {
+        let base = record(&[
+            ("point.w4.speedup_x", "3.50"),
+            ("point.w4.blocks_per_s", "100"),
+        ]);
+        let ok = record(&[
+            ("point.w4.speedup_x", "3.10"),
+            ("point.w4.blocks_per_s", "90"),
+        ]);
+        assert!(compare_records(&ok, &base).unwrap().is_empty());
+        let bad = record(&[
+            ("point.w4.speedup_x", "2.00"),
+            ("point.w4.blocks_per_s", "50"),
+        ]);
+        let regressions = compare_records(&bad, &base).unwrap();
         assert_eq!(regressions.len(), 2, "{regressions:?}");
     }
 

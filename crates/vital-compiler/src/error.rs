@@ -25,6 +25,15 @@ pub enum CompileError {
     },
     /// A relocation target is incompatible with the compiled image.
     IncompatibleRelocation(String),
+    /// A local P&R annealing shard panicked. The panic is caught per work
+    /// item, so one poisoned block fails its compile instead of aborting
+    /// the process hosting the compiler.
+    PnrWorkerPanicked {
+        /// The virtual block whose annealing panicked.
+        block: u32,
+        /// The panic payload, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -40,6 +49,12 @@ impl fmt::Display for CompileError {
             }
             CompileError::IncompatibleRelocation(msg) => {
                 write!(f, "incompatible relocation target: {msg}")
+            }
+            CompileError::PnrWorkerPanicked { block, message } => {
+                write!(
+                    f,
+                    "local P&R worker panicked on virtual block {block}: {message}"
+                )
             }
         }
     }

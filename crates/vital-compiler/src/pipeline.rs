@@ -1,5 +1,6 @@
 //! The compiler driver: runs the six steps in order and measures each.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -11,7 +12,10 @@ use vital_placer::{Placer, VirtualGrid};
 use vital_telemetry::{Span, Telemetry};
 
 use crate::image::{AppBitstream, BlockImage};
-use crate::pnr::{place_block, LocalPlacement, SiteModel};
+use crate::pnr::{
+    anneal_shard, finalize_placement, BlockProblem, LocalPlacement, PnrScratch, ShardPlacement,
+    SiteModel,
+};
 use crate::{CompileError, CompilerConfig, NetlistDigest, StageTimings};
 
 /// Outcome of local P&R for one virtual block, with its wall time.
@@ -188,7 +192,13 @@ impl Compiler {
                 }
             }
         }
-        let workers = self.config.effective_workers(prims_per_vb.len());
+        // Workers are sized to the (block x shard) work-item count, not the
+        // block count, so a compile with fewer blocks than cores still
+        // parallelizes within each block.
+        let shards = self.config.pnr.shards.max(1);
+        let workers = self
+            .config
+            .effective_workers(prims_per_vb.len().saturating_mul(shards));
         stage.field("blocks", prims_per_vb.len());
         stage.field("workers", workers);
         let placed = self.place_all_blocks(&netlist, &dfg, &prims_per_vb, workers, &stage);
@@ -285,12 +295,24 @@ impl Compiler {
     }
 
     /// Runs local P&R for every virtual block on `workers` threads,
-    /// returning results in virtual-block order with per-block wall times.
+    /// returning results in virtual-block order with per-block times
+    /// (the sum of a block's shard times, i.e. its one-worker cost).
     ///
-    /// Blocks are claimed from a shared atomic counter, so threads stay
-    /// busy regardless of per-block cost skew. Ordering the results by
-    /// block afterwards makes the output — including which error surfaces
-    /// first when several blocks fail — independent of thread scheduling.
+    /// The stage runs in three phases. Phase 1 builds every block's
+    /// [`BlockProblem`] serially — cheap preprocessing that also surfaces
+    /// infeasibility errors deterministically. Phase 2 fans the
+    /// `(block, shard)` work items out over a shared atomic counter, so
+    /// threads stay busy regardless of per-block cost skew and a compile
+    /// with fewer blocks than workers still saturates the pool; each
+    /// worker reuses one [`PnrScratch`] across all items it claims. Phase 3
+    /// reduces each block's shards to the winner (lowest wirelength, ties
+    /// to the lowest shard index) in block order, which makes the output —
+    /// including which error surfaces first — independent of thread
+    /// scheduling and hence bit-identical to the serial path.
+    ///
+    /// A panicking shard is caught per work item ([`catch_unwind`]) and
+    /// surfaces as [`CompileError::PnrWorkerPanicked`] on its block: one
+    /// poisoned block fails that compile, never the process.
     fn place_all_blocks(
         &self,
         netlist: &Netlist,
@@ -299,56 +321,182 @@ impl Compiler {
         workers: usize,
         pnr_span: &Span,
     ) -> Vec<BlockPnr> {
-        let place_one = |vb: usize| {
+        let shards = self.config.pnr.shards.max(1);
+        let site_count = self.site_model.sites().len();
+
+        // Phase 1: preprocess every block (feasibility + dense adjacency).
+        let problems: Vec<Result<BlockProblem, CompileError>> = prims_per_vb
+            .iter()
+            .enumerate()
+            .map(|(vb, prims)| {
+                BlockProblem::build(netlist, dfg, vb as u32, prims, &self.site_model)
+            })
+            .collect();
+
+        // Phase 2: anneal the (block, shard) items of feasible blocks.
+        let items: Vec<(usize, usize)> = problems
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_ok())
+            .flat_map(|(vb, _)| (0..shards).map(move |s| (vb, s)))
+            .collect();
+        // Per item: the shard's placement (or the panic message that killed
+        // it) and its wall time. `None` = the worker thread died before
+        // reporting, which phase 3 also treats as a panicked shard.
+        type ItemOutcome = (Result<ShardPlacement, String>, Duration);
+        let mut outcomes: Vec<Option<ItemOutcome>> = (0..items.len()).map(|_| None).collect();
+        let mut worker_panic: Option<String> = None;
+
+        let run_item = |idx: usize, scratch: &mut PnrScratch| -> ItemOutcome {
+            let (vb, shard) = items[idx];
+            let problem = problems[vb]
+                .as_ref()
+                .expect("items are built from feasible blocks only");
             let t = Instant::now();
-            // One span per virtual block, on its own track so parallel
-            // blocks render side by side in the trace viewer.
+            // One span per shard, on its own track so parallel shards
+            // render side by side in the trace viewer.
+            let mut span = pnr_span.child_on_track("compile.pnr_shard", idx as u32);
+            span.field("block", vb);
+            span.field("shard", shard);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                anneal_shard(problem, &self.site_model, &self.config.pnr, shard, scratch)
+            }))
+            .map_err(|payload| panic_message(payload.as_ref()));
+            span.field("ok", result.is_ok());
+            span.finish();
+            (result, t.elapsed())
+        };
+
+        if workers <= 1 {
+            let mut scratch = PnrScratch::new(site_count);
+            for (idx, slot) in outcomes.iter_mut().enumerate() {
+                let outcome = run_item(idx, &mut scratch);
+                if outcome.0.is_err() {
+                    // The scratch may hold stale occupancy from the
+                    // aborted run; start the next item from a fresh one.
+                    scratch = PnrScratch::new(site_count);
+                }
+                *slot = Some(outcome);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Result<Vec<(usize, ItemOutcome)>, String>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut scratch = PnrScratch::new(site_count);
+                                let mut out = Vec::new();
+                                loop {
+                                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                                    if idx >= items.len() {
+                                        break;
+                                    }
+                                    let outcome = run_item(idx, &mut scratch);
+                                    if outcome.0.is_err() {
+                                        scratch = PnrScratch::new(site_count);
+                                    }
+                                    out.push((idx, outcome));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
+                        .collect()
+                });
+            for result in per_worker {
+                match result {
+                    Ok(done) => {
+                        for (idx, outcome) in done {
+                            outcomes[idx] = Some(outcome);
+                        }
+                    }
+                    // A worker died outside catch_unwind; its unreported
+                    // items fail their blocks in phase 3.
+                    Err(msg) => worker_panic = Some(msg),
+                }
+            }
+        }
+
+        // Phase 3: reduce shards to one placement per block, in order.
+        let mut out = Vec::with_capacity(prims_per_vb.len());
+        let mut cursor = 0usize;
+        for (vb, problem) in problems.iter().enumerate() {
             let mut span = pnr_span.child_on_track("compile.block_pnr", vb as u32);
             span.field("block", vb);
-            let result = place_block(
-                netlist,
-                dfg,
-                vb as u32,
-                &prims_per_vb[vb],
-                &self.site_model,
-                &self.config.pnr,
-            );
-            let dur = t.elapsed();
+            let (result, dur) = match problem {
+                Err(e) => (Err(e.clone()), Duration::ZERO),
+                Ok(problem) => {
+                    let mut best: Option<ShardPlacement> = None;
+                    let mut dur = Duration::ZERO;
+                    let mut panicked: Option<String> = None;
+                    for _ in 0..shards {
+                        match outcomes[cursor].take() {
+                            Some((Ok(placement), d)) => {
+                                dur += d;
+                                if best
+                                    .as_ref()
+                                    .is_none_or(|b| placement.wirelength < b.wirelength)
+                                {
+                                    best = Some(placement);
+                                }
+                            }
+                            Some((Err(msg), d)) => {
+                                dur += d;
+                                panicked.get_or_insert(msg);
+                            }
+                            None => {
+                                let msg = worker_panic
+                                    .clone()
+                                    .unwrap_or_else(|| "P&R worker exited early".to_string());
+                                panicked.get_or_insert(msg);
+                            }
+                        }
+                        cursor += 1;
+                    }
+                    match panicked {
+                        // Any panicked shard fails the whole block: picking
+                        // the best *surviving* shard would make the output
+                        // depend on which thread crashed.
+                        Some(message) => (
+                            Err(CompileError::PnrWorkerPanicked {
+                                block: vb as u32,
+                                message,
+                            }),
+                            dur,
+                        ),
+                        None => {
+                            let best = best.expect("shards >= 1 and none panicked");
+                            (
+                                Ok(finalize_placement(problem, &self.site_model, &best)),
+                                dur,
+                            )
+                        }
+                    }
+                }
+            };
             span.field("ok", result.is_ok());
             span.finish();
             self.telemetry
                 .record_hist("compile.block_pnr_s", dur.as_secs_f64());
-            (result, dur)
-        };
-
-        if workers <= 1 {
-            return (0..prims_per_vb.len()).map(place_one).collect();
+            out.push((result, dur));
         }
+        out
+    }
+}
 
-        let next = AtomicUsize::new(0);
-        let mut by_block: Vec<(usize, BlockPnr)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let vb = next.fetch_add(1, Ordering::Relaxed);
-                            if vb >= prims_per_vb.len() {
-                                break;
-                            }
-                            out.push((vb, place_one(vb)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("local P&R worker panicked"))
-                .collect()
-        });
-        by_block.sort_unstable_by_key(|&(vb, _)| vb);
-        by_block.into_iter().map(|(_, r)| r).collect()
+/// Renders a panic payload (from [`catch_unwind`] or a failed join) as the
+/// human-readable message for [`CompileError::PnrWorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "local P&R worker panicked".to_string()
     }
 }
 

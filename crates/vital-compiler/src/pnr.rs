@@ -27,7 +27,7 @@ use crate::CompileError;
 pub struct PnrConfig {
     /// RNG seed.
     pub seed: u64,
-    /// Proposed moves per primitive per temperature.
+    /// Proposed moves per primitive per temperature (split across shards).
     pub moves_per_primitive: usize,
     /// Number of temperature steps.
     pub temperatures: usize,
@@ -37,6 +37,18 @@ pub struct PnrConfig {
     pub cooling: f64,
     /// Boundary lanes available per block for global routing.
     pub lanes_per_block: usize,
+    /// Independent annealing shards per block. Each shard runs
+    /// `moves_per_primitive / shards` of the move budget from its own RNG
+    /// stream and the best shard (by wirelength, ties to the lowest shard
+    /// index) wins, so the result is identical whether shards run serially
+    /// or spread over worker threads — this is what lets the pipeline
+    /// parallelize *within* a block when there are fewer blocks than
+    /// workers. `1` reproduces the unsharded annealer exactly.
+    pub shards: usize,
+}
+
+fn default_shards() -> usize {
+    4
 }
 
 impl Default for PnrConfig {
@@ -48,6 +60,7 @@ impl Default for PnrConfig {
             t0: 40.0,
             cooling: 0.6,
             lanes_per_block: 6,
+            shards: default_shards(),
         }
     }
 }
@@ -189,139 +202,325 @@ pub fn place_block(
     sites: &SiteModel,
     cfg: &PnrConfig,
 ) -> Result<LocalPlacement, CompileError> {
-    // Local index per primitive.
-    let mut local_of = std::collections::HashMap::with_capacity(prims.len());
-    for (i, &p) in prims.iter().enumerate() {
-        local_of.insert(p, i as u32);
+    let problem = BlockProblem::build(netlist, dfg, block, prims, sites)?;
+    let mut scratch = PnrScratch::new(sites.sites().len());
+    let shards = cfg.shards.max(1);
+    let mut best: Option<ShardPlacement> = None;
+    for shard in 0..shards {
+        let candidate = anneal_shard(&problem, sites, cfg, shard, &mut scratch);
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.wirelength < b.wirelength)
+        {
+            best = Some(candidate);
+        }
     }
+    let best = best.expect("shards >= 1");
+    Ok(finalize_placement(&problem, sites, &best))
+}
 
-    // Partition primitives by site kind and check feasibility.
-    let mut by_kind: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for (i, &p) in prims.iter().enumerate() {
-        let kind = netlist
-            .primitive(p)
-            .and_then(|pr| SiteKind::of_primitive(pr.kind()));
-        let Some(kind) = kind else {
-            return Err(CompileError::PlacementInfeasible {
-                block,
-                reason: format!("primitive {p} is not placeable in a block"),
-            });
+/// One virtual block's local P&R problem in dense local indices: the
+/// feasibility-checked, preprocessed form the annealing shards share
+/// read-only. Building it once per block (instead of re-deriving site
+/// kinds and adjacency from the netlist inside the move loop) is what
+/// removes the per-move hash lookups and allocation churn that made the
+/// parallel path slower than serial.
+#[derive(Debug)]
+pub(crate) struct BlockProblem {
+    /// The virtual block being placed.
+    pub(crate) block: u32,
+    /// Original primitive ids in local-index order.
+    prims: Vec<PrimitiveId>,
+    /// `kind_index` of each local primitive (0 = Slice, 1 = Bram, 2 = Dsp).
+    kind_of_local: Vec<u8>,
+    /// Block-internal edges `(local a, local b, bit weight)`.
+    edges: Vec<(u32, u32, f64)>,
+    /// CSR offsets into `incident_edges`, length `prims.len() + 1`.
+    incident_start: Vec<u32>,
+    /// Edge indices incident to each local primitive (CSR payload).
+    incident_edges: Vec<u32>,
+    /// Compact initial assignment (site per local primitive).
+    initial: Vec<u32>,
+    /// Wirelength of `initial`.
+    pub(crate) initial_wirelength: f64,
+    /// Mean edge bit weight; scales the annealing temperature.
+    avg_edge_bits: f64,
+}
+
+impl BlockProblem {
+    /// Preprocesses `prims` into a placement problem, performing the
+    /// feasibility checks that used to live at the head of `place_block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::PlacementInfeasible`] if a primitive is not
+    /// placeable or the block lacks sites of some kind.
+    pub(crate) fn build(
+        netlist: &Netlist,
+        dfg: &DataflowGraph,
+        block: u32,
+        prims: &[PrimitiveId],
+        sites: &SiteModel,
+    ) -> Result<Self, CompileError> {
+        // Local index per primitive.
+        let mut local_of = std::collections::HashMap::with_capacity(prims.len());
+        for (i, &p) in prims.iter().enumerate() {
+            local_of.insert(p, i as u32);
+        }
+
+        // Partition primitives by site kind and check feasibility.
+        let mut kind_of_local = Vec::with_capacity(prims.len());
+        let mut by_kind: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, &p) in prims.iter().enumerate() {
+            let kind = netlist
+                .primitive(p)
+                .and_then(|pr| SiteKind::of_primitive(pr.kind()));
+            let Some(kind) = kind else {
+                return Err(CompileError::PlacementInfeasible {
+                    block,
+                    reason: format!("primitive {p} is not placeable in a block"),
+                });
+            };
+            kind_of_local.push(kind_index(kind) as u8);
+            by_kind[kind_index(kind)].push(i as u32);
+        }
+        for (ki, kind) in [SiteKind::Slice, SiteKind::Bram, SiteKind::Dsp]
+            .into_iter()
+            .enumerate()
+        {
+            if by_kind[ki].len() > sites.sites_of(kind).len() {
+                return Err(CompileError::PlacementInfeasible {
+                    block,
+                    reason: format!(
+                        "needs {} {kind:?} sites but the block has {}",
+                        by_kind[ki].len(),
+                        sites.sites_of(kind).len()
+                    ),
+                });
+            }
+        }
+
+        // Block-internal edges in local indices, plus the incident lists
+        // in compressed-sparse-row form (two passes: count, then fill).
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        let mut degree: Vec<u32> = vec![0; prims.len()];
+        for &p in prims {
+            for e in dfg.neighbors(p) {
+                if e.other <= p {
+                    continue; // visit each edge once
+                }
+                if let Some(&other_local) = local_of.get(&e.other) {
+                    let a = local_of[&p];
+                    edges.push((a, other_local, e.bits as f64));
+                    degree[a as usize] += 1;
+                    degree[other_local as usize] += 1;
+                }
+            }
+        }
+        let mut incident_start: Vec<u32> = Vec::with_capacity(prims.len() + 1);
+        incident_start.push(0);
+        for &d in &degree {
+            incident_start.push(incident_start.last().unwrap() + d);
+        }
+        let mut cursor: Vec<u32> = incident_start[..prims.len()].to_vec();
+        let mut incident_edges: Vec<u32> = vec![0; edges.len() * 2];
+        for (ei, &(a, b, _)) in edges.iter().enumerate() {
+            incident_edges[cursor[a as usize] as usize] = ei as u32;
+            cursor[a as usize] += 1;
+            incident_edges[cursor[b as usize] as usize] = ei as u32;
+            cursor[b as usize] += 1;
+        }
+
+        // Initial assignment: k-th primitive of a kind onto the k-th site
+        // of that kind (sites are in column-major order — a compact start).
+        let mut initial: Vec<u32> = vec![0; prims.len()];
+        for (ki, kind) in [SiteKind::Slice, SiteKind::Bram, SiteKind::Dsp]
+            .into_iter()
+            .enumerate()
+        {
+            let pool = sites.sites_of(kind);
+            for (k, &local) in by_kind[ki].iter().enumerate() {
+                initial[local as usize] = pool[k];
+            }
+        }
+
+        let initial_wirelength: f64 = edges
+            .iter()
+            .map(|e| e.2 * site_dist(sites, initial[e.0 as usize], initial[e.1 as usize]))
+            .sum();
+        let avg_edge_bits = if edges.is_empty() {
+            1.0
+        } else {
+            edges.iter().map(|e| e.2).sum::<f64>() / edges.len() as f64
         };
-        by_kind[kind_index(kind)].push(i as u32);
+        Ok(BlockProblem {
+            block,
+            prims: prims.to_vec(),
+            kind_of_local,
+            edges,
+            incident_start,
+            incident_edges,
+            initial,
+            initial_wirelength,
+            avg_edge_bits,
+        })
     }
-    for (ki, kind) in [SiteKind::Slice, SiteKind::Bram, SiteKind::Dsp]
-        .into_iter()
-        .enumerate()
-    {
-        if by_kind[ki].len() > sites.sites_of(kind).len() {
-            return Err(CompileError::PlacementInfeasible {
-                block,
-                reason: format!(
-                    "needs {} {kind:?} sites but the block has {}",
-                    by_kind[ki].len(),
-                    sites.sites_of(kind).len()
-                ),
-            });
+
+    /// Number of primitives to place.
+    pub(crate) fn len(&self) -> usize {
+        self.prims.len()
+    }
+
+    fn wirelength_of(&self, sites: &SiteModel, assignment: &[u32]) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| e.2 * site_dist(sites, assignment[e.0 as usize], assignment[e.1 as usize]))
+            .sum()
+    }
+}
+
+/// Reusable per-worker annealing buffers. One scratch serves any number of
+/// `anneal_shard` calls (across blocks and shards), so a worker thread
+/// allocates once instead of once per block — the other half of the
+/// parallel-slowdown fix. The `occupant` vector is sized to the site count
+/// with `u32::MAX` marking empty sites; each run restores its entries on
+/// exit, so clearing costs O(primitives), not O(sites).
+#[derive(Debug)]
+pub(crate) struct PnrScratch {
+    site_of_local: Vec<u32>,
+    best: Vec<u32>,
+    occupant: Vec<u32>,
+}
+
+/// Occupancy sentinel: no primitive on this site.
+const EMPTY_SITE: u32 = u32::MAX;
+
+impl PnrScratch {
+    /// A scratch for blocks placed on a geometry of `site_count` sites.
+    pub(crate) fn new(site_count: usize) -> Self {
+        PnrScratch {
+            site_of_local: Vec::new(),
+            best: Vec::new(),
+            occupant: vec![EMPTY_SITE; site_count],
         }
     }
+}
 
-    // Block-internal edges in local indices.
-    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
-    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); prims.len()];
-    for &p in prims {
-        for e in dfg.neighbors(p) {
-            if e.other <= p {
-                continue; // visit each edge once
-            }
-            if let Some(&other_local) = local_of.get(&e.other) {
-                let a = local_of[&p];
-                let idx = edges.len() as u32;
-                edges.push((a, other_local, e.bits as f64));
-                incident[a as usize].push(idx);
-                incident[other_local as usize].push(idx);
-            }
-        }
+/// The best placement one annealing shard found.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardPlacement {
+    /// Site per local primitive.
+    pub(crate) assignment: Vec<u32>,
+    /// Its wirelength.
+    pub(crate) wirelength: f64,
+}
+
+/// Mixes the shard index into the per-block seed; shard 0 keeps the
+/// unsharded seed so `shards: 1` reproduces the original annealer bit for
+/// bit.
+fn shard_seed(cfg: &PnrConfig, block: u32, shard: usize) -> u64 {
+    cfg.seed ^ u64::from(block) ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn site_dist(sites: &SiteModel, sa: u32, sb: u32) -> f64 {
+    let a = sites.sites[sa as usize];
+    let b = sites.sites[sb as usize];
+    (f64::from(a.x) - f64::from(b.x)).abs() + (f64::from(a.y) - f64::from(b.y)).abs()
+}
+
+/// Runs one annealing shard of `problem`: hill-climb at a geometric
+/// temperature schedule followed by two greedy passes, snapshotting the
+/// best placement at every temperature boundary (so a shard can never end
+/// worse than the compact initial assignment). The shard's RNG stream and
+/// move budget depend only on `(cfg, problem.block, shard)`, never on the
+/// thread that runs it.
+pub(crate) fn anneal_shard(
+    problem: &BlockProblem,
+    sites: &SiteModel,
+    cfg: &PnrConfig,
+    shard: usize,
+    scratch: &mut PnrScratch,
+) -> ShardPlacement {
+    let n = problem.len();
+    let shards = cfg.shards.max(1);
+    // Split the block's move budget across shards, remainder to the low
+    // shards, so the total annealing work is independent of `shards`.
+    let total_moves = n * cfg.moves_per_primitive;
+    let moves = total_moves / shards + usize::from(shard < total_moves % shards);
+
+    let PnrScratch {
+        site_of_local,
+        best,
+        occupant,
+    } = scratch;
+    site_of_local.clone_from(&problem.initial);
+    best.clone_from(&problem.initial);
+    for (local, &s) in site_of_local.iter().enumerate() {
+        occupant[s as usize] = local as u32;
     }
+    let mut best_wirelength = problem.initial_wirelength;
 
-    // Initial assignment: k-th primitive of a kind onto the k-th site of
-    // that kind (sites are in column-major order, giving a compact start).
-    let mut site_of_local: Vec<u32> = vec![0; prims.len()];
-    let mut occupant: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    for (ki, kind) in [SiteKind::Slice, SiteKind::Bram, SiteKind::Dsp]
-        .into_iter()
-        .enumerate()
-    {
-        let pool = sites.sites_of(kind);
-        for (k, &local) in by_kind[ki].iter().enumerate() {
-            site_of_local[local as usize] = pool[k];
-            occupant.insert(pool[k], local);
+    let eval = |local: u32, site_of_local: &[u32]| -> f64 {
+        let lo = problem.incident_start[local as usize] as usize;
+        let hi = problem.incident_start[local as usize + 1] as usize;
+        let mut acc = 0.0;
+        for &ei in &problem.incident_edges[lo..hi] {
+            let e = &problem.edges[ei as usize];
+            acc += e.2
+                * site_dist(
+                    sites,
+                    site_of_local[e.0 as usize],
+                    site_of_local[e.1 as usize],
+                );
         }
-    }
-
-    let dist = |sa: u32, sb: u32| -> f64 {
-        let a = sites.sites[sa as usize];
-        let b = sites.sites[sb as usize];
-        (f64::from(a.x) - f64::from(b.x)).abs() + (f64::from(a.y) - f64::from(b.y)).abs()
-    };
-    let edge_len = |e: &(u32, u32, f64), site_of_local: &[u32]| -> f64 {
-        e.2 * dist(site_of_local[e.0 as usize], site_of_local[e.1 as usize])
+        acc
     };
 
-    // Annealing: hill-climb phase with a temperature expressed in units of
-    // the average edge weight, followed by greedy (zero-temperature)
-    // passes; the initial compact assignment is kept if it was never
-    // improved upon.
-    let initial_wirelength: f64 = edges.iter().map(|e| edge_len(e, &site_of_local)).sum();
-    let mut best_assignment = site_of_local.clone();
-    let mut best_occupant = occupant.clone();
-    let mut best_wirelength = initial_wirelength;
-    let avg_edge_bits = if edges.is_empty() {
-        1.0
-    } else {
-        edges.iter().map(|e| e.2).sum::<f64>() / edges.len() as f64
-    };
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ u64::from(block));
-    let mut t = cfg.t0 * avg_edge_bits;
+    let mut rng = StdRng::seed_from_u64(shard_seed(cfg, problem.block, shard));
+    let mut t = cfg.t0 * problem.avg_edge_bits;
     // The final two schedule entries run greedy (temperature zero).
     for step in 0..cfg.temperatures + 2 {
         let greedy = step >= cfg.temperatures;
         if greedy {
             // Start the greedy finish from the best placement seen so far.
-            site_of_local.clone_from(&best_assignment);
-            occupant.clone_from(&best_occupant);
+            for &s in site_of_local.iter() {
+                occupant[s as usize] = EMPTY_SITE;
+            }
+            site_of_local.clone_from(best);
+            for (local, &s) in site_of_local.iter().enumerate() {
+                occupant[s as usize] = local as u32;
+            }
         }
-        let moves = prims.len() * cfg.moves_per_primitive;
         for _ in 0..moves {
-            let a_local = rng.gen_range(0..prims.len()) as u32;
-            let kind = site_kind_of(netlist, prims[a_local as usize]);
-            let pool = sites.sites_of(kind);
+            let a_local = rng.gen_range(0..n) as u32;
+            let pool = match problem.kind_of_local[a_local as usize] {
+                0 => &sites.slice_sites,
+                1 => &sites.bram_sites,
+                _ => &sites.dsp_sites,
+            };
             let target = pool[rng.gen_range(0..pool.len())];
             let from = site_of_local[a_local as usize];
             if target == from {
                 continue;
             }
-            let swap_with = occupant.get(&target).copied();
+            let swap_with = match occupant[target as usize] {
+                EMPTY_SITE => None,
+                b_local => Some(b_local),
+            };
 
             // Cost delta over incident edges of the moved primitive(s).
-            let mut before = 0.0;
-            let eval = |local: u32, acc: &mut f64, site_of_local: &[u32]| {
-                for &ei in &incident[local as usize] {
-                    *acc += edge_len(&edges[ei as usize], site_of_local);
-                }
-            };
-            eval(a_local, &mut before, &site_of_local);
+            let mut before = eval(a_local, site_of_local);
             if let Some(b_local) = swap_with {
-                eval(b_local, &mut before, &site_of_local);
+                before += eval(b_local, site_of_local);
             }
             // Apply tentatively.
             site_of_local[a_local as usize] = target;
             if let Some(b_local) = swap_with {
                 site_of_local[b_local as usize] = from;
             }
-            let mut after = 0.0;
-            eval(a_local, &mut after, &site_of_local);
+            let mut after = eval(a_local, site_of_local);
             if let Some(b_local) = swap_with {
-                eval(b_local, &mut after, &site_of_local);
+                after += eval(b_local, site_of_local);
             }
             let delta = after - before;
             let accept = if greedy {
@@ -331,15 +530,11 @@ pub fn place_block(
             };
             if accept {
                 // Accept: update occupancy.
-                occupant.insert(target, a_local);
-                match swap_with {
-                    Some(b_local) => {
-                        occupant.insert(from, b_local);
-                    }
-                    None => {
-                        occupant.remove(&from);
-                    }
-                }
+                occupant[target as usize] = a_local;
+                occupant[from as usize] = match swap_with {
+                    Some(b_local) => b_local,
+                    None => EMPTY_SITE,
+                };
             } else {
                 // Revert.
                 site_of_local[a_local as usize] = from;
@@ -349,37 +544,59 @@ pub fn place_block(
             }
         }
         t *= cfg.cooling;
-        // Snapshot at every temperature boundary: the annealer can never
-        // end worse than the best placement it visited.
-        let wl: f64 = edges.iter().map(|e| edge_len(e, &site_of_local)).sum();
+        // Snapshot at every temperature boundary: the shard can never end
+        // worse than the best placement it visited.
+        let wl = problem.wirelength_of(sites, site_of_local);
         if wl <= best_wirelength {
             best_wirelength = wl;
-            best_assignment.clone_from(&site_of_local);
-            best_occupant.clone_from(&occupant);
+            best.clone_from(site_of_local);
         }
     }
-    site_of_local = best_assignment;
 
-    let wirelength: f64 = edges.iter().map(|e| edge_len(e, &site_of_local)).sum();
-    let max_edge = edges
+    // Leave the scratch clean (all occupancy entries back to empty) for
+    // whatever block or shard this worker anneals next.
+    for &s in site_of_local.iter() {
+        occupant[s as usize] = EMPTY_SITE;
+    }
+    ShardPlacement {
+        assignment: best.clone(),
+        wirelength: best_wirelength,
+    }
+}
+
+/// Expands the winning shard's assignment into the public
+/// [`LocalPlacement`] with its analytic timing estimate.
+pub(crate) fn finalize_placement(
+    problem: &BlockProblem,
+    sites: &SiteModel,
+    best: &ShardPlacement,
+) -> LocalPlacement {
+    let max_edge = problem
+        .edges
         .iter()
-        .map(|e| dist(site_of_local[e.0 as usize], site_of_local[e.1 as usize]))
+        .map(|e| {
+            site_dist(
+                sites,
+                best.assignment[e.0 as usize],
+                best.assignment[e.1 as usize],
+            )
+        })
         .fold(0.0, f64::max);
     // Analytic timing: base logic delay plus ~12 ps per routed tile of the
     // longest edge, capped at the shell clock.
     let achieved_mhz = (1000.0 / (1.8 + 0.012 * max_edge)).min(300.0);
-
-    Ok(LocalPlacement {
-        site_of: prims
+    LocalPlacement {
+        site_of: problem
+            .prims
             .iter()
-            .zip(&site_of_local)
+            .zip(&best.assignment)
             .map(|(&p, &s)| (p, s))
             .collect(),
-        wirelength,
-        initial_wirelength,
+        wirelength: best.wirelength,
+        initial_wirelength: problem.initial_wirelength,
         max_edge,
         achieved_mhz,
-    })
+    }
 }
 
 fn kind_index(kind: SiteKind) -> usize {
@@ -388,13 +605,6 @@ fn kind_index(kind: SiteKind) -> usize {
         SiteKind::Bram => 1,
         SiteKind::Dsp => 2,
     }
-}
-
-fn site_kind_of(netlist: &Netlist, p: PrimitiveId) -> SiteKind {
-    netlist
-        .primitive(p)
-        .and_then(|pr| SiteKind::of_primitive(pr.kind()))
-        .expect("placeability was checked before annealing")
 }
 
 /// Result of global routing: the lane assignment of every planned channel

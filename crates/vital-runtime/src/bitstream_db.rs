@@ -190,6 +190,14 @@ impl BitstreamDatabase {
         }
     }
 
+    /// Digest probe that leaves the hit/miss counters untouched. The
+    /// single-flight leader uses this to re-check the cache after winning
+    /// the election (a previous leader may have published between the
+    /// caller's probe and its join) without double-counting the probe.
+    pub fn contains_digest(&self, digest: NetlistDigest) -> bool {
+        self.inner.read().by_digest.contains_key(&digest)
+    }
+
     /// Hit/miss counters accumulated by [`get_by_digest`](Self::get_by_digest).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {

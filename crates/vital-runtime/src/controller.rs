@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -25,8 +26,9 @@ use crate::api::{
     ControlRequest, ControlResponse, DeployRequest, DeploySummary, EvacuationSummary,
     FailureSummary, FpgaStatus, MigrationSummary, StatusSummary, SuspendSummary,
 };
+use crate::farm::{BuildFarm, FlightResult, FlightRole};
 use crate::{
-    allocate_blocks, AllocationOutcome, BitstreamDatabase, FpgaHealth, ResourceDatabase,
+    allocate_blocks, AllocationOutcome, BitstreamDatabase, FarmStats, FpgaHealth, ResourceDatabase,
     RuntimeError,
 };
 
@@ -142,6 +144,10 @@ pub struct CompileOutcome {
     pub digest: NetlistDigest,
     /// `true` if a cached image was reused and no place-and-route ran.
     pub cache_hit: bool,
+    /// `true` if this request blocked on another request's in-flight
+    /// compile of the same digest (single-flight follower) instead of
+    /// compiling itself; such outcomes are also cache hits.
+    pub shared: bool,
     /// Stage timings of the compile that ran; `None` on a cache hit.
     pub timings: Option<StageTimings>,
 }
@@ -287,8 +293,15 @@ pub struct SystemController {
     next_tenant: AtomicU64,
     failure_stats: Mutex<FailureStats>,
     telemetry: Telemetry,
-    /// Optional compile hook for [`ControlRequest::Prepare`].
-    resolver: Mutex<Option<AppResolver>>,
+    /// Optional compile hook for [`ControlRequest::Prepare`]. Stored
+    /// behind an `Arc` so a prepare can run the resolver *outside* the
+    /// lock — concurrent prepares of different apps compile in parallel,
+    /// and same-app prepares dedupe through the farm's single-flight
+    /// table instead of serializing on this mutex.
+    resolver: Mutex<Option<Arc<AppResolver>>>,
+    /// The build-farm layer: single-flight tables, demand profile,
+    /// persistence path, and counters (DESIGN.md §14).
+    farm: BuildFarm,
     /// Bumped at the *end* of every mutation that feeds
     /// [`SystemController::status_summary`] (via [`StatusDirty`] drop
     /// guards, so early error returns bump too).
@@ -355,6 +368,7 @@ impl SystemController {
             failure_stats: Mutex::new(FailureStats::default()),
             telemetry: Telemetry::disabled(),
             resolver: Mutex::new(None),
+            farm: BuildFarm::default(),
             status_gen: AtomicU64::new(0),
             status_cache: Mutex::new(None),
             config,
@@ -443,7 +457,87 @@ impl SystemController {
     ///
     /// Returns [`RuntimeError::AppExists`] if the name is already taken.
     pub fn register(&self, bitstream: AppBitstream) -> Result<(), RuntimeError> {
-        self.bitstreams.insert(bitstream)
+        self.bitstreams.insert(bitstream)?;
+        self.persist_bitstreams();
+        Ok(())
+    }
+
+    /// Arms bitstream-database persistence on `path` (the build farm's
+    /// across-restart cache, DESIGN.md §14). If the file exists its
+    /// contents are loaded immediately — a restarted daemon then serves
+    /// deploys of previously compiled apps with **zero** place-and-route —
+    /// and every subsequent mutation of the database re-saves it
+    /// atomically (temp file + rename). Save failures are counted in
+    /// [`FarmStats::persist_errors`] but never fail the mutation that
+    /// triggered them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the file exists but
+    /// cannot be read or parsed — a corrupt cache should be surfaced (and
+    /// deleted by the operator), not silently rebuilt from scratch.
+    pub fn with_persistence(
+        mut self,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Result<Self, RuntimeError> {
+        let path = path.into();
+        match std::fs::read_to_string(&path) {
+            Ok(json) => {
+                let db = BitstreamDatabase::from_json(&json).map_err(|e| {
+                    RuntimeError::InvalidConfig(format!(
+                        "persisted bitstream database {} is corrupt: {e}",
+                        path.display()
+                    ))
+                })?;
+                self.farm
+                    .counters
+                    .persist_loaded
+                    .store(db.len() as u64, Ordering::Relaxed);
+                self.bitstreams = db;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "cannot read persisted bitstream database {}: {e}",
+                    path.display()
+                )));
+            }
+        }
+        self.farm.persist_path = Some(path);
+        Ok(self)
+    }
+
+    /// A snapshot of the build-farm counters.
+    pub fn farm_stats(&self) -> FarmStats {
+        self.farm.counters.snapshot()
+    }
+
+    /// Best-effort save of the bitstream database to the persistence path
+    /// (no-op when persistence is off). Writes a sibling temp file and
+    /// renames it over the target so readers never observe a torn file.
+    fn persist_bitstreams(&self) {
+        let Some(path) = self.farm.persist_path.as_ref() else {
+            return;
+        };
+        let saved = self.bitstreams.to_json().ok().and_then(|json| {
+            let tmp = path.with_extension("tmp");
+            std::fs::write(&tmp, json).ok()?;
+            std::fs::rename(&tmp, path).ok()
+        });
+        match saved {
+            Some(()) => {
+                self.farm
+                    .counters
+                    .persist_saves
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.farm
+                    .counters
+                    .persist_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Compiles and registers `spec` under its name — unless a registered
@@ -452,6 +546,14 @@ impl SystemController {
     /// (only the cheap synthesis needed to compute the digest). This is
     /// the compile-cache fast path: a repeat deploy of an identical netlist
     /// goes straight to allocation.
+    ///
+    /// Concurrent calls for the same digest are **single-flight**: one
+    /// caller leads the compile, the others block until it publishes and
+    /// then serve the freshly cached image ([`CompileOutcome::shared`]).
+    /// N identical requests cost exactly one place-and-route. If the
+    /// leader's compile fails, the followers receive the same error; if
+    /// the leader panics, the next waiter elects itself leader and
+    /// retries.
     ///
     /// Registration is idempotent for byte-identical images (see
     /// [`BitstreamDatabase::insert_or_get`]), so replaying the same spec is
@@ -468,22 +570,66 @@ impl SystemController {
         spec: &AppSpec,
     ) -> Result<CompileOutcome, RuntimeError> {
         let digest = compiler.digest_of(spec).map_err(RuntimeError::Compile)?;
-        if let Some(cached) = self.bitstreams.get_by_digest(digest) {
-            self.bitstreams.insert_or_get(cached.renamed(spec.name()))?;
-            return Ok(CompileOutcome {
-                digest,
-                cache_hit: true,
-                timings: None,
-            });
+        let mut shared = false;
+        loop {
+            if let Some(cached) = self.bitstreams.get_by_digest(digest) {
+                self.bitstreams.insert_or_get(cached.renamed(spec.name()))?;
+                self.persist_bitstreams();
+                return Ok(CompileOutcome {
+                    digest,
+                    cache_hit: true,
+                    shared,
+                    timings: None,
+                });
+            }
+            match self.farm.by_digest.join(digest) {
+                FlightRole::Leader(flight) => {
+                    // A previous leader may have cached the digest between
+                    // this caller's probe and its election; re-check before
+                    // paying for a compile.
+                    if self.bitstreams.contains_digest(digest) {
+                        flight.publish(Ok(()));
+                        continue;
+                    }
+                    self.farm.counters.compiles.fetch_add(1, Ordering::Relaxed);
+                    let compiled = match compiler.compile(spec) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            let err = RuntimeError::Compile(e);
+                            flight.publish(Err(err.clone()));
+                            return Err(err);
+                        }
+                    };
+                    let timings = compiled.timings().clone();
+                    if let Err(e) = self.bitstreams.insert_or_get(compiled.into_bitstream()) {
+                        flight.publish(Err(e.clone()));
+                        return Err(e);
+                    }
+                    flight.publish(Ok(()));
+                    self.persist_bitstreams();
+                    return Ok(CompileOutcome {
+                        digest,
+                        cache_hit: false,
+                        shared,
+                        timings: Some(timings),
+                    });
+                }
+                FlightRole::Follower(flight) => {
+                    self.farm
+                        .counters
+                        .single_flight_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared = true;
+                    match flight.wait() {
+                        // Leader cached the image: loop and serve the hit.
+                        FlightResult::Done(Ok(())) => {}
+                        FlightResult::Done(Err(e)) => return Err(e),
+                        // Leader unwound; loop to elect a new leader.
+                        FlightResult::Aborted => {}
+                    }
+                }
+            }
         }
-        let compiled = compiler.compile(spec).map_err(RuntimeError::Compile)?;
-        let timings = compiled.timings().clone();
-        self.bitstreams.insert_or_get(compiled.into_bitstream())?;
-        Ok(CompileOutcome {
-            digest,
-            cache_hit: false,
-            timings: Some(timings),
-        })
     }
 
     /// Deploys a registered application: allocates physical blocks with the
@@ -544,6 +690,10 @@ impl SystemController {
         };
         let mut span = self.telemetry.span("runtime.deploy");
         span.field("app", name);
+        // Every deploy attempt feeds the build farm's demand profile, so
+        // speculative compiles chase what traffic actually asks for —
+        // including apps that are not registered yet.
+        self.farm.demand.record(name);
         let bitstream = self.bitstreams.get(name)?;
         let needed = bitstream.block_count();
         span.field("needed", needed);
@@ -1478,33 +1628,113 @@ impl SystemController {
     /// that compiles the named benchmark workload). Without a resolver,
     /// preparing an unknown name fails with [`RuntimeError::UnknownApp`].
     pub fn set_app_resolver(&self, resolver: AppResolver) {
-        *self.resolver.lock() = Some(resolver);
+        *self.resolver.lock() = Some(Arc::new(resolver));
     }
 
     /// [`ControlRequest::Prepare`]: ensure the named app is registered,
     /// resolving (compiling) it if needed.
+    ///
+    /// The resolver runs *outside* the resolver lock, so prepares of
+    /// different apps compile in parallel; prepares of the **same** app
+    /// dedupe through the farm's name-keyed single-flight table — the
+    /// followers report `cache_hit: true` once the leader publishes.
     fn prepare(&self, app: &str) -> Result<ControlResponse, RuntimeError> {
-        if self.bitstreams.get(app).is_ok() {
-            return Ok(ControlResponse::Prepared {
-                app: app.to_string(),
-                cache_hit: true,
-            });
+        self.farm.demand.record(app);
+        loop {
+            if self.bitstreams.get(app).is_ok() {
+                return Ok(ControlResponse::Prepared {
+                    app: app.to_string(),
+                    cache_hit: true,
+                });
+            }
+            match self.farm.by_name.join(app.to_string()) {
+                FlightRole::Leader(flight) => {
+                    if self.bitstreams.get(app).is_ok() {
+                        flight.publish(Ok(()));
+                        continue;
+                    }
+                    let mut span = self.telemetry.span("runtime.prepare");
+                    span.field("app", app);
+                    let resolve = self.resolver.lock().clone();
+                    let Some(resolve) = resolve else {
+                        let err = RuntimeError::UnknownApp(app.to_string());
+                        flight.publish(Err(err.clone()));
+                        return Err(err);
+                    };
+                    self.farm.counters.compiles.fetch_add(1, Ordering::Relaxed);
+                    let registered = resolve(app).and_then(|bitstream| {
+                        self.bitstreams.insert_or_get(bitstream.renamed(app))
+                    });
+                    match registered {
+                        Ok(_) => {
+                            flight.publish(Ok(()));
+                            self.persist_bitstreams();
+                            return Ok(ControlResponse::Prepared {
+                                app: app.to_string(),
+                                cache_hit: false,
+                            });
+                        }
+                        Err(e) => {
+                            flight.publish(Err(e.clone()));
+                            return Err(e);
+                        }
+                    }
+                }
+                FlightRole::Follower(flight) => {
+                    self.farm
+                        .counters
+                        .single_flight_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    match flight.wait() {
+                        FlightResult::Done(Ok(())) => {}
+                        FlightResult::Done(Err(e)) => return Err(e),
+                        FlightResult::Aborted => {}
+                    }
+                }
+            }
         }
-        let mut span = self.telemetry.span("runtime.prepare");
-        span.field("app", app);
-        // The resolver runs under the lock: concurrent prepares of the
-        // same app would otherwise compile it twice just to race into
-        // `insert_or_get`.
-        let resolver = self.resolver.lock();
-        let resolve = resolver
-            .as_ref()
-            .ok_or_else(|| RuntimeError::UnknownApp(app.to_string()))?;
-        let bitstream = resolve(app)?;
-        self.bitstreams.insert_or_get(bitstream.renamed(app))?;
-        Ok(ControlResponse::Prepared {
-            app: app.to_string(),
-            cache_hit: false,
-        })
+    }
+
+    /// The speculative-compile hook (DESIGN.md §14): resolves and caches
+    /// up to `limit` of the *most-demanded* applications that are not yet
+    /// registered, ranked by the farm's exponentially decayed deploy and
+    /// prepare counters. Call it from a maintenance loop (or after a warm
+    /// restart) to pre-compile the footprints traffic will most likely ask
+    /// for next; by the time the deploy arrives, its bitstream is a cache
+    /// hit.
+    ///
+    /// Best-effort: names whose resolution fails are skipped. Returns the
+    /// names actually compiled and registered. A controller without a
+    /// resolver compiles nothing.
+    pub fn speculate_compile(&self, limit: usize) -> Vec<String> {
+        let resolve = self.resolver.lock().clone();
+        let Some(resolve) = resolve else {
+            return Vec::new();
+        };
+        let candidates = self
+            .farm
+            .demand
+            .top(limit, |name| self.bitstreams.get(name).is_err());
+        let mut compiled = Vec::new();
+        for name in candidates {
+            let mut span = self.telemetry.span("runtime.speculate");
+            span.field("app", name.as_str());
+            let registered = resolve(&name)
+                .and_then(|bitstream| self.bitstreams.insert_or_get(bitstream.renamed(&name)));
+            let ok = registered.is_ok();
+            span.field("ok", ok);
+            if ok {
+                self.farm
+                    .counters
+                    .speculative_compiles
+                    .fetch_add(1, Ordering::Relaxed);
+                compiled.push(name);
+            }
+        }
+        if !compiled.is_empty() {
+            self.persist_bitstreams();
+        }
+        compiled
     }
 
     fn check_fpga(&self, fpga: usize) -> Result<(), RuntimeError> {

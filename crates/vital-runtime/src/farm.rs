@@ -1,0 +1,353 @@
+//! The build-farm layer behind the compile cache (DESIGN.md §14).
+//!
+//! Three mechanisms turn the content-addressed [`BitstreamDatabase`]
+//! into a build farm the control plane can lean on:
+//!
+//! * **Single-flight dedupe** ([`SingleFlight`]): concurrent compiles of
+//!   the same key (netlist digest, or app name for resolver-driven
+//!   prepares) elect one leader; everyone else blocks until the leader
+//!   publishes, then serves the result from the cache. N identical
+//!   requests cost one place-and-route.
+//! * **Persistence**: the bitstream database is loaded from a JSON file
+//!   at startup and re-saved (atomically, via a temp file + rename) after
+//!   every mutation, so a restarted `vitald` serves warm-cache deploys
+//!   with zero P&R.
+//! * **Demand profile** ([`DemandProfile`]): an exponentially decayed
+//!   per-app deploy counter that ranks which footprints the speculative
+//!   compile hook should pre-compile next.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::RuntimeError;
+
+/// Monotonic counters of the build-farm layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Full compiles actually executed (cache misses that led a flight).
+    pub compiles: u64,
+    /// Requests that blocked on another request's in-flight compile
+    /// instead of compiling themselves.
+    pub single_flight_waits: u64,
+    /// Compiles triggered by [`speculate`](crate::SystemController::speculate_compile)
+    /// rather than demand.
+    pub speculative_compiles: u64,
+    /// Successful bitstream-database saves to the persistence path.
+    pub persist_saves: u64,
+    /// Failed (and skipped) save attempts; saving is best-effort and
+    /// never fails the triggering operation.
+    pub persist_errors: u64,
+    /// Entries loaded from the persistence path at startup.
+    pub persist_loaded: u64,
+}
+
+/// Atomic backing store for [`FarmStats`].
+#[derive(Debug, Default)]
+pub(crate) struct FarmCounters {
+    pub(crate) compiles: AtomicU64,
+    pub(crate) single_flight_waits: AtomicU64,
+    pub(crate) speculative_compiles: AtomicU64,
+    pub(crate) persist_saves: AtomicU64,
+    pub(crate) persist_errors: AtomicU64,
+    pub(crate) persist_loaded: AtomicU64,
+}
+
+impl FarmCounters {
+    pub(crate) fn snapshot(&self) -> FarmStats {
+        FarmStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
+            speculative_compiles: self.speculative_compiles.load(Ordering::Relaxed),
+            persist_saves: self.persist_saves.load(Ordering::Relaxed),
+            persist_errors: self.persist_errors.load(Ordering::Relaxed),
+            persist_loaded: self.persist_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a finished flight left behind for its followers.
+#[derive(Debug, Clone)]
+pub(crate) enum FlightResult {
+    /// The leader finished; `Ok` means the cache now holds the artifact.
+    Done(Result<(), RuntimeError>),
+    /// The leader panicked (or otherwise unwound) before publishing.
+    /// Followers retry — the next one through elects itself leader.
+    Aborted,
+}
+
+/// One in-flight compilation: a rendezvous the followers block on.
+#[derive(Debug)]
+pub(crate) struct Flight {
+    state: Mutex<Option<FlightResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: FlightResult) {
+        let mut state = self.state.lock().expect("flight mutex poisoned");
+        *state = Some(result);
+        self.done.notify_all();
+    }
+
+    pub(crate) fn wait(&self) -> FlightResult {
+        let mut state = self.state.lock().expect("flight mutex poisoned");
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.done.wait(state).expect("flight mutex poisoned");
+        }
+    }
+}
+
+/// Single-flight table: concurrent callers of the same key share one
+/// in-flight execution.
+#[derive(Debug)]
+pub(crate) struct SingleFlight<K> {
+    inflight: Mutex<HashMap<K, Arc<Flight>>>,
+}
+
+impl<K: Eq + Hash + Clone> Default for SingleFlight<K> {
+    fn default() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The caller's role in a flight (see [`SingleFlight::join`]).
+pub(crate) enum FlightRole<'a, K: Eq + Hash + Clone> {
+    /// This caller leads: it must execute the work and publish through the
+    /// guard. Dropping the guard without publishing marks the flight
+    /// aborted, so followers never hang on a panicked leader.
+    Leader(LeaderGuard<'a, K>),
+    /// Another caller is already executing; wait on the handle.
+    Follower(Arc<Flight>),
+}
+
+impl<K: Eq + Hash + Clone> SingleFlight<K> {
+    /// Joins the flight for `key`: the first caller in becomes the leader,
+    /// everyone else a follower of that leader's flight.
+    pub(crate) fn join(&self, key: K) -> FlightRole<'_, K> {
+        let mut inflight = self.inflight.lock().expect("singleflight mutex poisoned");
+        if let Some(flight) = inflight.get(&key) {
+            return FlightRole::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        inflight.insert(key.clone(), Arc::clone(&flight));
+        FlightRole::Leader(LeaderGuard {
+            table: self,
+            key,
+            flight,
+            published: false,
+        })
+    }
+}
+
+/// Leadership of one flight; publishes the outcome exactly once and
+/// retires the flight from the table.
+pub(crate) struct LeaderGuard<'a, K: Eq + Hash + Clone> {
+    table: &'a SingleFlight<K>,
+    key: K,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl<K: Eq + Hash + Clone> LeaderGuard<'_, K> {
+    /// Publishes the leader's result to every follower and removes the
+    /// flight, so later callers start fresh (re-probing the cache first).
+    pub(crate) fn publish(mut self, result: Result<(), RuntimeError>) {
+        self.finish(FlightResult::Done(result));
+    }
+
+    fn finish(&mut self, result: FlightResult) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        self.table
+            .inflight
+            .lock()
+            .expect("singleflight mutex poisoned")
+            .remove(&self.key);
+        self.flight.publish(result);
+    }
+}
+
+impl<K: Eq + Hash + Clone> Drop for LeaderGuard<'_, K> {
+    fn drop(&mut self) {
+        // Reached only when the leader unwound before publishing.
+        self.finish(FlightResult::Aborted);
+    }
+}
+
+/// How many demand events accumulate before every count is halved. The
+/// decay keeps the ranking biased toward *recent* demand: an app that was
+/// hot yesterday but idle today loses its slot to today's traffic.
+const DECAY_EVERY_EVENTS: u64 = 1024;
+
+/// Exponentially decayed per-application demand counter.
+#[derive(Debug, Default)]
+pub(crate) struct DemandProfile {
+    inner: Mutex<DemandInner>,
+}
+
+#[derive(Debug, Default)]
+struct DemandInner {
+    counts: HashMap<String, u64>,
+    events: u64,
+}
+
+impl DemandProfile {
+    /// Records one demand event (a deploy or prepare) for `app`.
+    pub(crate) fn record(&self, app: &str) {
+        let mut inner = self.inner.lock().expect("demand mutex poisoned");
+        *inner.counts.entry(app.to_string()).or_insert(0) += 1;
+        inner.events += 1;
+        if inner.events >= DECAY_EVERY_EVENTS {
+            inner.counts.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+            inner.events = inner.counts.values().sum();
+        }
+    }
+
+    /// The `limit` most-demanded apps for which `keep` returns true,
+    /// highest count first (ties broken by name, so the ranking is
+    /// deterministic).
+    pub(crate) fn top(&self, limit: usize, mut keep: impl FnMut(&str) -> bool) -> Vec<String> {
+        let inner = self.inner.lock().expect("demand mutex poisoned");
+        let mut ranked: Vec<(&String, u64)> = inner
+            .counts
+            .iter()
+            .filter(|(name, _)| keep(name))
+            .map(|(name, &count)| (name, count))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        ranked
+            .into_iter()
+            .take(limit)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+}
+
+/// The controller-side state of the build farm: the single-flight tables,
+/// the demand profile, the persistence path, and the stat counters.
+#[derive(Debug, Default)]
+pub(crate) struct BuildFarm {
+    /// Digest-keyed flights for [`register_compiled`]
+    /// (`crate::SystemController::register_compiled`).
+    pub(crate) by_digest: SingleFlight<vital_compiler::NetlistDigest>,
+    /// Name-keyed flights for resolver-driven prepares.
+    pub(crate) by_name: SingleFlight<String>,
+    pub(crate) demand: DemandProfile,
+    pub(crate) counters: FarmCounters,
+    /// Where the bitstream database is saved after every mutation; `None`
+    /// disables persistence.
+    pub(crate) persist_path: Option<PathBuf>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_flight_elects_one_leader() {
+        let sf: SingleFlight<u64> = SingleFlight::default();
+        let FlightRole::Leader(leader) = sf.join(7) else {
+            panic!("first caller must lead");
+        };
+        let FlightRole::Follower(follower) = sf.join(7) else {
+            panic!("second caller must follow");
+        };
+        leader.publish(Ok(()));
+        assert!(matches!(follower.wait(), FlightResult::Done(Ok(()))));
+        // The flight retired: the next caller leads a fresh one.
+        assert!(matches!(sf.join(7), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_marks_flight_aborted() {
+        let sf: SingleFlight<u64> = SingleFlight::default();
+        let FlightRole::Leader(leader) = sf.join(1) else {
+            panic!("first caller must lead");
+        };
+        let FlightRole::Follower(follower) = sf.join(1) else {
+            panic!("second caller must follow");
+        };
+        drop(leader);
+        assert!(matches!(follower.wait(), FlightResult::Aborted));
+        assert!(matches!(sf.join(1), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn followers_unblock_across_threads() {
+        let sf = Arc::new(SingleFlight::<u64>::default());
+        let FlightRole::Leader(leader) = sf.join(3) else {
+            panic!("first caller must lead");
+        };
+        let woken = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let woken = Arc::clone(&woken);
+                std::thread::spawn(move || {
+                    if let FlightRole::Follower(f) = sf.join(3) {
+                        f.wait();
+                        woken.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // Give the followers a moment to block, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        leader.publish(Err(RuntimeError::UnknownApp("x".into())));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woken.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn demand_profile_ranks_and_decays() {
+        let d = DemandProfile::default();
+        for _ in 0..5 {
+            d.record("hot");
+        }
+        for _ in 0..2 {
+            d.record("warm");
+        }
+        d.record("cold");
+        assert_eq!(d.top(2, |_| true), vec!["hot", "warm"]);
+        assert_eq!(d.top(10, |name| name != "hot"), vec!["warm", "cold"]);
+        // Push past the decay threshold; "cold" (count 1) halves to zero
+        // and drops out, the newly hot app leads.
+        for _ in 0..DECAY_EVERY_EVENTS {
+            d.record("new-hot");
+        }
+        let top = d.top(10, |_| true);
+        assert_eq!(top.first().map(String::as_str), Some("new-hot"));
+        assert!(!top.iter().any(|n| n == "cold"));
+    }
+
+    #[test]
+    fn ties_rank_by_name() {
+        let d = DemandProfile::default();
+        d.record("b");
+        d.record("a");
+        assert_eq!(d.top(2, |_| true), vec!["a", "b"]);
+    }
+}

@@ -61,6 +61,7 @@ mod api;
 mod bitstream_db;
 mod controller;
 mod error;
+mod farm;
 mod policy;
 mod resource_db;
 mod scheduler;
@@ -75,6 +76,7 @@ pub use controller::{
     Migration, RuntimeConfig, SystemController,
 };
 pub use error::RuntimeError;
+pub use farm::FarmStats;
 pub use policy::{allocate_blocks, AllocationOutcome};
 pub use resource_db::{BlockState, FpgaHealth, ResourceDatabase};
 pub use scheduler::VitalScheduler;

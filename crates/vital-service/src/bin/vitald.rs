@@ -4,7 +4,15 @@
 //! ```text
 //! vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N]
 //!        [--queue-depth N] [--timeout-ms MS] [--batch-max N]
+//!        [--persist PATH] [--speculate-ms MS]
 //! ```
+//!
+//! `--persist PATH` makes the bitstream database durable (DESIGN.md §14):
+//! every compiled bitstream is saved to `PATH` and reloaded on the next
+//! start, so a daemon restart serves warm deploys with zero P&R.
+//! `--speculate-ms MS` (0 = off) runs the build farm's speculative
+//! compile hook on that period, pre-compiling the hottest not-yet-cached
+//! apps by recent demand.
 //!
 //! Connect with `vitalctl --connect ADDR` or any client speaking the
 //! length-prefixed protocol of DESIGN.md §13 (binary or JSON frames —
@@ -23,11 +31,15 @@ use vital_telemetry::Telemetry;
 struct Options {
     listen: String,
     config: ServiceConfig,
+    persist: Option<String>,
+    speculate_every: Option<Duration>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut listen = "127.0.0.1:7700".to_string();
     let mut config = ServiceConfig::default();
+    let mut persist = None;
+    let mut speculate_every = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -75,17 +87,30 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--batch-max: {e}"))?,
                 );
             }
+            "--persist" => persist = Some(value("--persist")?),
+            "--speculate-ms" => {
+                let ms: u64 = value("--speculate-ms")?
+                    .parse()
+                    .map_err(|e| format!("--speculate-ms: {e}"))?;
+                speculate_every = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!(
                     "vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N] \
-                     [--queue-depth N] [--timeout-ms MS] [--batch-max N]"
+                     [--queue-depth N] [--timeout-ms MS] [--batch-max N] \
+                     [--persist PATH] [--speculate-ms MS]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Options { listen, config })
+    Ok(Options {
+        listen,
+        config,
+        persist,
+        speculate_every,
+    })
 }
 
 fn main() {
@@ -96,11 +121,33 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let controller = Arc::new(
-        SystemController::new(RuntimeConfig::paper_cluster())
-            .with_telemetry(Telemetry::recording()),
-    );
+    let mut controller = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_telemetry(Telemetry::recording());
+    if let Some(path) = &opts.persist {
+        controller = match controller.with_persistence(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("vitald: cannot load bitstream database from {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let loaded = controller.farm_stats().persist_loaded;
+        println!("vitald: bitstream database at {path} ({loaded} bitstream(s) loaded warm)");
+    }
+    let controller = Arc::new(controller);
     controller.set_app_resolver(benchmark_resolver());
+    if let Some(every) = opts.speculate_every {
+        let controller = Arc::clone(&controller);
+        std::thread::Builder::new()
+            .name("vitald-speculate".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(every);
+                for app in controller.speculate_compile(4) {
+                    println!("vitald: speculatively compiled {app}");
+                }
+            })
+            .expect("spawn speculation thread");
+    }
     let vitald = Vitald::spawn(controller, opts.config.clone());
     let server = match ServiceServer::serve(&vitald, &opts.listen) {
         Ok(s) => s,

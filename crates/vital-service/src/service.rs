@@ -27,7 +27,7 @@ use crate::config::ServiceConfig;
 use crate::error::ServiceError;
 use crate::queue::Job;
 use crate::shard::ShardSet;
-use crate::slot::SlotHandle;
+use crate::slot::{SlotHandle, SlotPool};
 
 /// Per-endpoint latency histogram name (telemetry metric names must be
 /// `'static`).
@@ -54,7 +54,18 @@ struct ServiceInner {
     shards: ShardSet,
     config: ServiceConfig,
     next_session: AtomicU64,
+    /// Completion slots are recycled here instead of allocated per
+    /// request; the freelist is bounded by the number of requests that
+    /// can be in flight at once (queued everywhere, plus one executing
+    /// per worker).
+    slots: Arc<SlotPool>,
 }
+
+/// Completions a worker has produced but not yet delivered. Wakeups are
+/// flushed once per sweep (or right before a simulated-work sleep), so one
+/// batch of answers costs one pass of slot signals after the executing is
+/// done, not a signal interleaved into every request.
+type CompletionBatch = Vec<(SlotHandle, ControlResponse)>;
 
 impl ServiceInner {
     fn telemetry(&self) -> &Telemetry {
@@ -80,7 +91,7 @@ impl ServiceInner {
         pinned: &AtomicUsize,
         req: ControlRequest,
     ) -> Result<SlotHandle, ServiceError> {
-        let slot = SlotHandle::new();
+        let slot = self.slots.acquire();
         let now = Instant::now();
         let job = Job {
             req,
@@ -112,9 +123,10 @@ impl ServiceInner {
         Ok(slot)
     }
 
-    /// Answers one job: stale jobs get `Timeout` unexecuted; live ones
-    /// run against the controller, with latency accounted per endpoint.
-    fn finish(&self, job: Job, resp: ControlResponse) {
+    /// Accounts one answered job and queues its completion for the next
+    /// flush. Latency is measured here (answer production), not at
+    /// delivery — the flush happens within the same sweep.
+    fn finish(&self, job: Job, resp: ControlResponse, done: &mut CompletionBatch) {
         let endpoint = job.req.endpoint();
         let elapsed_us = job.enqueued.elapsed().as_micros() as f64;
         let telemetry = self.telemetry();
@@ -123,21 +135,29 @@ impl ServiceInner {
         if !resp.is_ok() {
             telemetry.inc_counter("service.request_errors", 1);
         }
-        job.slot.complete(resp);
+        done.push((job.slot, resp));
     }
 
-    fn expire(&self, job: Job) {
+    fn expire(&self, job: Job, done: &mut CompletionBatch) {
         let timeout = ServiceError::Timeout {
             after: self.config.request_timeout,
         };
         self.telemetry().inc_counter("service.timeouts", 1);
-        job.slot.complete(ControlResponse::Err((&timeout).into()));
+        done.push((job.slot, ControlResponse::Err((&timeout).into())));
+    }
+
+    /// Delivers every queued completion: one pass of slot publishes (each
+    /// signalling its condvar only if a waiter is parked).
+    fn flush_completions(&self, done: &mut CompletionBatch) {
+        for (slot, resp) in done.drain(..) {
+            slot.complete(resp);
+        }
     }
 
     /// Executes one batch of compatible deploys as a single allocator
     /// round, sweeping further batchable heads across the other shards
     /// when there is room.
-    fn run_batch(&self, shard: usize, mut jobs: Vec<Job>) {
+    fn run_batch(&self, shard: usize, mut jobs: Vec<Job>, done: &mut CompletionBatch) {
         let room = self.config.batch_max.saturating_sub(jobs.len());
         let stolen_shards = if room > 0 {
             let (extra, stolen) = self.shards.pop_batchable_across(shard, room);
@@ -161,7 +181,7 @@ impl ServiceInner {
         let reqs: Vec<ControlRequest> = jobs.iter().map(|j| j.req.clone()).collect();
         let resps = self.controller.execute_round(reqs, 1 + stolen_shards);
         for (job, resp) in jobs.into_iter().zip(resps) {
-            self.finish(job, resp);
+            self.finish(job, resp, done);
         }
     }
 
@@ -172,16 +192,20 @@ impl ServiceInner {
     /// admission round serves deploys cluster-wide.
     fn worker_loop(&self, shard: usize) {
         let sweep = self.config.batch_max.max(1);
+        let mut done: CompletionBatch = Vec::with_capacity(sweep);
         while let Some(jobs) = self.shards.shard(shard).pop_many(sweep) {
             let mut jobs = jobs.into_iter().peekable();
             while let Some(job) = jobs.next() {
                 if Instant::now() >= job.deadline {
                     // Stale in the queue: answered without executing, so
                     // the rejection provably acquired nothing.
-                    self.expire(job);
+                    self.expire(job, &mut done);
                     continue;
                 }
                 if !self.config.worker_delay.is_zero() {
+                    // Answers already produced must not wait out another
+                    // job's simulated work — deliver before sleeping.
+                    self.flush_completions(&mut done);
                     std::thread::sleep(self.config.worker_delay);
                 }
                 if job.req.is_batchable() && self.config.batch_max > 1 {
@@ -195,16 +219,19 @@ impl ServiceInner {
                     {
                         batch.push(jobs.next().expect("peeked"));
                     }
-                    self.run_batch(shard, batch);
+                    self.run_batch(shard, batch, &mut done);
                 } else {
                     let mut span = self.telemetry().span("service.request");
                     span.field("endpoint", job.req.endpoint());
                     span.field("session", job.session);
                     span.field("shard", shard);
                     let resp = self.controller.execute(job.req.clone());
-                    self.finish(job, resp);
+                    self.finish(job, resp, &mut done);
                 }
             }
+            // One wakeup pass per sweep: every client whose answer was
+            // produced in this sweep is released together.
+            self.flush_completions(&mut done);
         }
     }
 }
@@ -224,11 +251,18 @@ impl Vitald {
     /// round-robin across shards, so every shard has at least one.
     pub fn spawn(controller: Arc<SystemController>, config: ServiceConfig) -> Self {
         let shards = config.effective_shards();
+        // In-flight ceiling: everything queued plus one executing per
+        // worker — recycling beyond that would only hoard memory.
+        let max_free = shards
+            .saturating_mul(config.queue_capacity)
+            .saturating_add(config.workers)
+            .max(64);
         let inner = Arc::new(ServiceInner {
             shards: ShardSet::new(shards, config.queue_capacity, config.per_session_limit),
             controller,
             config,
             next_session: AtomicU64::new(1),
+            slots: SlotPool::new(max_free),
         });
         let workers = (0..inner.config.workers.max(1))
             .map(|i| {

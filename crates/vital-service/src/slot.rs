@@ -1,61 +1,190 @@
 //! The completion slot a client waits on: a one-shot rendezvous between
 //! the worker that executes a request and the caller that submitted it.
+//!
+//! Slots are pooled ([`SlotPool`]): the service allocates one
+//! `Mutex`/`Condvar` pair per *concurrent* request, not per request. When
+//! the last handle on a slot drops, the slot is scrubbed and returned to
+//! the pool's freelist instead of being freed — at high request rates
+//! this removes an allocation and a condvar construction from every
+//! submit. Completion only signals the condvar when a waiter is actually
+//! parked, so poll-driven callers (the TCP reactor) never pay for a
+//! wakeup syscall nobody is sleeping on.
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vital_runtime::ControlResponse;
 
+struct SlotState {
+    response: Option<ControlResponse>,
+    /// Threads currently parked in [`SlotHandle::wait`]. Completion skips
+    /// the condvar signal when this is zero (the caller is polling).
+    waiters: u32,
+}
+
 struct Slot {
-    response: Mutex<Option<ControlResponse>>,
+    state: Mutex<SlotState>,
     done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState {
+                response: None,
+                waiters: 0,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// A bounded freelist of completion slots. `acquire` pops a scrubbed slot
+/// or allocates a fresh one; the last [`SlotHandle`] to drop pushes the
+/// slot back (up to `max_free` — beyond that the slot is simply freed, so
+/// a burst cannot pin memory forever).
+pub(crate) struct SlotPool {
+    free: Mutex<Vec<Arc<Slot>>>,
+    max_free: usize,
+}
+
+impl SlotPool {
+    pub fn new(max_free: usize) -> Arc<Self> {
+        Arc::new(SlotPool {
+            free: Mutex::new(Vec::new()),
+            max_free,
+        })
+    }
+
+    /// A slot for one request, recycled from the freelist when possible.
+    pub fn acquire(self: &Arc<Self>) -> SlotHandle {
+        let slot = self
+            .free
+            .lock()
+            .expect("slot pool lock poisoned")
+            .pop()
+            .unwrap_or_else(|| Arc::new(Slot::new()));
+        SlotHandle {
+            slot: Some(slot),
+            pool: Some(Arc::clone(self)),
+        }
+    }
+
+    /// Called by the last handle's drop. `slot` must be sole-owned; it is
+    /// scrubbed (a completed-but-never-taken response is discarded) and
+    /// returned to the freelist if there is room.
+    fn release(&self, slot: Arc<Slot>) {
+        // Sole ownership established by the caller: nobody can be waiting,
+        // so the lock is uncontended and `waiters` is already zero.
+        slot.state.lock().expect("slot lock poisoned").response = None;
+        let mut free = self.free.lock().expect("slot pool lock poisoned");
+        if free.len() < self.max_free {
+            free.push(slot);
+        }
+    }
+
+    /// Slots currently sitting in the freelist.
+    #[cfg(test)]
+    pub fn free_len(&self) -> usize {
+        self.free.lock().expect("slot pool lock poisoned").len()
+    }
 }
 
 /// A cloneable handle on one request's completion slot. The worker
 /// [`complete`](SlotHandle::complete)s it exactly once; the client
-/// [`wait`](SlotHandle::wait)s with a deadline.
-#[derive(Clone)]
-pub(crate) struct SlotHandle(Arc<Slot>);
+/// [`wait`](SlotHandle::wait)s with a deadline or
+/// [`try_take`](SlotHandle::try_take)s from a poll loop.
+pub(crate) struct SlotHandle {
+    /// `Some` for the handle's whole life; taken only inside `drop` so the
+    /// backing slot can be moved into the pool's freelist.
+    slot: Option<Arc<Slot>>,
+    /// Pool to return the slot to; `None` for unpooled (test) slots.
+    pool: Option<Arc<SlotPool>>,
+}
+
+impl Clone for SlotHandle {
+    fn clone(&self) -> Self {
+        SlotHandle {
+            slot: self.slot.clone(),
+            pool: self.pool.clone(),
+        }
+    }
+}
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        let (Some(slot), Some(pool)) = (self.slot.take(), self.pool.take()) else {
+            return;
+        };
+        // Only the last handle recycles: if another handle exists it will
+        // observe count 1 at its own drop. Two handles racing here both
+        // see a count above 1 and neither recycles — safe, just a missed
+        // reuse.
+        if Arc::strong_count(&slot) == 1 {
+            pool.release(slot);
+        }
+    }
+}
 
 impl SlotHandle {
+    /// An unpooled slot (its memory is freed, not recycled, when the last
+    /// handle drops). The service path goes through [`SlotPool::acquire`].
+    #[cfg(test)]
     pub fn new() -> Self {
-        SlotHandle(Arc::new(Slot {
-            response: Mutex::new(None),
-            done: Condvar::new(),
-        }))
+        SlotHandle {
+            slot: Some(Arc::new(Slot::new())),
+            pool: None,
+        }
     }
 
-    /// Publishes the response and wakes the waiter.
+    fn slot(&self) -> &Slot {
+        self.slot.as_ref().expect("slot taken only in drop")
+    }
+
+    /// Publishes the response; wakes the waiter only if one is parked.
     pub fn complete(&self, resp: ControlResponse) {
-        *self.0.response.lock().expect("slot lock poisoned") = Some(resp);
-        self.0.done.notify_all();
+        let slot = self.slot();
+        let mut state = slot.state.lock().expect("slot lock poisoned");
+        state.response = Some(resp);
+        let parked = state.waiters > 0;
+        drop(state);
+        if parked {
+            slot.done.notify_all();
+        }
     }
 
     /// Takes the response if it has already arrived, without blocking —
     /// the poll the non-blocking server reactor uses between I/O sweeps.
     pub fn try_take(&self) -> Option<ControlResponse> {
-        self.0.response.lock().expect("slot lock poisoned").take()
+        self.slot()
+            .state
+            .lock()
+            .expect("slot lock poisoned")
+            .response
+            .take()
     }
 
     /// Blocks until the response arrives or `timeout` elapses. `None`
     /// means the caller gave up — the request may still execute.
     pub fn wait(&self, timeout: Duration) -> Option<ControlResponse> {
+        let slot = self.slot();
         let deadline = Instant::now() + timeout;
-        let mut guard = self.0.response.lock().expect("slot lock poisoned");
+        let mut state = slot.state.lock().expect("slot lock poisoned");
         loop {
-            if let Some(resp) = guard.take() {
+            if let Some(resp) = state.response.take() {
                 return Some(resp);
             }
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            let (g, _) = self
-                .0
+            state.waiters += 1;
+            let (g, _) = slot
                 .done
-                .wait_timeout(guard, deadline - now)
+                .wait_timeout(state, deadline - now)
                 .expect("slot lock poisoned");
-            guard = g;
+            state = g;
+            state.waiters -= 1;
         }
     }
 }
@@ -92,5 +221,62 @@ mod tests {
         let resp = slot.wait(Duration::from_secs(5)).expect("completed");
         assert_eq!(resp, ControlResponse::Undeployed { tenant: 1 });
         t.join().unwrap();
+    }
+
+    #[test]
+    fn pool_recycles_on_last_drop() {
+        let pool = SlotPool::new(8);
+        let a = pool.acquire();
+        let b = a.clone();
+        drop(a);
+        assert_eq!(pool.free_len(), 0, "a live clone keeps the slot out");
+        drop(b);
+        assert_eq!(pool.free_len(), 1, "last drop returns the slot");
+        let c = pool.acquire();
+        assert_eq!(pool.free_len(), 0, "acquire reuses the freelist");
+        drop(c);
+        assert_eq!(pool.free_len(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_is_scrubbed() {
+        let pool = SlotPool::new(8);
+        let a = pool.acquire();
+        a.complete(ControlResponse::Undeployed { tenant: 7 });
+        // Dropped with the response never taken: the next user of this
+        // slot must not see a stale answer.
+        drop(a);
+        assert_eq!(pool.free_len(), 1);
+        let b = pool.acquire();
+        assert!(b.try_take().is_none(), "stale response scrubbed");
+        assert!(b.wait(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn pool_capacity_bounds_the_freelist() {
+        let pool = SlotPool::new(1);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.free_len(), 1, "overflow is freed, not hoarded");
+    }
+
+    #[test]
+    fn pooled_slot_round_trips_across_threads() {
+        let pool = SlotPool::new(8);
+        for tenant in 0..3 {
+            let slot = pool.acquire();
+            let remote = slot.clone();
+            let t = std::thread::spawn(move || {
+                remote.complete(ControlResponse::Undeployed { tenant });
+            });
+            assert_eq!(
+                slot.wait(Duration::from_secs(5)),
+                Some(ControlResponse::Undeployed { tenant })
+            );
+            t.join().unwrap();
+        }
+        assert_eq!(pool.free_len(), 1, "one slot served all three requests");
     }
 }

@@ -1,0 +1,242 @@
+//! Build-farm integration (DESIGN.md §14): single-flight dedupe —
+//! concurrent registrations of one digest run exactly one compile — and
+//! the persistent bitstream database — a restarted controller (or
+//! `vitald`) serves previously compiled apps from the warm cache with
+//! zero place-and-route.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+use vital::compiler::{Compiler, CompilerConfig};
+use vital::netlist::hls::{AppSpec, Operator};
+use vital::runtime::{ControlRequest, ControlResponse, RuntimeConfig, SystemController};
+use vital::service::{ServiceConfig, Vitald};
+
+/// A small two-operator design; the digest depends on the operators, not
+/// the name, so differently named specs share one compile.
+fn small_spec(name: &str, pes: u32, slices: u32) -> AppSpec {
+    let mut spec = AppSpec::new(name);
+    let m = spec.add_operator("m", Operator::MacArray { pes });
+    let p = spec.add_operator("p", Operator::Pipeline { slices });
+    spec.add_edge(m, p, 64).unwrap();
+    spec
+}
+
+/// A unique on-disk database path, deleted (with its `.tmp` sibling) when
+/// the guard drops.
+struct TempDb(PathBuf);
+
+impl TempDb {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        TempDb(std::env::temp_dir().join(format!(
+            "vital_build_farm_{tag}_{}_{n}.json",
+            std::process::id()
+        )))
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let _ = std::fs::remove_file(self.0.with_extension("tmp"));
+    }
+}
+
+/// Eight threads race to register the same netlist under different names:
+/// single-flight must run exactly one compile, with every other caller
+/// either waiting on the leader's flight or hitting the cache it filled.
+#[test]
+fn concurrent_registrations_compile_exactly_once() {
+    let controller = Arc::new(SystemController::new(RuntimeConfig::paper_cluster()));
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let controller = Arc::clone(&controller);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let compiler = Compiler::new(CompilerConfig::default());
+                    let spec = small_spec(&format!("racer-{i}"), 8, 120);
+                    barrier.wait();
+                    controller
+                        .register_compiled(&compiler, &spec)
+                        .expect("registration succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = controller.farm_stats();
+    assert_eq!(
+        stats.compiles, 1,
+        "one digest must compile exactly once, not {} times",
+        stats.compiles
+    );
+    let cold: Vec<_> = outcomes.iter().filter(|o| !o.cache_hit).collect();
+    assert_eq!(cold.len(), 1, "exactly one caller paid the compile");
+    assert!(
+        cold[0].timings.is_some(),
+        "the compiling caller has timings"
+    );
+    for o in &outcomes {
+        assert_eq!(o.digest, cold[0].digest, "all callers agree on the digest");
+        if o.cache_hit {
+            assert!(o.timings.is_none(), "cache hits ran zero P&R");
+        }
+    }
+    // Every name points at the same image.
+    let reference = controller.bitstreams().get("racer-0").unwrap();
+    for i in 1..threads {
+        let other = controller.bitstreams().get(&format!("racer-{i}")).unwrap();
+        assert_eq!(reference.renamed("x"), other.renamed("x"));
+    }
+}
+
+/// A controller restarted onto the same database file serves the app it
+/// compiled in its previous life as a pure cache hit — zero P&R — and can
+/// deploy it.
+#[test]
+fn restarted_controller_serves_warm_cache_with_zero_pnr() {
+    let db = TempDb::new("restart");
+    let compiler = Compiler::new(CompilerConfig::default());
+    {
+        let controller = SystemController::new(RuntimeConfig::paper_cluster())
+            .with_persistence(db.path())
+            .expect("fresh database starts empty");
+        assert_eq!(controller.farm_stats().persist_loaded, 0);
+        let cold = controller
+            .register_compiled(&compiler, &small_spec("hot", 12, 200))
+            .unwrap();
+        assert!(!cold.cache_hit && cold.timings.is_some());
+        assert!(controller.farm_stats().persist_saves >= 1);
+        assert_eq!(controller.farm_stats().persist_errors, 0);
+    }
+
+    let reborn = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_persistence(db.path())
+        .expect("database written by the first life parses");
+    assert!(
+        reborn.farm_stats().persist_loaded >= 1,
+        "the compiled bitstream survives the restart"
+    );
+    let warm = reborn
+        .register_compiled(&compiler, &small_spec("hot-replay", 12, 200))
+        .unwrap();
+    assert!(warm.cache_hit, "the reloaded digest is a cache hit");
+    assert!(warm.timings.is_none(), "a warm deploy runs zero P&R");
+    assert_eq!(reborn.farm_stats().compiles, 0, "nothing recompiled");
+    let handle = reborn.deploy("hot").expect("reloaded image deploys");
+    reborn.undeploy(handle.tenant()).unwrap();
+}
+
+/// The same warm-restart contract through the whole daemon: a second
+/// `vitald` on the same database answers `Prepare` for an app compiled by
+/// the first one without ever calling the resolver.
+#[test]
+fn vitald_restart_prepares_warm_without_recompiling() {
+    let db = TempDb::new("vitald");
+
+    let resolver = |calls: &Arc<AtomicU64>| {
+        let calls = Arc::clone(calls);
+        Box::new(move |name: &str| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Compiler::new(CompilerConfig::default())
+                .compile(&small_spec(name, 10, 150))
+                .map(vital::compiler::CompiledApp::into_bitstream)
+                .map_err(Into::into)
+        })
+    };
+
+    let first_life_calls = Arc::new(AtomicU64::new(0));
+    {
+        let controller = Arc::new(
+            SystemController::new(RuntimeConfig::paper_cluster())
+                .with_persistence(db.path())
+                .unwrap(),
+        );
+        controller.set_app_resolver(resolver(&first_life_calls));
+        let vitald = Vitald::spawn(Arc::clone(&controller), ServiceConfig::default());
+        let client = vitald.client();
+        match client.call(ControlRequest::Prepare { app: "farm".into() }) {
+            ControlResponse::Prepared { cache_hit, .. } => assert!(!cache_hit),
+            other => panic!("prepare failed: {other:?}"),
+        }
+        assert_eq!(first_life_calls.load(Ordering::Relaxed), 1);
+        vitald.shutdown();
+    }
+
+    let second_life_calls = Arc::new(AtomicU64::new(0));
+    let controller = Arc::new(
+        SystemController::new(RuntimeConfig::paper_cluster())
+            .with_persistence(db.path())
+            .unwrap(),
+    );
+    controller.set_app_resolver(resolver(&second_life_calls));
+    let vitald = Vitald::spawn(Arc::clone(&controller), ServiceConfig::default());
+    let client = vitald.client();
+    match client.call(ControlRequest::Prepare { app: "farm".into() }) {
+        ControlResponse::Prepared { cache_hit, .. } => {
+            assert!(cache_hit, "the restarted daemon has the app warm");
+        }
+        other => panic!("warm prepare failed: {other:?}"),
+    }
+    assert_eq!(
+        second_life_calls.load(Ordering::Relaxed),
+        0,
+        "a warm restart never calls the resolver"
+    );
+    assert_eq!(controller.farm_stats().compiles, 0);
+    let resp = client.call(ControlRequest::deploy("farm"));
+    assert!(resp.is_ok(), "warm deploy failed: {resp:?}");
+    vitald.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Persistence round-trip property: whatever design was compiled and
+    /// saved, a reloaded database serves the *same bits* through
+    /// `register_compiled` — the warm image equals the cold one exactly.
+    #[test]
+    fn persisted_database_serves_bit_identical_bitstreams(
+        pes in 4u32..16,
+        slices in 1u32..20,
+    ) {
+        let db = TempDb::new("prop");
+        let compiler = Compiler::new(CompilerConfig::default());
+        let cold_digest;
+        let cold_image;
+        {
+            let controller = SystemController::new(RuntimeConfig::paper_cluster())
+                .with_persistence(db.path())
+                .unwrap();
+            let cold = controller
+                .register_compiled(&compiler, &small_spec("cold", pes, slices * 10))
+                .unwrap();
+            prop_assert!(!cold.cache_hit);
+            cold_digest = cold.digest;
+            cold_image = controller.bitstreams().get("cold").unwrap();
+        }
+        let reborn = SystemController::new(RuntimeConfig::paper_cluster())
+            .with_persistence(db.path())
+            .unwrap();
+        let warm = reborn
+            .register_compiled(&compiler, &small_spec("warm", pes, slices * 10))
+            .unwrap();
+        prop_assert!(warm.cache_hit && warm.timings.is_none());
+        prop_assert_eq!(warm.digest, cold_digest);
+        let warm_image = reborn.bitstreams().get("warm").unwrap();
+        // Bit-identical through rename normalization: the reloaded entry
+        // is the cold compile's image, not a recompile.
+        prop_assert_eq!(cold_image.renamed("x"), warm_image.renamed("x"));
+    }
+}
