@@ -9,9 +9,11 @@
 //!
 //! **Gate** (ISSUE 7): at every worker count where the machine actually
 //! grants parallelism (`min(workers, cores) > 1`) the stage speedup must
-//! reach `0.8 x min(workers, cores)`. On a single-core runner no point
-//! qualifies and the sweep is report-only — the determinism assertions
-//! still run at every count.
+//! reach `0.8 x min(workers, cores)`. Each point is compiled [`REPS`]
+//! times and scored on its best (minimum) stage time, so one
+//! noisy-neighbour stall on a shared CI runner cannot flake the gate.
+//! On a single-core runner no point qualifies and the sweep is
+//! report-only — the determinism assertions still run at every count.
 //!
 //! With `--baseline` the record is *also* written to
 //! `reports/BASELINE_compile_speedup.json`, the committed reference
@@ -27,6 +29,11 @@ use vital_bench::{quick, write_bench_json, write_json_named, BenchRecord};
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// Required fraction of ideal speedup at each multi-core point.
 const MIN_PARALLEL_EFFICIENCY: f64 = 0.8;
+/// Compiles per sweep point; each point (including the serial reference)
+/// is scored on the best of these, which keeps the gate deterministic on
+/// shared runners where any single run can be stalled by a noisy
+/// neighbour.
+const REPS: usize = 3;
 
 /// A design big enough to spread over several virtual blocks (>= 4 at the
 /// default ~26k-LUT effective fill), so step 4 has real fan-out.
@@ -70,25 +77,36 @@ fn main() {
             workers,
             ..CompilerConfig::default()
         });
-        let compiled = compiler.compile(&spec).expect("design compiles");
-        let timings = compiled.timings().clone();
-        let reference = reference.get_or_insert_with(|| compiled.clone());
-        // Determinism contract: every worker count produces the same bits.
-        assert_eq!(
-            reference.bitstream(),
-            compiled.bitstream(),
-            "{workers}-worker P&R must be bit-identical to serial"
-        );
-        assert_eq!(
-            reference.bitstream().digest(),
-            compiled.bitstream().digest()
-        );
-
-        let blocks = compiled.bitstream().block_count();
-        let serial_s = points
-            .first()
-            .map_or(timings.local_pnr.as_secs_f64(), |p| p.stage_s);
-        let stage_s = timings.local_pnr.as_secs_f64();
+        // Best-of-REPS: the minimum stage time is the point's score (for
+        // both the serial reference and the parallel points), so one
+        // descheduled run on a shared runner cannot fail the gate. The
+        // determinism contract is asserted on every rep regardless.
+        let mut stage_s = f64::INFINITY;
+        let mut timings = None;
+        let mut blocks = 0;
+        for _ in 0..REPS {
+            let compiled = compiler.compile(&spec).expect("design compiles");
+            let rep_s = compiled.timings().local_pnr.as_secs_f64();
+            let reference = reference.get_or_insert_with(|| compiled.clone());
+            // Determinism contract: every worker count produces the same
+            // bits.
+            assert_eq!(
+                reference.bitstream(),
+                compiled.bitstream(),
+                "{workers}-worker P&R must be bit-identical to serial"
+            );
+            assert_eq!(
+                reference.bitstream().digest(),
+                compiled.bitstream().digest()
+            );
+            blocks = compiled.bitstream().block_count();
+            if rep_s < stage_s {
+                stage_s = rep_s;
+                timings = Some(compiled.timings().clone());
+            }
+        }
+        let timings = timings.expect("REPS >= 1");
+        let serial_s = points.first().map_or(stage_s, |p| p.stage_s);
         let speedup = serial_s / stage_s.max(1e-12);
         let effective = workers.min(cores);
         println!(

@@ -345,7 +345,7 @@ impl Compiler {
         // reporting, which phase 3 also treats as a panicked shard.
         type ItemOutcome = (Result<ShardPlacement, String>, Duration);
         let mut outcomes: Vec<Option<ItemOutcome>> = (0..items.len()).map(|_| None).collect();
-        let mut worker_panic: Option<String> = None;
+        let mut worker_panics: Vec<String> = Vec::new();
 
         let run_item = |idx: usize, scratch: &mut PnrScratch| -> ItemOutcome {
             let (vb, shard) = items[idx];
@@ -415,11 +415,19 @@ impl Compiler {
                         }
                     }
                     // A worker died outside catch_unwind; its unreported
-                    // items fail their blocks in phase 3.
-                    Err(msg) => worker_panic = Some(msg),
+                    // items fail their blocks in phase 3. Every dead
+                    // worker's message is kept — attribution per item is
+                    // lost with the thread, so unreported items carry the
+                    // union of them rather than silently dropping any.
+                    Err(msg) => worker_panics.push(msg),
                 }
             }
         }
+        let worker_panic = if worker_panics.is_empty() {
+            None
+        } else {
+            Some(worker_panics.join("; "))
+        };
 
         // Phase 3: reduce shards to one placement per block, in order.
         let mut out = Vec::with_capacity(prims_per_vb.len());

@@ -515,10 +515,18 @@ impl SystemController {
     /// Best-effort save of the bitstream database to the persistence path
     /// (no-op when persistence is off). Writes a sibling temp file and
     /// renames it over the target so readers never observe a torn file.
+    /// Saves are serialized: the snapshot, the temp write, and the rename
+    /// all happen under one lock, so concurrent mutators can neither tear
+    /// the shared temp file nor publish an older snapshot over a newer one.
     fn persist_bitstreams(&self) {
         let Some(path) = self.farm.persist_path.as_ref() else {
             return;
         };
+        let _serialized = self
+            .farm
+            .persist_lock
+            .lock()
+            .expect("persist mutex poisoned");
         let saved = self.bitstreams.to_json().ok().and_then(|json| {
             let tmp = path.with_extension("tmp");
             std::fs::write(&tmp, json).ok()?;
@@ -1703,9 +1711,10 @@ impl SystemController {
     /// for next; by the time the deploy arrives, its bitstream is a cache
     /// hit.
     ///
-    /// Best-effort: names whose resolution fails are skipped. Returns the
-    /// names actually compiled and registered. A controller without a
-    /// resolver compiles nothing.
+    /// Best-effort: names whose resolution fails — or that a concurrent
+    /// [`ControlRequest::Prepare`] is already compiling — are skipped.
+    /// Returns the names actually compiled and registered. A controller
+    /// without a resolver compiles nothing.
     pub fn speculate_compile(&self, limit: usize) -> Vec<String> {
         let resolve = self.resolver.lock().clone();
         let Some(resolve) = resolve else {
@@ -1717,12 +1726,25 @@ impl SystemController {
             .top(limit, |name| self.bitstreams.get(name).is_err());
         let mut compiled = Vec::new();
         for name in candidates {
+            // Speculation shares the prepare path's name-keyed flights:
+            // if a demand-driven prepare (or another speculation round)
+            // already leads a compile of this app, don't duplicate the
+            // P&R — the leader's publish caches it just the same.
+            let FlightRole::Leader(flight) = self.farm.by_name.join(name.clone()) else {
+                continue;
+            };
+            if self.bitstreams.get(&name).is_ok() {
+                flight.publish(Ok(()));
+                continue;
+            }
             let mut span = self.telemetry.span("runtime.speculate");
             span.field("app", name.as_str());
+            self.farm.counters.compiles.fetch_add(1, Ordering::Relaxed);
             let registered = resolve(&name)
                 .and_then(|bitstream| self.bitstreams.insert_or_get(bitstream.renamed(&name)));
             let ok = registered.is_ok();
             span.field("ok", ok);
+            flight.publish(registered.map(|_| ()));
             if ok {
                 self.farm
                     .counters

@@ -257,6 +257,11 @@ pub(crate) struct BuildFarm {
     /// Where the bitstream database is saved after every mutation; `None`
     /// disables persistence.
     pub(crate) persist_path: Option<PathBuf>,
+    /// Serializes saves to `persist_path`. Held across snapshot + temp
+    /// write + rename, so overlapping saves from concurrent mutators can
+    /// neither tear the temp file nor rename an older snapshot over a
+    /// newer one.
+    pub(crate) persist_lock: Mutex<()>,
 }
 
 #[cfg(test)]

@@ -221,16 +221,25 @@ impl ServiceInner {
                     }
                     self.run_batch(shard, batch, &mut done);
                 } else {
+                    // A non-batch job can be arbitrarily slow (a Prepare
+                    // runs a full P&R compile on this thread): deliver
+                    // every answer already produced before starting it,
+                    // and its own answer as soon as it exists, so fast
+                    // responses never wait out a slow neighbour's compile.
+                    self.flush_completions(&mut done);
                     let mut span = self.telemetry().span("service.request");
                     span.field("endpoint", job.req.endpoint());
                     span.field("session", job.session);
                     span.field("shard", shard);
                     let resp = self.controller.execute(job.req.clone());
                     self.finish(job, resp, &mut done);
+                    self.flush_completions(&mut done);
                 }
             }
-            // One wakeup pass per sweep: every client whose answer was
-            // produced in this sweep is released together.
+            // One wakeup pass for the batched tail: every client whose
+            // answer was produced since the last flush is released
+            // together (per-sweep batching only ever spans the cheap
+            // batchable runs; non-batch jobs flush around themselves).
             self.flush_completions(&mut done);
         }
     }

@@ -201,6 +201,153 @@ fn vitald_restart_prepares_warm_without_recompiling() {
     vitald.shutdown();
 }
 
+/// Concurrent mutators (eight threads registering distinct designs) all
+/// trigger saves of the same persistence path; the serialized save path
+/// must never tear the file or lose a registration — the final snapshot
+/// parses and holds every app.
+#[test]
+fn concurrent_registrations_never_tear_the_persisted_database() {
+    let db = TempDb::new("race");
+    let threads = 8;
+    let controller = Arc::new(
+        SystemController::new(RuntimeConfig::paper_cluster())
+            .with_persistence(db.path())
+            .expect("fresh database starts empty"),
+    );
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let controller = Arc::clone(&controller);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                // Distinct operators => distinct digests => every thread
+                // leads its own compile and its own save.
+                let compiler = Compiler::new(CompilerConfig::default());
+                let spec = small_spec(&format!("racer-{i}"), 4 + i as u32, 100 + 10 * i as u32);
+                barrier.wait();
+                controller
+                    .register_compiled(&compiler, &spec)
+                    .expect("registration succeeds");
+            });
+        }
+    });
+    assert_eq!(
+        controller.farm_stats().persist_errors,
+        0,
+        "no save may fail under concurrency"
+    );
+
+    let reborn = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_persistence(db.path())
+        .expect("the racing saves never publish a torn snapshot");
+    assert_eq!(
+        reborn.farm_stats().persist_loaded,
+        threads as u64,
+        "the final snapshot holds every registration"
+    );
+    for i in 0..threads {
+        reborn
+            .bitstreams()
+            .get(&format!("racer-{i}"))
+            .expect("every racer's bitstream survives the restart");
+    }
+}
+
+/// Speculation is demand-driven and counted: a failed deploy records
+/// demand, `speculate_compile` warms exactly that app (bumping both the
+/// `compiles` and `speculative_compiles` counters), and the next deploy
+/// is a pure cache hit.
+#[test]
+fn speculation_warms_demanded_apps_and_counts_compiles() {
+    let controller = SystemController::new(RuntimeConfig::paper_cluster());
+    controller.set_app_resolver(Box::new(|name: &str| {
+        Compiler::new(CompilerConfig::default())
+            .compile(&small_spec(name, 10, 150))
+            .map(vital::compiler::CompiledApp::into_bitstream)
+            .map_err(Into::into)
+    }));
+    assert!(controller.deploy("wanted").is_err(), "unknown app yet");
+    assert_eq!(controller.speculate_compile(4), vec!["wanted".to_string()]);
+    let stats = controller.farm_stats();
+    assert_eq!(
+        stats.compiles, 1,
+        "a speculative compile is still a compile"
+    );
+    assert_eq!(stats.speculative_compiles, 1);
+    let handle = controller.deploy("wanted").expect("speculation warmed it");
+    controller.undeploy(handle.tenant()).unwrap();
+    assert!(
+        controller.speculate_compile(4).is_empty(),
+        "nothing left to warm"
+    );
+    assert_eq!(controller.farm_stats().compiles, 1, "no recompile");
+}
+
+/// Speculation must not duplicate a compile that a prepare leader is
+/// already running: while the resolver is parked inside the prepare
+/// flight, a concurrent `speculate_compile` of the same app skips it
+/// (follower role) instead of resolving it a second time.
+#[test]
+fn speculation_dedupes_against_inflight_prepare() {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    let controller = Arc::new(SystemController::new(RuntimeConfig::paper_cluster()));
+    let calls = Arc::new(AtomicU64::new(0));
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let (entered_tx, release_rx) = (Mutex::new(entered_tx), Mutex::new(release_rx));
+    controller.set_app_resolver(Box::new({
+        let calls = Arc::clone(&calls);
+        move |name: &str| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            let _ = entered_tx.lock().unwrap().send(());
+            // Park until the main thread has speculated (bounded, so a
+            // regression fails the call-count assert instead of hanging).
+            let _ = release_rx
+                .lock()
+                .unwrap()
+                .recv_timeout(Duration::from_secs(10));
+            Compiler::new(CompilerConfig::default())
+                .compile(&small_spec(name, 10, 150))
+                .map(vital::compiler::CompiledApp::into_bitstream)
+                .map_err(Into::into)
+        }
+    }));
+
+    let preparer = {
+        let controller = Arc::clone(&controller);
+        std::thread::spawn(move || {
+            controller.try_execute(ControlRequest::Prepare { app: "slow".into() })
+        })
+    };
+    entered_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("the prepare leader reaches the resolver");
+    // The prepare above already recorded demand for "slow"; with its
+    // leader parked in the resolver, speculation must stand down.
+    assert!(
+        controller.speculate_compile(4).is_empty(),
+        "speculation must skip an app a prepare leader is compiling"
+    );
+    release_tx
+        .send(())
+        .expect("resolver is parked on the channel");
+    match preparer
+        .join()
+        .expect("prepare thread")
+        .expect("prepare ok")
+    {
+        ControlResponse::Prepared { cache_hit, .. } => assert!(!cache_hit),
+        other => panic!("unexpected prepare answer: {other:?}"),
+    }
+    assert_eq!(calls.load(Ordering::Relaxed), 1, "exactly one resolution");
+    let stats = controller.farm_stats();
+    assert_eq!(stats.compiles, 1);
+    assert_eq!(stats.speculative_compiles, 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
     /// Persistence round-trip property: whatever design was compiled and
