@@ -44,6 +44,12 @@ pub enum ClusterError {
     ///
     /// [`ClusterSim::try_heterogeneous`]: crate::ClusterSim::try_heterogeneous
     InvalidLayout(String),
+    /// A `FaultPlan` event does not fit the simulated cluster: an FPGA or
+    /// link index out of range, or a non-finite/negative timestamp. The
+    /// simulator validates the whole plan before the first event fires, so
+    /// a misconfigured fault scenario fails loudly instead of silently
+    /// testing nothing.
+    InvalidFault(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -67,6 +73,9 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidLayout(reason) => {
                 write!(f, "invalid cluster layout: {reason}")
             }
+            ClusterError::InvalidFault(reason) => {
+                write!(f, "invalid fault plan: {reason}")
+            }
         }
     }
 }
@@ -77,13 +86,15 @@ impl ClusterError {
     /// The stable control-plane code of this error (shared taxonomy, see
     /// [`vital_interface::ErrorCode`]). Every simulator error indicates a
     /// policy handing back an invalid deployment — [`ErrorCode::PolicyBug`]
-    /// — except [`ClusterError::InvalidLayout`], which is a configuration
-    /// problem.
+    /// — except [`ClusterError::InvalidLayout`] and
+    /// [`ClusterError::InvalidFault`], which are configuration problems.
     ///
     /// [`ErrorCode::PolicyBug`]: vital_interface::ErrorCode::PolicyBug
     pub fn code(&self) -> vital_interface::ErrorCode {
         match self {
-            ClusterError::InvalidLayout(_) => vital_interface::ErrorCode::InvalidConfig,
+            ClusterError::InvalidLayout(_) | ClusterError::InvalidFault(_) => {
+                vital_interface::ErrorCode::InvalidConfig
+            }
             _ => vital_interface::ErrorCode::PolicyBug,
         }
     }
@@ -117,6 +128,10 @@ mod tests {
         );
         assert_eq!(
             ClusterError::InvalidLayout("empty".into()).code(),
+            ErrorCode::InvalidConfig
+        );
+        assert_eq!(
+            ClusterError::InvalidFault("fpga 9 out of range".into()).code(),
             ErrorCode::InvalidConfig
         );
         let api = vital_interface::ApiError::from(&ClusterError::InsufficientBlocks {

@@ -62,6 +62,7 @@ mod request;
 mod ring;
 mod sim;
 mod state;
+mod topology;
 
 pub use error::ClusterError;
 pub use metrics::{CompileMetrics, FailedOutcome, RequestOutcome, SimReport};
@@ -72,3 +73,4 @@ pub use state::{
     ClusterConfig, ClusterView, Deployment, FaultEvent, FaultPlan, FaultSpec, InstanceId,
     PendingRequest, ReconfigKind, RetryPolicy, Scheduler,
 };
+pub use topology::{LinkSpec, Topology};

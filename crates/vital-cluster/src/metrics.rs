@@ -133,7 +133,10 @@ impl SimReport {
         mean(self.outcomes.iter().map(RequestOutcome::wait_s))
     }
 
-    /// 95th-percentile response time (s).
+    /// 95th-percentile response time (s), ceil-based nearest-rank: the
+    /// smallest observation with at least 95 % of the sample at or below
+    /// it (`rank = ceil(0.95 n)`). The earlier `round()`-based rank
+    /// overshot on small samples (N=2 reported the max as p95).
     pub fn p95_response_s(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 0.0;
@@ -144,7 +147,8 @@ impl SimReport {
             .map(RequestOutcome::response_s)
             .collect();
         v.sort_by(|a, b| a.total_cmp(b));
-        v[((v.len() - 1) as f64 * 0.95).round() as usize]
+        let rank = (0.95 * v.len() as f64).ceil() as usize;
+        v[rank.clamp(1, v.len()) - 1]
     }
 
     /// Fraction of applications that spanned multiple FPGAs (the paper
@@ -297,6 +301,18 @@ mod tests {
         assert!((r.avg_response_s() - 3.0).abs() < 1e-12);
         assert_eq!(r.spanning_fraction(), 0.5);
         assert!(r.p95_response_s() >= 2.0);
+    }
+
+    #[test]
+    fn p95_is_ceil_based_nearest_rank() {
+        // Response time of outcome k is k+1 seconds, so the sorted sample
+        // is 1.0, 2.0, .., n and `v[i]` is `(i + 1) as f64`. Ceil-based
+        // nearest rank selects index ceil(0.95 n) - 1.
+        let sample = |n: u64| report((0..n).map(|k| outcome(k, 0.0, (k + 1) as f64, 1)).collect());
+        assert_eq!(sample(1).p95_response_s(), 1.0); // ceil(0.95)  = 1 -> v[0]
+        assert_eq!(sample(2).p95_response_s(), 2.0); // ceil(1.90)  = 2 -> v[1]
+        assert_eq!(sample(3).p95_response_s(), 3.0); // ceil(2.85)  = 3 -> v[2]
+        assert_eq!(sample(20).p95_response_s(), 19.0); // ceil(19.0) = 19 -> v[18]
     }
 
     #[test]

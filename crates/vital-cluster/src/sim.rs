@@ -14,8 +14,13 @@ use crate::{
 };
 
 /// Converts sim seconds to the microsecond timeline the telemetry
-/// timeline uses. Sim time is non-negative and finite.
+/// timeline uses. Sim time is non-negative and finite — debug builds
+/// enforce the contract instead of silently saturating the cast.
 fn sim_us(t: f64) -> u64 {
+    debug_assert!(
+        t.is_finite() && t >= 0.0,
+        "sim time must be non-negative and finite, got {t}"
+    );
     (t * 1e6).round() as u64
 }
 
@@ -188,6 +193,7 @@ fn evict_victims(
 pub struct ClusterSim {
     config: ClusterConfig,
     layout: Vec<usize>,
+    topology: std::sync::Arc<crate::Topology>,
     telemetry: Telemetry,
 }
 
@@ -195,9 +201,11 @@ impl ClusterSim {
     /// Creates a simulator over a homogeneous cluster.
     pub fn new(config: ClusterConfig) -> Self {
         let layout = vec![config.blocks_per_fpga; config.fpgas];
+        let topology = std::sync::Arc::new(crate::Topology::ring(layout.len().max(1)));
         ClusterSim {
             config,
             layout,
+            topology,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -231,11 +239,41 @@ impl ClusterSim {
                 "cluster needs at least one FPGA".to_string(),
             ));
         }
+        let topology = std::sync::Arc::new(crate::Topology::ring(blocks_per_fpga.len()));
         Ok(ClusterSim {
             config,
             layout: blocks_per_fpga,
+            topology,
             telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Replaces the interconnect with an explicit [`Topology`] (pod
+    /// graphs, switch fabrics, heterogeneous links). The default is the
+    /// paper's single bidirectional ring over the whole layout, which is
+    /// bit-identical to the pre-topology simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidLayout`] if the topology's FPGA
+    /// count differs from the cluster layout.
+    ///
+    /// [`Topology`]: crate::Topology
+    pub fn with_topology(mut self, topology: crate::Topology) -> Result<Self, ClusterError> {
+        if topology.len() != self.layout.len() {
+            return Err(ClusterError::InvalidLayout(format!(
+                "topology has {} FPGAs but the cluster layout has {}",
+                topology.len(),
+                self.layout.len()
+            )));
+        }
+        self.topology = std::sync::Arc::new(topology);
+        Ok(self)
+    }
+
+    /// The interconnect topology simulated runs use.
+    pub fn topology(&self) -> &crate::Topology {
+        &self.topology
     }
 
     /// Attaches a telemetry handle. Runs then emit a sim-time event
@@ -363,6 +401,10 @@ impl ClusterSim {
         for (i, r) in requests.iter().enumerate() {
             push(&mut events, r.arrival_s, EventKind::Arrival(i));
         }
+        // Validate the whole plan up front: out-of-range indices used to be
+        // silently swallowed downstream, so a misconfigured fault scenario
+        // tested nothing.
+        self.validate_plan(plan)?;
         for ev in &plan.events {
             let kind = match *ev {
                 FaultEvent::FpgaCrash { fpga, .. } => EventKind::FpgaFail(fpga as usize),
@@ -391,11 +433,18 @@ impl ClusterSim {
         // its outcome reports the original admission.
         let mut admitted_s: HashMap<crate::RequestId, f64> = HashMap::new();
 
-        let mut view = ClusterView::with_layout(self.config, &self.layout);
+        let mut view = ClusterView::with_topology(self.config, &self.layout, self.topology.clone());
         let mut pending: Vec<PendingRequest> = Vec::new();
         let mut instances: HashMap<InstanceId, Instance> = HashMap::new();
         let mut next_instance = 0u64;
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        // Request id -> input index, so applying a deployment is O(1)
+        // instead of an O(requests) scan (first occurrence wins, matching
+        // the linear scan this replaces).
+        let mut req_index: HashMap<crate::RequestId, usize> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            req_index.entry(r.id).or_insert(i);
+        }
 
         // Utilization / concurrency integrals.
         let mut last_t = 0.0f64;
@@ -569,14 +618,13 @@ impl ClusterSim {
                     // A spanning instance whose traffic can no longer take
                     // the path it was scheduled on loses its connection
                     // mid-stream: evict it like a device failure. Instances
-                    // whose worst ring distance is unchanged keep running.
+                    // whose worst hop distance is unchanged keep running.
                     let down = view.down_links();
-                    let ring = crate::RingNetwork::new(self.layout.len().max(1));
                     let victims: Vec<InstanceId> = instances
                         .iter()
                         .filter(|(_, inst)| {
                             let fpgas = inst.blocks.iter().map(|b| b.fpga);
-                            ring.max_hops_from_avoiding(
+                            self.topology.max_hops_from_avoiding(
                                 vital_fabric::FpgaId::new(inst.primary_fpga),
                                 fpgas,
                                 &down,
@@ -677,8 +725,9 @@ impl ClusterSim {
             }
 
             // Resources or queue changed: let the policy act until it has
-            // nothing more to deploy.
-            loop {
+            // nothing more to deploy. An empty queue short-circuits — at
+            // datacenter scale most events leave nothing to schedule.
+            while !pending.is_empty() {
                 let decisions = policy.schedule(&view, &pending);
                 if decisions.is_empty() {
                     break;
@@ -694,9 +743,7 @@ impl ClusterSim {
                     // always resolves to an input index. Skip the decision
                     // (leaving the request pending) rather than panic if the
                     // invariant is ever broken.
-                    let Some(req_idx) =
-                        requests.iter().position(|r| r.id == pending[pi].request.id)
-                    else {
+                    let Some(req_idx) = req_index.get(&pending[pi].request.id).copied() else {
                         debug_assert!(
                             false,
                             "pending request {} is not in the input set",
@@ -824,6 +871,39 @@ impl ClusterSim {
         })
     }
 
+    /// Checks every [`FaultPlan`] event against the simulated cluster:
+    /// FPGA indices must be in range, link indices must name a real
+    /// interconnect link, and timestamps must be non-negative and finite.
+    fn validate_plan(&self, plan: &FaultPlan) -> Result<(), ClusterError> {
+        let fpgas = self.layout.len();
+        let links = self.topology.link_count();
+        for (i, ev) in plan.events.iter().enumerate() {
+            let at = ev.at_s();
+            if !at.is_finite() || at < 0.0 {
+                return Err(ClusterError::InvalidFault(format!(
+                    "event {i} ({ev:?}) has invalid timestamp {at}"
+                )));
+            }
+            match *ev {
+                FaultEvent::FpgaCrash { fpga, .. } | FaultEvent::FpgaRecover { fpga, .. } => {
+                    if fpga as usize >= fpgas {
+                        return Err(ClusterError::InvalidFault(format!(
+                            "event {i} ({ev:?}) names FPGA {fpga} but the cluster has {fpgas}"
+                        )));
+                    }
+                }
+                FaultEvent::RingLinkDown { link, .. } | FaultEvent::RingLinkUp { link, .. } => {
+                    if link as usize >= links {
+                        return Err(ClusterError::InvalidFault(format!(
+                            "event {i} ({ev:?}) names link {link} but the topology has {links}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn validate(
         &self,
         view: &ClusterView,
@@ -874,30 +954,42 @@ impl ClusterSim {
             *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
         }
         let used = request.blocks_needed.max(1) as f64;
+        // Tie-break equal block counts on the lowest FPGA id: `HashMap`
+        // iteration order is randomized per instance, and an
+        // order-dependent primary makes same-seed runs diverge whenever a
+        // span splits evenly.
         let (primary_fpga, primary) = per_fpga
             .iter()
-            .max_by_key(|&(_, &n)| n)
+            .max_by_key(|&(&f, &n)| (n, std::cmp::Reverse(f)))
             .map(|(&f, &n)| (f, n as f64))
             .unwrap_or((0, 0.0));
         let span = (1.0 - primary / used).max(0.0);
-        let ring = crate::RingNetwork::new(self.layout.len().max(1));
         // Traffic reroutes around down links (longer hops). A spanning set
-        // cut in two by link failures gets the full ring length as a crude
-        // finite penalty — the scheduler saw the down links and chose to
-        // span anyway.
-        let max_hops = ring
+        // cut in two by link failures gets the full cluster length as a
+        // crude finite penalty — the scheduler saw the down links and chose
+        // to span anyway.
+        let max_hops = self
+            .topology
             .max_hops_from_avoiding(
                 vital_fabric::FpgaId::new(primary_fpga),
                 per_fpga.keys().map(|&f| vital_fabric::FpgaId::new(f)),
                 down,
             )
             .unwrap_or(self.layout.len());
-        // One hop = the calibrated penalty; further hops add 30% each
-        // (the traffic occupies more ring segments).
+        // One hop = the calibrated penalty; further hops add 30% each (the
+        // traffic occupies more interconnect segments). Spans crossing
+        // links slower than the reference ring cable (pod uplinks) pay
+        // proportionally more; on a single ring the bandwidth factor is
+        // exactly 1.0, keeping the pre-topology model bit-identical.
         let hop_factor = if max_hops == 0 {
             0.0
         } else {
-            1.0 + 0.3 * (max_hops as f64 - 1.0)
+            let bw = self.topology.bandwidth_slowdown(
+                vital_fabric::FpgaId::new(primary_fpga),
+                per_fpga.keys().map(|&f| vital_fabric::FpgaId::new(f)),
+                self.config.ring_gbps,
+            );
+            (1.0 + 0.3 * (max_hops as f64 - 1.0)) * bw
         };
         let base = request.standalone_service_s();
         let slowed = base * (1.0 + 2.0 * request.comm_intensity * span * hop_factor);
@@ -1416,6 +1508,102 @@ mod tests {
     fn try_heterogeneous_rejects_empty_layout() {
         let err =
             ClusterSim::try_heterogeneous(ClusterConfig::paper_cluster(), vec![]).unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidLayout(_)));
+    }
+
+    #[test]
+    fn out_of_range_faults_are_rejected_not_swallowed() {
+        // Regression: these used to be silent no-ops (guarded `get_mut` in
+        // the view, bare casts in the event builder), so a misconfigured
+        // fault scenario tested nothing.
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster()); // 4 FPGAs, 4 links
+        let mut policy = FirstFit {
+            whole_device: false,
+        };
+        let bad_fpga = FaultPlan::new().fpga_crash(4, 1.0);
+        let err = sim
+            .try_run_with_plan(&mut policy, requests(1, 1, 1.0e9), &bad_fpga)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidFault(_)), "{err}");
+        assert!(err.to_string().contains("FPGA 4"), "{err}");
+
+        let bad_link = FaultPlan::new().ring_link_up(9, 1.0);
+        let err = sim
+            .try_run_with_plan(&mut policy, requests(1, 1, 1.0e9), &bad_link)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidFault(_)), "{err}");
+
+        let bad_time = FaultPlan::new().fpga_crash(0, f64::NAN);
+        let err = sim
+            .try_run_with_plan(&mut policy, requests(1, 1, 1.0e9), &bad_time)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidFault(_)), "{err}");
+
+        // An in-range plan on the same cluster still runs.
+        let ok = FaultPlan::new().fpga_crash(3, 1.0).fpga_recover(3, 2.0);
+        let report = sim
+            .try_run_with_plan(&mut policy, requests(1, 1, 1.0e9), &ok)
+            .expect("valid plan runs");
+        assert_eq!(report.completed(), 1);
+    }
+
+    #[test]
+    fn pod_topology_spans_pay_uplink_bandwidth() {
+        // 2 pods x 2 FPGAs with 25 Gb/s uplinks (4x slower than the ring
+        // reference). A job spanning pods 0 and 1 crosses 3 hops and the
+        // slow uplinks: hop_factor (1 + 0.3*2) * (100/25) = 6.4, so
+        // service = 2 * (1 + 2*0.5*0.5*6.4) = 8.4 s. The same span inside
+        // one pod stays on the 100 Gb/s cable (1 hop): 3.0 s.
+        struct SpanFpgas(u32, u32);
+        impl Scheduler for SpanFpgas {
+            fn name(&self) -> &str {
+                "span-fpgas"
+            }
+            fn schedule(
+                &mut self,
+                view: &ClusterView,
+                pending: &[PendingRequest],
+            ) -> Vec<Deployment> {
+                let Some(p) = pending.first() else {
+                    return Vec::new();
+                };
+                let mut blocks = view.free_blocks_of(self.0 as usize);
+                blocks.truncate(2);
+                let mut far = view.free_blocks_of(self.1 as usize);
+                far.truncate(2);
+                blocks.extend(far);
+                vec![Deployment {
+                    request: p.request.id,
+                    blocks,
+                    reconfig: ReconfigKind::PartialPerBlock,
+                }]
+            }
+        }
+        let config = ClusterConfig::paper_cluster();
+        let sim = ClusterSim::heterogeneous(config, vec![15; 4])
+            .with_topology(crate::Topology::pods(2, 2, config.ring_gbps, 25.0))
+            .expect("4-FPGA topology fits the 4-FPGA layout");
+        let req = || vec![AppRequest::new(0, "span", 4, 2.0e9).with_comm_intensity(0.5)];
+        let cross = sim.run(&mut SpanFpgas(0, 2), req());
+        let local = sim.run(&mut SpanFpgas(0, 1), req());
+        // (tolerance covers the sub-millisecond interface-latency term)
+        assert!(
+            (local.outcomes[0].service_s - 3.0).abs() < 1e-3,
+            "intra-pod span: {}",
+            local.outcomes[0].service_s
+        );
+        assert!(
+            (cross.outcomes[0].service_s - 8.4).abs() < 1e-3,
+            "cross-pod span: {}",
+            cross.outcomes[0].service_s
+        );
+    }
+
+    #[test]
+    fn topology_fpga_count_must_match_layout() {
+        let err = ClusterSim::new(ClusterConfig::paper_cluster())
+            .with_topology(crate::Topology::ring(5))
+            .unwrap_err();
         assert!(matches!(err, ClusterError::InvalidLayout(_)));
     }
 

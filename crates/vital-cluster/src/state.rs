@@ -308,8 +308,13 @@ pub struct ClusterView {
     config: ClusterConfig,
     /// `busy[f][b]` = the instance occupying block `b` of FPGA `f`.
     busy: Vec<Vec<Option<InstanceId>>>,
+    /// Vacant-slot count per FPGA (maintained incrementally so per-pod
+    /// summaries stay O(FPGAs), not O(blocks)). Counts vacancy regardless
+    /// of health; [`ClusterView::free_count_of`] masks offline devices.
+    free_counts: Vec<usize>,
     offline: Vec<bool>,
     link_down: Vec<bool>,
+    topology: std::sync::Arc<crate::Topology>,
     now_s: f64,
 }
 
@@ -319,15 +324,54 @@ impl ClusterView {
         Self::with_layout(config, &vec![config.blocks_per_fpga; config.fpgas])
     }
 
+    #[cfg(test)]
     pub(crate) fn with_layout(config: ClusterConfig, blocks_per_fpga: &[usize]) -> Self {
-        let links = crate::RingNetwork::new(blocks_per_fpga.len().max(1)).link_count();
+        let topology = std::sync::Arc::new(crate::Topology::ring(blocks_per_fpga.len().max(1)));
+        Self::with_topology(config, blocks_per_fpga, topology)
+    }
+
+    pub(crate) fn with_topology(
+        config: ClusterConfig,
+        blocks_per_fpga: &[usize],
+        topology: std::sync::Arc<crate::Topology>,
+    ) -> Self {
         ClusterView {
             busy: blocks_per_fpga.iter().map(|&n| vec![None; n]).collect(),
+            free_counts: blocks_per_fpga.to_vec(),
             offline: vec![false; blocks_per_fpga.len()],
-            link_down: vec![false; links],
+            link_down: vec![false; topology.link_count()],
+            topology,
             config,
             now_s: 0.0,
         }
+    }
+
+    /// The cluster interconnect. Communication-aware policies query hop
+    /// distances (and the pod layer) through this instead of assuming a
+    /// single ring.
+    pub fn topology(&self) -> &crate::Topology {
+        &self.topology
+    }
+
+    /// Number of interconnect pods (1 for the paper's single ring).
+    pub fn pod_count(&self) -> usize {
+        self.topology.pod_count()
+    }
+
+    /// FPGA members of one pod, in index order.
+    pub fn pod_members(&self, pod: usize) -> Vec<usize> {
+        self.topology.pod_members(pod)
+    }
+
+    /// Free blocks per pod, in one O(FPGAs) pass — the thin global layer
+    /// a sharded scheduler consults before materializing any per-FPGA
+    /// free list.
+    pub fn pod_free_counts(&self) -> Vec<usize> {
+        let mut free = vec![0; self.pod_count()];
+        for f in 0..self.fpga_count() {
+            free[self.topology.pod_of(f)] += self.free_count_of(f);
+        }
+        free
     }
 
     /// Physical blocks of one FPGA (heterogeneous clusters may differ per
@@ -382,11 +426,21 @@ impl ClusterView {
     }
 
     pub(crate) fn occupy(&mut self, addr: BlockAddr, inst: InstanceId) {
-        self.busy[addr.fpga.index() as usize][addr.block.index() as usize] = Some(inst);
+        let fpga = addr.fpga.index() as usize;
+        let slot = &mut self.busy[fpga][addr.block.index() as usize];
+        if slot.is_none() {
+            self.free_counts[fpga] -= 1;
+        }
+        *slot = Some(inst);
     }
 
     pub(crate) fn vacate(&mut self, addr: BlockAddr) {
-        self.busy[addr.fpga.index() as usize][addr.block.index() as usize] = None;
+        let fpga = addr.fpga.index() as usize;
+        let slot = &mut self.busy[fpga][addr.block.index() as usize];
+        if slot.is_some() {
+            self.free_counts[fpga] += 1;
+        }
+        *slot = None;
     }
 
     /// The cluster configuration.
@@ -445,10 +499,7 @@ impl ClusterView {
         if !self.fpga_online(fpga) {
             return 0;
         }
-        self.busy
-            .get(fpga)
-            .map(|f| f.iter().filter(|b| b.is_none()).count())
-            .unwrap_or(0)
+        self.free_counts.get(fpga).copied().unwrap_or(0)
     }
 
     /// Total free blocks across the cluster.

@@ -9,7 +9,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use vital_checkpoint::{quiesce_all, ChannelCheckpoint, PlacementMeta, TenantCheckpoint};
-use vital_cluster::RingNetwork;
+use vital_cluster::Topology;
 use vital_compiler::{
     AppBitstream, Compiler, NetlistDigest, PlacedBitstream, RelocationTarget, StageTimings,
     BLOCK_CONFIG_BITS,
@@ -28,8 +28,8 @@ use crate::api::{
 };
 use crate::farm::{BuildFarm, FlightResult, FlightRole};
 use crate::{
-    allocate_blocks, AllocationOutcome, BitstreamDatabase, FarmStats, FpgaHealth, ResourceDatabase,
-    RuntimeError,
+    allocate_blocks_on, AllocationOutcome, BitstreamDatabase, FarmStats, FpgaHealth,
+    ResourceDatabase, RuntimeError,
 };
 
 /// A pluggable compiler hook for [`ControlRequest::Prepare`]: given an
@@ -284,6 +284,10 @@ pub struct SystemController {
     config: RuntimeConfig,
     resources: ResourceDatabase,
     bitstreams: BitstreamDatabase,
+    /// Interconnect shape the allocator and hop-cost accounting consult.
+    /// Defaults to the paper's single ring over the cluster's FPGAs;
+    /// [`SystemController::with_topology`] swaps in a pod graph.
+    topology: Arc<Topology>,
     memory: Vec<MemoryManager>,
     arbiters: Vec<BandwidthArbiter>,
     switch: VirtualSwitch,
@@ -355,6 +359,7 @@ impl SystemController {
         SystemController {
             resources: ResourceDatabase::with_layout(layout),
             bitstreams: BitstreamDatabase::new(),
+            topology: Arc::new(Topology::ring(fpgas)),
             memory: (0..fpgas)
                 .map(|_| MemoryManager::new(config.dram_bytes_per_fpga, config.dram_page_bytes))
                 .collect(),
@@ -411,6 +416,32 @@ impl SystemController {
     /// The attached telemetry handle (disabled unless set).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Swaps the default single-ring interconnect for an explicit
+    /// [`Topology`] (e.g. [`Topology::pods`]): the §3.4 allocator and all
+    /// hop-cost accounting then follow the graph's distances, so spans
+    /// prefer nearby devices in the *actual* interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the topology's FPGA
+    /// count differs from the cluster layout's.
+    pub fn with_topology(mut self, topology: Topology) -> Result<Self, RuntimeError> {
+        if topology.len() != self.resources.fpga_count() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "topology covers {} FPGAs but the cluster has {}",
+                topology.len(),
+                self.resources.fpga_count()
+            )));
+        }
+        self.topology = Arc::new(topology);
+        Ok(self)
+    }
+
+    /// The interconnect topology the allocator consults.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The configuration.
@@ -503,8 +534,80 @@ impl SystemController {
                 )));
             }
         }
+        let sidecar = Self::demand_sidecar(&path);
+        match std::fs::read_to_string(&sidecar) {
+            Ok(json) => {
+                let snapshot: crate::farm::DemandSnapshot =
+                    serde_json::from_str(&json).map_err(|e| {
+                        RuntimeError::InvalidConfig(format!(
+                            "persisted demand profile {} is corrupt: {e}",
+                            sidecar.display()
+                        ))
+                    })?;
+                let apps = self.farm.demand.restore(snapshot);
+                self.farm
+                    .counters
+                    .demand_loaded
+                    .store(apps as u64, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "cannot read persisted demand profile {}: {e}",
+                    sidecar.display()
+                )));
+            }
+        }
         self.farm.persist_path = Some(path);
         Ok(self)
+    }
+
+    /// The demand profile's sidecar file: the persistence path with
+    /// `.demand` appended (not substituted), so `cache.json` pairs with
+    /// `cache.json.demand`.
+    fn demand_sidecar(path: &std::path::Path) -> std::path::PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".demand");
+        std::path::PathBuf::from(os)
+    }
+
+    /// Best-effort save of the demand profile to its sidecar (no-op when
+    /// persistence is off). Same discipline as the bitstream database:
+    /// temp file + rename under the shared persist lock. Without this a
+    /// restarted `vitald --persist --speculate-ms` came up with a warm
+    /// bitstream cache but a **cold** demand ranking, so speculation sat
+    /// idle until traffic re-taught it what was hot.
+    fn persist_demand(&self) {
+        let Some(path) = self.farm.persist_path.as_ref() else {
+            return;
+        };
+        let sidecar = Self::demand_sidecar(path);
+        let _serialized = self
+            .farm
+            .persist_lock
+            .lock()
+            .expect("persist mutex poisoned");
+        let saved = serde_json::to_string(&self.farm.demand.snapshot())
+            .ok()
+            .and_then(|json| {
+                let tmp = sidecar.with_extension("tmp");
+                std::fs::write(&tmp, json).ok()?;
+                std::fs::rename(&tmp, &sidecar).ok()
+            });
+        match saved {
+            Some(()) => {
+                self.farm
+                    .counters
+                    .demand_saves
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.farm
+                    .counters
+                    .persist_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// A snapshot of the build-farm counters.
@@ -701,7 +804,9 @@ impl SystemController {
         // Every deploy attempt feeds the build farm's demand profile, so
         // speculative compiles chase what traffic actually asks for —
         // including apps that are not registered yet.
-        self.farm.demand.record(name);
+        if self.farm.demand.record(name) {
+            self.persist_demand();
+        }
         let bitstream = self.bitstreams.get(name)?;
         let needed = bitstream.block_count();
         span.field("needed", needed);
@@ -791,7 +896,7 @@ impl SystemController {
         let free_lists: Vec<_> = (0..self.resources.fpga_count())
             .map(|f| self.resources.free_blocks_of(f))
             .collect();
-        if let Some(alloc) = allocate_blocks(&free_lists, needed) {
+        if let Some(alloc) = allocate_blocks_on(&self.topology, &free_lists, needed) {
             return Ok(alloc);
         }
         let draining = (0..self.resources.fpga_count()).find(|&f| {
@@ -864,14 +969,13 @@ impl SystemController {
             return 0;
         }
         let primary = Self::primary_of(blocks) as u32;
-        let ring = RingNetwork::new(self.resources.fpga_count());
         let mut fpgas: Vec<u32> = blocks.iter().map(|b| b.fpga.index()).collect();
         fpgas.sort_unstable();
         fpgas.dedup();
         fpgas
             .into_iter()
             .filter(|&f| f != primary)
-            .map(|f| ring.hops(FpgaId::new(primary), FpgaId::new(f)))
+            .map(|f| self.topology.hops(FpgaId::new(primary), FpgaId::new(f)))
             .sum()
     }
 
@@ -979,7 +1083,7 @@ impl SystemController {
                 for l in &mut free_lists {
                     l.sort();
                 }
-                if let Some(alloc) = allocate_blocks(&free_lists, needed) {
+                if let Some(alloc) = allocate_blocks_on(&self.topology, &free_lists, needed) {
                     if alloc.fpgas_used < current_fpgas
                         && alloc.hop_cost <= current_hop
                         && best_move
@@ -1101,7 +1205,7 @@ impl SystemController {
             for l in &mut free_lists {
                 l.sort();
             }
-            if allocate_blocks(&free_lists, needed).is_none() {
+            if allocate_blocks_on(&self.topology, &free_lists, needed).is_none() {
                 report.unmoved.push(tenant);
                 continue;
             }
@@ -1166,7 +1270,7 @@ impl SystemController {
         for l in &mut free_lists {
             l.sort();
         }
-        let alloc = allocate_blocks(&free_lists, needed)?;
+        let alloc = allocate_blocks_on(&self.topology, &free_lists, needed)?;
         let new_primary = Self::primary_of(&alloc.blocks);
 
         // Move the DRAM home first if its board died: quota carries over,
@@ -1647,7 +1751,9 @@ impl SystemController {
     /// dedupe through the farm's name-keyed single-flight table — the
     /// followers report `cache_hit: true` once the leader publishes.
     fn prepare(&self, app: &str) -> Result<ControlResponse, RuntimeError> {
-        self.farm.demand.record(app);
+        if self.farm.demand.record(app) {
+            self.persist_demand();
+        }
         loop {
             if self.bitstreams.get(app).is_ok() {
                 return Ok(ControlResponse::Prepared {
@@ -1718,6 +1824,10 @@ impl SystemController {
     pub fn speculate_compile(&self, limit: usize) -> Vec<String> {
         let resolve = self.resolver.lock().clone();
         let Some(resolve) = resolve else {
+            // Still checkpoint the demand ranking: a daemon ticking
+            // without a resolver should not lose demand history across a
+            // restart.
+            self.persist_demand();
             return Vec::new();
         };
         let candidates = self
@@ -1756,6 +1866,10 @@ impl SystemController {
         if !compiled.is_empty() {
             self.persist_bitstreams();
         }
+        // The speculation tick doubles as the demand profile's checkpoint:
+        // even a round that compiled nothing persists the ranking, so a
+        // restart never loses more than one tick of demand history.
+        self.persist_demand();
         compiled
     }
 
@@ -1965,6 +2079,52 @@ mod tests {
                 .unwrap();
         }
         c
+    }
+
+    #[test]
+    fn topology_must_match_cluster_size() {
+        let c = SystemController::new(RuntimeConfig::paper_cluster());
+        let fpgas = c.resources().fpga_count();
+        let err = SystemController::new(RuntimeConfig::paper_cluster())
+            .with_topology(Topology::ring(fpgas + 1))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)));
+        let c = c.with_topology(Topology::ring(fpgas)).unwrap();
+        assert_eq!(c.topology().len(), fpgas);
+    }
+
+    #[test]
+    fn pod_topology_controller_deploys_and_accounts_hops() {
+        // 2 pods x 2 FPGAs, 4 blocks each. A 6-block app must span two
+        // FPGAs; the allocator should keep the span inside one pod (1 hop)
+        // rather than across the 3-hop pod boundary.
+        let mut cfg = RuntimeConfig::paper_cluster();
+        cfg.fpgas = 4;
+        cfg.blocks_per_fpga = 4;
+        let c = SystemController::new(cfg)
+            .with_topology(Topology::pods(2, 2, 100.0, 25.0))
+            .unwrap();
+        let compiler = Compiler::new(CompilerConfig::default());
+        let wide = (1..=40)
+            .map(|i| {
+                let mut spec = AppSpec::new("wide");
+                spec.add_operator("m", Operator::MacArray { pes: i * 250 });
+                compiler.compile(&spec).unwrap().into_bitstream()
+            })
+            .find(|b| b.block_count() > 4 && b.block_count() <= 8)
+            .expect("some MAC size needs 5..=8 blocks");
+        c.register(wide).unwrap();
+        let h = c.deploy("wide").unwrap();
+        let holdings = c.resources().holdings(h.tenant());
+        let mut fpgas: Vec<u32> = holdings.iter().map(|b| b.fpga.index()).collect();
+        fpgas.sort_unstable();
+        fpgas.dedup();
+        assert_eq!(fpgas.len(), 2, "6 blocks on 4-block FPGAs must span");
+        let pods: std::collections::BTreeSet<usize> = fpgas
+            .iter()
+            .map(|&f| c.topology().pod_of(f as usize))
+            .collect();
+        assert_eq!(pods.len(), 1, "span crossed a pod boundary: {fpgas:?}");
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //!   per-app deploy counter that ranks which footprints the speculative
 //!   compile hook should pre-compile next.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,6 +44,10 @@ pub struct FarmStats {
     pub persist_errors: u64,
     /// Entries loaded from the persistence path at startup.
     pub persist_loaded: u64,
+    /// Demand-profile entries restored from the sidecar file at startup.
+    pub demand_loaded: u64,
+    /// Successful demand-profile saves to the sidecar file.
+    pub demand_saves: u64,
 }
 
 /// Atomic backing store for [`FarmStats`].
@@ -53,6 +59,8 @@ pub(crate) struct FarmCounters {
     pub(crate) persist_saves: AtomicU64,
     pub(crate) persist_errors: AtomicU64,
     pub(crate) persist_loaded: AtomicU64,
+    pub(crate) demand_loaded: AtomicU64,
+    pub(crate) demand_saves: AtomicU64,
 }
 
 impl FarmCounters {
@@ -64,6 +72,8 @@ impl FarmCounters {
             persist_saves: self.persist_saves.load(Ordering::Relaxed),
             persist_errors: self.persist_errors.load(Ordering::Relaxed),
             persist_loaded: self.persist_loaded.load(Ordering::Relaxed),
+            demand_loaded: self.demand_loaded.load(Ordering::Relaxed),
+            demand_saves: self.demand_saves.load(Ordering::Relaxed),
         }
     }
 }
@@ -206,14 +216,33 @@ pub(crate) struct DemandProfile {
 struct DemandInner {
     counts: HashMap<String, u64>,
     events: u64,
+    /// Monotonic total of `record` calls — unlike `events`, never reset
+    /// by decay, so periodic persistence triggers at a steady cadence.
+    recorded: u64,
+}
+
+/// Serializable image of the demand profile. `BTreeMap` keeps the JSON
+/// byte-deterministic for a given state, so repeated saves of an unchanged
+/// profile write identical files.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub(crate) struct DemandSnapshot {
+    pub(crate) counts: BTreeMap<String, u64>,
+    pub(crate) events: u64,
 }
 
 impl DemandProfile {
-    /// Records one demand event (a deploy or prepare) for `app`.
-    pub(crate) fn record(&self, app: &str) {
+    /// How many `record` calls elapse between periodic demand-profile
+    /// saves when persistence is armed.
+    pub(crate) const PERSIST_EVERY_RECORDS: u64 = 64;
+
+    /// Records one demand event (a deploy or prepare) for `app`. Returns
+    /// `true` every [`DemandProfile::PERSIST_EVERY_RECORDS`] calls — the
+    /// caller's cue to persist the profile if a sidecar path is armed.
+    pub(crate) fn record(&self, app: &str) -> bool {
         let mut inner = self.inner.lock().expect("demand mutex poisoned");
         *inner.counts.entry(app.to_string()).or_insert(0) += 1;
         inner.events += 1;
+        inner.recorded += 1;
         if inner.events >= DECAY_EVERY_EVENTS {
             inner.counts.retain(|_, c| {
                 *c /= 2;
@@ -221,6 +250,27 @@ impl DemandProfile {
             });
             inner.events = inner.counts.values().sum();
         }
+        inner.recorded.is_multiple_of(Self::PERSIST_EVERY_RECORDS)
+    }
+
+    /// A serializable copy of the current profile.
+    pub(crate) fn snapshot(&self) -> DemandSnapshot {
+        let inner = self.inner.lock().expect("demand mutex poisoned");
+        DemandSnapshot {
+            counts: inner.counts.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            events: inner.events,
+        }
+    }
+
+    /// Replaces the profile with a previously saved snapshot (warm
+    /// restart). Returns the number of apps restored.
+    pub(crate) fn restore(&self, snapshot: DemandSnapshot) -> usize {
+        let mut inner = self.inner.lock().expect("demand mutex poisoned");
+        let apps = snapshot.counts.len();
+        inner.counts = snapshot.counts.into_iter().collect();
+        inner.events = snapshot.events;
+        inner.recorded = 0;
+        apps
     }
 
     /// The `limit` most-demanded apps for which `keep` returns true,
@@ -346,6 +396,25 @@ mod tests {
         let top = d.top(10, |_| true);
         assert_eq!(top.first().map(String::as_str), Some("new-hot"));
         assert!(!top.iter().any(|n| n == "cold"));
+    }
+
+    #[test]
+    fn demand_snapshot_roundtrips_and_record_signals_persistence() {
+        let d = DemandProfile::default();
+        let mut signals = 0;
+        for i in 0..(2 * DemandProfile::PERSIST_EVERY_RECORDS) {
+            if d.record(if i % 2 == 0 { "a" } else { "b" }) {
+                signals += 1;
+            }
+        }
+        assert_eq!(signals, 2, "one signal per PERSIST_EVERY_RECORDS calls");
+        let snap = d.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: DemandSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = DemandProfile::default();
+        assert_eq!(restored.restore(back), 2);
+        assert_eq!(restored.top(2, |_| true), d.top(2, |_| true));
+        assert_eq!(restored.snapshot().events, snap.events);
     }
 
     #[test]

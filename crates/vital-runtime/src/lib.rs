@@ -77,9 +77,9 @@ pub use controller::{
 };
 pub use error::RuntimeError;
 pub use farm::FarmStats;
-pub use policy::{allocate_blocks, AllocationOutcome};
+pub use policy::{allocate_blocks, allocate_blocks_on, AllocationOutcome};
 pub use resource_db::{BlockState, FpgaHealth, ResourceDatabase};
-pub use scheduler::VitalScheduler;
+pub use scheduler::{PodScheduler, VitalScheduler};
 // The checkpoint capsule types appear in the controller's public API;
 // re-export them so downstream users don't need a direct
 // `vital-checkpoint` dependency.

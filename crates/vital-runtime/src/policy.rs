@@ -20,12 +20,12 @@
 //! `spanning_prefers_ring_adjacent_pair` regression test locks in the
 //! fixed behaviour.
 
-use vital_cluster::RingNetwork;
+use vital_cluster::Topology;
 use vital_fabric::{BlockAddr, FpgaId};
 
-/// Ring-hop distance between two free-list indices.
-fn hops(ring: &RingNetwork, a: usize, b: usize) -> usize {
-    ring.hops(FpgaId::new(a as u32), FpgaId::new(b as u32))
+/// Hop distance between two free-list indices on the cluster topology.
+fn hops(topology: &Topology, a: usize, b: usize) -> usize {
+    topology.hops(FpgaId::new(a as u32), FpgaId::new(b as u32))
 }
 
 /// The result of an allocation attempt.
@@ -43,6 +43,18 @@ pub struct AllocationOutcome {
     pub hop_cost: usize,
 }
 
+impl AllocationOutcome {
+    /// The trivial outcome of a zero-block request.
+    fn empty() -> Self {
+        AllocationOutcome {
+            blocks: Vec::new(),
+            fpgas_used: 0,
+            primary: 0,
+            hop_cost: 0,
+        }
+    }
+}
+
 /// Allocates `needed` blocks from per-FPGA free lists using the multi-round
 /// policy. `free_lists[f]` must contain the free blocks of FPGA `f`, with
 /// the FPGAs arranged on a bidirectional ring in index order.
@@ -50,6 +62,24 @@ pub struct AllocationOutcome {
 /// Returns `None` when the cluster does not have `needed` free blocks in
 /// total.
 pub fn allocate_blocks(free_lists: &[Vec<BlockAddr>], needed: usize) -> Option<AllocationOutcome> {
+    if free_lists.is_empty() {
+        // Preserve the pre-topology early returns without building a
+        // degenerate ring.
+        return (needed == 0).then(AllocationOutcome::empty);
+    }
+    allocate_blocks_on(&Topology::ring(free_lists.len()), free_lists, needed)
+}
+
+/// [`allocate_blocks`] generalized over an explicit cluster [`Topology`]:
+/// hop costs come from the topology's shortest paths instead of assuming
+/// a single ring, so the same multi-round policy works on pod graphs.
+/// `free_lists[f]` must contain the free blocks of FPGA `f` of the
+/// topology.
+pub fn allocate_blocks_on(
+    topology: &Topology,
+    free_lists: &[Vec<BlockAddr>],
+    needed: usize,
+) -> Option<AllocationOutcome> {
     if needed == 0 {
         return Some(AllocationOutcome {
             blocks: Vec::new(),
@@ -83,7 +113,6 @@ pub fn allocate_blocks(free_lists: &[Vec<BlockAddr>], needed: usize) -> Option<A
     // still have free blocks, minimizing total ring-hop distance to the
     // primary; ties go to the primary with the most free blocks, then the
     // lowest primary index.
-    let ring = RingNetwork::new(free_lists.len());
     for round in 2..=free_lists.len() {
         let mut best: Option<Candidate> = None;
         for primary in 0..free_lists.len() {
@@ -97,7 +126,7 @@ pub fn allocate_blocks(free_lists: &[Vec<BlockAddr>], needed: usize) -> Option<A
                 continue;
             }
             let Some((partners, hop_cost)) =
-                best_partner_set(&ring, free_lists, primary, &others, round - 1, needed)
+                best_partner_set(topology, free_lists, primary, &others, round - 1, needed)
             else {
                 continue;
             };
@@ -125,7 +154,7 @@ pub fn allocate_blocks(free_lists: &[Vec<BlockAddr>], needed: usize) -> Option<A
             }
         }
         if let Some(chosen) = best {
-            return Some(fill(free_lists, &ring, &chosen, needed));
+            return Some(fill(free_lists, topology, &chosen, needed));
         }
     }
     None
@@ -142,7 +171,7 @@ struct Candidate {
 /// pattern by index order). Exhaustive when few candidates; otherwise a
 /// nearest-first greedy prefix, which is the common case anyway.
 fn best_partner_set(
-    ring: &RingNetwork,
+    topology: &Topology,
     free_lists: &[Vec<BlockAddr>],
     primary: usize,
     others: &[usize],
@@ -153,7 +182,11 @@ fn best_partner_set(
     let feasible = |set: &[usize]| {
         primary_free + set.iter().map(|&f| free_lists[f].len()).sum::<usize>() >= needed
     };
-    let cost = |set: &[usize]| set.iter().map(|&f| hops(ring, primary, f)).sum::<usize>();
+    let cost = |set: &[usize]| {
+        set.iter()
+            .map(|&f| hops(topology, primary, f))
+            .sum::<usize>()
+    };
 
     if others.len() <= 16 {
         // Exhaustive over all C(n, k) subsets via bitmask; n ≤ 16 keeps
@@ -189,7 +222,7 @@ fn best_partner_set(
         let mut sorted = others.to_vec();
         sorted.sort_by_key(|&f| {
             (
-                hops(ring, primary, f),
+                hops(topology, primary, f),
                 std::cmp::Reverse(free_lists[f].len()),
                 f,
             )
@@ -207,13 +240,13 @@ fn best_partner_set(
 /// crosses the fewest ring links.
 fn fill(
     free_lists: &[Vec<BlockAddr>],
-    ring: &RingNetwork,
+    topology: &Topology,
     chosen: &Candidate,
     needed: usize,
 ) -> AllocationOutcome {
     let mut order = vec![chosen.primary];
     let mut partners = chosen.partners.clone();
-    partners.sort_by_key(|&f| (hops(ring, chosen.primary, f), f));
+    partners.sort_by_key(|&f| (hops(topology, chosen.primary, f), f));
     order.extend(partners);
 
     let mut blocks = Vec::with_capacity(needed);
@@ -320,7 +353,7 @@ mod tests {
         let mut fpgas: Vec<u32> = out.blocks.iter().map(|b| b.fpga.index()).collect();
         fpgas.sort_unstable();
         fpgas.dedup();
-        let ring = RingNetwork::new(4);
+        let ring = vital_cluster::RingNetwork::new(4);
         assert_eq!(
             ring.hops(FpgaId::new(fpgas[0]), FpgaId::new(fpgas[1])),
             1,

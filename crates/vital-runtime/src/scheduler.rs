@@ -1,8 +1,9 @@
 //! ViTAL's policy adapted to the cluster simulator's [`Scheduler`] trait.
 
 use vital_cluster::{ClusterView, Deployment, PendingRequest, ReconfigKind, Scheduler};
+use vital_fabric::BlockAddr;
 
-use crate::allocate_blocks;
+use crate::allocate_blocks_on;
 
 /// The ViTAL runtime policy for the discrete-event simulator:
 /// communication-aware multi-round allocation, per-block partial
@@ -144,7 +145,7 @@ impl Scheduler for VitalScheduler {
             // Skip candidates that would eat into the reservation.
             let fits_beside_reservation = free_total >= reserved + need;
             let alloc = if fits_beside_reservation {
-                allocate_blocks(&free_lists, need)
+                allocate_blocks_on(view.topology(), &free_lists, need)
             } else {
                 None
             };
@@ -181,6 +182,170 @@ impl Scheduler for VitalScheduler {
 
     fn quantum_s(&self) -> Option<f64> {
         self.quantum_s
+    }
+}
+
+/// Free-block state of one pod, materialized lazily inside a scheduling
+/// sweep: `free_lists[i]` holds the free blocks of `members[i]`.
+struct PodState {
+    members: Vec<usize>,
+    free_lists: Vec<Vec<BlockAddr>>,
+}
+
+/// The pod-sharded variant of the ViTAL policy for datacenter-scale
+/// topologies ([`Topology::pods`]): one scheduling sweep batches all
+/// pending requests across pods, so per-request allocation cost is
+/// O(pods + pod size) instead of O(cluster).
+///
+/// The sweep consults the thin global layer first — per-pod free-block
+/// counts, one O(FPGAs) pass per call ([`ClusterView::pod_free_counts`]) —
+/// then routes each request to the *best-fit pod* (smallest sufficient
+/// free count, ties to the lowest pod index) and only materializes that
+/// pod's per-FPGA free lists, caching them for the rest of the sweep.
+/// Inside the pod the policy mirrors the single-ring allocator: best-fit
+/// single FPGA, else span from the largest member outward in hop order.
+///
+/// Requests never span pods (a cross-pod span would ride the slow
+/// uplinks); demand that fits no single pod waits, guarded against
+/// starvation by the same count-based reservation as [`VitalScheduler`].
+///
+/// On a single-ring topology the whole cluster is one pod and the policy
+/// degenerates to a plain best-fit — use [`VitalScheduler`] there; this
+/// policy exists for the multi-pod scale regime.
+///
+/// [`Topology::pods`]: vital_cluster::Topology::pods
+#[derive(Debug, Clone)]
+pub struct PodScheduler {
+    reconfig: ReconfigKind,
+    starvation_age_s: f64,
+}
+
+impl PodScheduler {
+    /// Creates the pod scheduler (per-block partial reconfiguration, the
+    /// default starvation guard).
+    pub fn new() -> Self {
+        PodScheduler {
+            reconfig: ReconfigKind::PartialPerBlock,
+            starvation_age_s: DEFAULT_STARVATION_AGE_S,
+        }
+    }
+
+    /// Sets the age (seconds) at which an unplaceable request earns a
+    /// capacity reservation against backfill.
+    #[must_use]
+    pub fn with_starvation_age(mut self, age_s: f64) -> Self {
+        self.starvation_age_s = age_s.max(0.0);
+        self
+    }
+}
+
+impl Default for PodScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for PodScheduler {
+    fn name(&self) -> &str {
+        "vital-pod"
+    }
+
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+        let topology = view.topology();
+        let mut pod_free = view.pod_free_counts();
+        let mut free_total: usize = pod_free.iter().sum();
+        let mut pods: Vec<Option<PodState>> = (0..pod_free.len()).map(|_| None).collect();
+        let mut out = Vec::new();
+        let mut reserved: usize = 0;
+        for p in pending {
+            let need = p.request.blocks_needed as usize;
+            if need == 0 {
+                continue;
+            }
+            // Thin global layer: best-fit pod by free count, leaving the
+            // starvation reservation untouched.
+            let pod = if free_total >= reserved + need {
+                (0..pod_free.len())
+                    .filter(|&g| pod_free[g] >= need)
+                    .min_by_key(|&g| (pod_free[g], g))
+            } else {
+                None
+            };
+            let Some(pod) = pod else {
+                if reserved == 0 && view.now_s() - p.arrived_s >= self.starvation_age_s {
+                    reserved = need;
+                }
+                continue;
+            };
+            let state = pods[pod].get_or_insert_with(|| {
+                let members = topology.pod_members(pod);
+                let free_lists = members.iter().map(|&f| view.free_blocks_of(f)).collect();
+                PodState {
+                    members,
+                    free_lists,
+                }
+            });
+            // Best-fit single FPGA within the pod.
+            let single = state
+                .free_lists
+                .iter()
+                .enumerate()
+                .filter(|(_, free)| free.len() >= need)
+                .min_by_key(|(i, free)| (free.len(), *i))
+                .map(|(i, _)| i);
+            let order: Vec<usize> = match single {
+                Some(i) => vec![i],
+                None => {
+                    // Span inside the pod: the largest member anchors the
+                    // placement, partners join nearest-first.
+                    let Some(primary) = state
+                        .free_lists
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, free)| !free.is_empty())
+                        .max_by_key(|(i, free)| (free.len(), std::cmp::Reverse(*i)))
+                        .map(|(i, _)| i)
+                    else {
+                        continue;
+                    };
+                    let anchor = vital_fabric::FpgaId::new(state.members[primary] as u32);
+                    let mut rest: Vec<usize> = (0..state.members.len())
+                        .filter(|&i| i != primary && !state.free_lists[i].is_empty())
+                        .collect();
+                    rest.sort_by_key(|&i| {
+                        (
+                            topology
+                                .hops(anchor, vital_fabric::FpgaId::new(state.members[i] as u32)),
+                            i,
+                        )
+                    });
+                    std::iter::once(primary).chain(rest).collect()
+                }
+            };
+            let mut blocks = Vec::with_capacity(need);
+            for &i in &order {
+                let list = &mut state.free_lists[i];
+                let take = list.len().min(need - blocks.len());
+                blocks.extend(list.drain(..take));
+                if blocks.len() == need {
+                    break;
+                }
+            }
+            debug_assert_eq!(blocks.len(), need, "pod free count promised capacity");
+            if blocks.len() < need {
+                // The pod summary and the lists disagree (should not
+                // happen); put nothing back and skip the request.
+                continue;
+            }
+            pod_free[pod] -= need;
+            free_total -= need;
+            out.push(Deployment {
+                request: p.request.id,
+                blocks,
+                reconfig: self.reconfig,
+            });
+        }
+        out
     }
 }
 
@@ -308,6 +473,81 @@ mod tests {
         let policy = VitalScheduler::time_sliced(0.0);
         assert_eq!(policy.quantum(), None);
         assert_eq!(policy.name(), "vital");
+    }
+
+    /// Delegates to an inner policy while recording the FPGAs of every
+    /// deployment, so tests can check placement shape after a run.
+    struct RecordingScheduler<S> {
+        inner: S,
+        placements: Vec<Vec<usize>>,
+    }
+
+    impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+            let out = self.inner.schedule(view, pending);
+            for d in &out {
+                self.placements
+                    .push(d.blocks.iter().map(|b| b.fpga.index() as usize).collect());
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn pod_scheduler_completes_and_stays_inside_pods() {
+        // 4 pods x 4 FPGAs x 4 blocks (64 blocks). Mixed sizes, including
+        // 6-block requests that must span FPGAs inside a pod.
+        let topo = vital_cluster::Topology::pods(4, 4, 100.0, 25.0);
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![4; 16])
+            .with_topology(topo)
+            .expect("16-FPGA layout matches the pod topology");
+        let reqs: Vec<AppRequest> = (0..24)
+            .map(|i| {
+                let blocks = [1u32, 3, 6, 4][i as usize % 4];
+                AppRequest::new(i, format!("app{i}"), blocks, 1.5e9).arriving_at(i as f64 * 0.1)
+            })
+            .collect();
+        let mut policy = RecordingScheduler {
+            inner: PodScheduler::new(),
+            placements: Vec::new(),
+        };
+        let report = sim.run(&mut policy, reqs);
+        assert_eq!(report.completed(), 24);
+        assert!(report.spanning_fraction() > 0.0, "6-block requests span");
+        // No placement ever crosses a pod boundary.
+        let topo = vital_cluster::Topology::pods(4, 4, 100.0, 25.0);
+        assert!(!policy.placements.is_empty());
+        for fpgas in &policy.placements {
+            let pods: std::collections::BTreeSet<usize> =
+                fpgas.iter().map(|&f| topo.pod_of(f)).collect();
+            assert_eq!(pods.len(), 1, "placement {fpgas:?} spans pods {pods:?}");
+        }
+    }
+
+    #[test]
+    fn pod_scheduler_guards_against_starvation() {
+        // One pod of 2 FPGAs x 4 blocks; a whole-pod request behind a
+        // stream of pod-half jobs must still run once aged.
+        let topo = vital_cluster::Topology::pods(1, 2, 100.0, 25.0);
+        let sim = ClusterSim::heterogeneous(ClusterConfig::paper_cluster(), vec![4, 4])
+            .with_topology(topo)
+            .expect("layout matches");
+        let mut reqs: Vec<AppRequest> = (0..20)
+            .map(|i| AppRequest::new(i, format!("small{i}"), 4, 2.0e9).arriving_at(i as f64))
+            .collect();
+        reqs.push(AppRequest::new(99, "big", 8, 2.0e9).arriving_at(0.5));
+        let report = sim.run(&mut PodScheduler::new().with_starvation_age(3.0), reqs);
+        assert_eq!(report.completed(), 21);
+        let big = report
+            .outcomes
+            .iter()
+            .find(|o| o.name == "big")
+            .expect("big request completes");
+        assert!(big.wait_s() < 10.0, "big waited {:.1}s", big.wait_s());
     }
 
     #[test]

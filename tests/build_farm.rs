@@ -43,10 +43,23 @@ impl TempDb {
     }
 }
 
+impl TempDb {
+    /// The demand-profile sidecar `with_persistence` pairs with the
+    /// database path.
+    fn demand_path(&self) -> PathBuf {
+        let mut os = self.0.as_os_str().to_os_string();
+        os.push(".demand");
+        PathBuf::from(os)
+    }
+}
+
 impl Drop for TempDb {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.0);
         let _ = std::fs::remove_file(self.0.with_extension("tmp"));
+        let demand = self.demand_path();
+        let _ = std::fs::remove_file(demand.with_extension("tmp"));
+        let _ = std::fs::remove_file(demand);
     }
 }
 
@@ -346,6 +359,69 @@ fn speculation_dedupes_against_inflight_prepare() {
     let stats = controller.farm_stats();
     assert_eq!(stats.compiles, 1);
     assert_eq!(stats.speculative_compiles, 0);
+}
+
+/// The demand profile survives a restart alongside the bitstream
+/// database: demand recorded (and checkpointed) in the first life ranks
+/// speculation in the second. Before the fix, `vitald --persist
+/// --speculate-ms` restarted with a warm cache but a cold ranking, so
+/// speculation sat idle until traffic re-taught it what was hot.
+#[test]
+fn demand_profile_survives_restart_and_feeds_speculation() {
+    let db = TempDb::new("demand");
+    {
+        let controller = SystemController::new(RuntimeConfig::paper_cluster())
+            .with_persistence(db.path())
+            .unwrap();
+        assert_eq!(controller.farm_stats().demand_loaded, 0);
+        // Failed deploys of an unregistered app still record demand.
+        for _ in 0..3 {
+            assert!(controller.deploy("hot-app").is_err());
+        }
+        // The speculation tick checkpoints the profile even when there is
+        // no resolver and nothing compiles.
+        assert!(controller.speculate_compile(4).is_empty());
+        let stats = controller.farm_stats();
+        assert!(stats.demand_saves >= 1, "tick must checkpoint demand");
+        assert_eq!(stats.persist_errors, 0);
+        assert!(db.demand_path().exists(), "sidecar file written");
+    }
+
+    let reborn = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_persistence(db.path())
+        .unwrap();
+    assert!(
+        reborn.farm_stats().demand_loaded >= 1,
+        "the demand ranking survives the restart"
+    );
+    reborn.set_app_resolver(Box::new(|name: &str| {
+        Compiler::new(CompilerConfig::default())
+            .compile(&small_spec(name, 10, 150))
+            .map(vital::compiler::CompiledApp::into_bitstream)
+            .map_err(Into::into)
+    }));
+    // No new traffic in this life: speculation runs purely on the
+    // restored ranking.
+    assert_eq!(
+        reborn.speculate_compile(4),
+        vec!["hot-app".to_string()],
+        "restored demand must drive speculation"
+    );
+    let handle = reborn.deploy("hot-app").expect("speculation warmed it");
+    reborn.undeploy(handle.tenant()).unwrap();
+}
+
+/// A corrupt demand sidecar is surfaced as a typed error, exactly like a
+/// corrupt bitstream database — never silently discarded.
+#[test]
+fn corrupt_demand_sidecar_is_rejected() {
+    let db = TempDb::new("demand_corrupt");
+    std::fs::write(db.demand_path(), "{not json").unwrap();
+    let err = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_persistence(db.path())
+        .expect_err("corrupt sidecar must fail startup");
+    let msg = err.to_string();
+    assert!(msg.contains("demand profile"), "unexpected error: {msg}");
 }
 
 proptest! {

@@ -1,0 +1,158 @@
+//! Pod-topology acceptance for ISSUE 8.
+//!
+//! Three contracts:
+//!
+//! 1. **Ring equivalence (property)**: a [`Topology`] built from explicit
+//!    ring links answers every hop query — `hops`, `hops_avoiding`,
+//!    `diameter`, `link_count` — exactly like [`RingNetwork`], for every
+//!    ring size 1..=16, every FPGA pair, and every single downed link.
+//! 2. **Bit-identity**: a single-ring simulation through the graph engine
+//!    produces a byte-identical [`SimReport`] to the default ring path,
+//!    including under link faults — the generalization must not perturb
+//!    the paper's results.
+//! 3. **Determinism at scale**: the 64-FPGA pod configuration of the
+//!    `fig_scale` sweep yields identical reports across same-seed runs.
+
+use proptest::prelude::*;
+use vital::cluster::{
+    ClusterConfig, ClusterSim, FaultPlan, LinkSpec, RingNetwork, SimReport, Topology,
+};
+use vital::fabric::FpgaId;
+use vital::prelude::*;
+use vital::runtime::PodScheduler;
+use vital::workloads::{generate_workload_set, SizingModel, WorkloadComposition, WorkloadParams};
+
+/// A graph topology with exactly the ring's cables: link `i` joins FPGA
+/// `i` and `(i + 1) % n`, in ring order (so link indices line up too).
+fn graph_ring(n: usize) -> Topology {
+    let links = match n {
+        0 | 1 => Vec::new(),
+        2 => vec![LinkSpec::new(0, 1, 100.0), LinkSpec::new(1, 0, 100.0)],
+        _ => (0..n)
+            .map(|i| LinkSpec::new(i, (i + 1) % n, 100.0))
+            .collect(),
+    };
+    Topology::from_links(n.max(1), 0, links)
+}
+
+#[test]
+fn graph_ring_answers_every_query_like_ring_network() {
+    for n in 1..=16usize {
+        let ring = RingNetwork::new(n);
+        let graph = graph_ring(n);
+        assert_eq!(graph.len(), ring.len(), "n = {n}");
+        assert_eq!(graph.link_count(), ring.link_count(), "n = {n}");
+        assert_eq!(graph.diameter(), ring.diameter(), "n = {n}");
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let (fa, fb) = (FpgaId::new(a), FpgaId::new(b));
+                assert_eq!(graph.hops(fa, fb), ring.hops(fa, fb), "n = {n} {a}->{b}");
+                for down in 0..ring.link_count() {
+                    assert_eq!(
+                        graph.hops_avoiding(fa, fb, &[down]),
+                        ring.hops_avoiding(fa, fb, &[down]),
+                        "n = {n} {a}->{b} avoiding link {down}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Random pairs and random *sets* of downed links on random ring
+    /// sizes: the graph engine and the closed-form ring always agree.
+    #[test]
+    fn graph_ring_matches_ring_under_multi_link_faults(
+        n in 2usize..=16,
+        a in 0u32..16,
+        b in 0u32..16,
+        downs in proptest::collection::vec(0usize..32, 0..4),
+    ) {
+        let ring = RingNetwork::new(n);
+        let graph = graph_ring(n);
+        let (fa, fb) = (FpgaId::new(a % n as u32), FpgaId::new(b % n as u32));
+        let downs: Vec<usize> = downs.into_iter().map(|d| d % ring.link_count()).collect();
+        prop_assert_eq!(
+            graph.hops_avoiding(fa, fb, &downs),
+            ring.hops_avoiding(fa, fb, &downs),
+            "n = {} {}->{} avoiding {:?}", n, a, b, downs
+        );
+    }
+}
+
+/// One seeded single-ring run with link faults, through either engine.
+fn ring_sim_report(use_graph_engine: bool) -> SimReport {
+    let params = WorkloadParams {
+        requests: 60,
+        mean_interarrival_s: 0.25,
+        mean_service_s: 1.5,
+        seed: 11,
+    };
+    let requests = generate_workload_set(
+        &WorkloadComposition::table3()[6],
+        &params,
+        &SizingModel::default(),
+    );
+    let plan = FaultPlan::new()
+        .ring_link_down(1, 2.0)
+        .ring_link_up(1, 8.0)
+        .fpga_crash(2, 4.0)
+        .fpga_recover(2, 7.0);
+    let mut sim = ClusterSim::new(ClusterConfig::paper_cluster());
+    if use_graph_engine {
+        sim = sim
+            .with_topology(graph_ring(4))
+            .expect("graph ring matches the 4-FPGA layout");
+    }
+    sim.run_with_plan(&mut VitalScheduler::new(), requests, &plan)
+}
+
+/// Acceptance (ISSUE 8): a single-ring config simulated through the
+/// general graph engine is **bit-identical** to the dedicated ring path —
+/// same placements, same reroutes under faults, same report bytes.
+#[test]
+fn single_ring_reports_are_bit_identical_across_engines() {
+    let ring_path = ring_sim_report(false);
+    let graph_path = ring_sim_report(true);
+    let a = serde_json::to_string(&ring_path).expect("report serializes");
+    let b = serde_json::to_string(&graph_path).expect("report serializes");
+    assert_eq!(a, b, "graph engine must not perturb single-ring results");
+    assert_eq!(ring_path, graph_path);
+}
+
+/// One 64-FPGA pod-topology run shaped like the `fig_scale` sweep point.
+fn pod64_report() -> SimReport {
+    let params = WorkloadParams {
+        requests: 400,
+        mean_interarrival_s: 0.02,
+        mean_service_s: 2.0,
+        seed: 0x5ca1e + 64,
+    };
+    let requests = generate_workload_set(
+        &WorkloadComposition::table3()[6],
+        &params,
+        &SizingModel::default(),
+    );
+    let mut config = ClusterConfig::paper_cluster();
+    config.fpgas = 64;
+    ClusterSim::new(config)
+        .with_topology(Topology::pods(4, 16, 100.0, 25.0))
+        .expect("4 x 16 pods cover 64 FPGAs")
+        .run(&mut PodScheduler::new(), requests)
+}
+
+/// Acceptance (ISSUE 8): the scale sweep's 64-FPGA configuration is
+/// deterministic — two same-seed runs produce identical reports.
+#[test]
+fn pod_scale_point_is_deterministic() {
+    let a = pod64_report();
+    let b = pod64_report();
+    assert_eq!(a.completed(), 400, "the pod point completes its workload");
+    assert!(a.spanning_fraction() > 0.0, "large requests span in-pod");
+    let ja = serde_json::to_string(&a).expect("report serializes");
+    let jb = serde_json::to_string(&b).expect("report serializes");
+    assert_eq!(ja, jb, "same seed must give a byte-identical report");
+    assert_eq!(a, b);
+}
