@@ -14,9 +14,14 @@
 //!   application can span FPGAs, and (c) every application combination must
 //!   be compiled offline — [`count_feasible_combinations`] models that
 //!   compile-time explosion (§5.4 mentions "hundreds of combinations").
+//! * [`IsaElastic`] — instruction-level virtualization (the Tsinghua
+//!   FCCM'20 design, `vital-isa`): a static accelerator template whose
+//!   compute tiles switch tenants by instruction-stream pointer, so
+//!   capacity changes cost micro-seconds and the policy time-slices on a
+//!   quantum 50× finer than ViTAL's.
 //!
-//! All three implement [`vital_cluster::Scheduler`] so they run on the same
-//! discrete-event simulator as ViTAL's policy.
+//! All of these implement [`vital_cluster::Scheduler`] so they run on the
+//! same discrete-event simulator as ViTAL's policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -202,6 +207,105 @@ impl Scheduler for AmorphOsHighThroughput {
     }
 }
 
+/// ISA-level virtualization (the Tsinghua FCCM'20 design reproduced by
+/// `vital-isa`), expressed as a cluster scheduling policy so it runs
+/// head-to-head with ViTAL on the same discrete-event simulator.
+///
+/// The fabric holds a static accelerator template, so each "block" is a
+/// resident compute tile: deployments carry
+/// [`ReconfigKind::Instruction`] (micro-second stream-pointer switches
+/// instead of millisecond partial reconfiguration) and the policy
+/// declares a fine time-slicing quantum — preemption is cheap when a
+/// capacity change costs µs, which is exactly the elasticity argument
+/// the `fig_isa_elastic` bench quantifies.
+#[derive(Debug, Clone, Copy)]
+pub struct IsaElastic {
+    quantum_s: f64,
+}
+
+/// Default ISA scheduling quantum (10 ms): three orders of magnitude
+/// finer than ViTAL's 0.5 s slice because switching costs µs, not ms.
+pub const ISA_QUANTUM_S: f64 = 0.01;
+
+impl IsaElastic {
+    /// Creates the policy with the default 10 ms quantum.
+    pub fn new() -> Self {
+        IsaElastic {
+            quantum_s: ISA_QUANTUM_S,
+        }
+    }
+
+    /// Creates the policy with an explicit quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_s` is not positive.
+    pub fn with_quantum(quantum_s: f64) -> Self {
+        assert!(quantum_s > 0.0, "quantum must be positive");
+        IsaElastic { quantum_s }
+    }
+}
+
+impl Default for IsaElastic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for IsaElastic {
+    fn name(&self) -> &str {
+        "isa-elastic"
+    }
+
+    fn quantum_s(&self) -> Option<f64> {
+        Some(self.quantum_s)
+    }
+
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+        let mut out = Vec::new();
+        let mut free: Vec<Vec<BlockAddr>> = (0..view.fpga_count())
+            .map(|f| view.free_blocks_of(f))
+            .collect();
+        for p in pending {
+            let need = p.request.blocks_needed as usize;
+            // Best fit on a single FPGA first (tiles sharing a device share
+            // the template's on-chip interconnect)...
+            if let Some(f) = (0..free.len())
+                .filter(|&f| free[f].len() >= need)
+                .min_by_key(|&f| free[f].len())
+            {
+                let blocks: Vec<BlockAddr> = free[f].drain(..need).collect();
+                out.push(Deployment {
+                    request: p.request.id,
+                    blocks,
+                    reconfig: ReconfigKind::Instruction,
+                });
+                continue;
+            }
+            // ...otherwise span: every FPGA runs the same template, so an
+            // instruction stream can tile across devices.
+            let total_free: usize = free.iter().map(Vec::len).sum();
+            if total_free < need {
+                continue;
+            }
+            let mut blocks = Vec::with_capacity(need);
+            for f in free.iter_mut() {
+                let take = (need - blocks.len()).min(f.len());
+                blocks.extend(f.drain(..take));
+                if blocks.len() == need {
+                    break;
+                }
+            }
+            out.push(Deployment {
+                request: p.request.id,
+                blocks,
+                reconfig: ReconfigKind::Instruction,
+            });
+        }
+        out
+    }
+}
+
 /// Counts the application combinations AmorphOS's high-throughput mode must
 /// compile offline: subsets of the library (each app at most once, up to
 /// `max_apps` co-residents) whose combined block demand fits one FPGA.
@@ -299,6 +403,43 @@ mod tests {
             slot.avg_response_s(),
             base.avg_response_s()
         );
+    }
+
+    #[test]
+    fn isa_elastic_completes_and_swaps_in_microseconds() {
+        // Oversubscribe so the quantum machinery preempts: every swap-in
+        // must cost micro-seconds (an instruction-stream switch), not the
+        // milliseconds of a partial reconfiguration.
+        // Twelve 10-block jobs at t=0 on a 60-block pool: half must queue,
+        // so quanta expire with work pending.
+        let reqs: Vec<AppRequest> = (0..12)
+            .map(|i| AppRequest::new(i, format!("j{i}"), 10, 1.0e9))
+            .collect();
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut IsaElastic::new(), reqs);
+        assert_eq!(report.completed(), 12);
+        assert!(report.preemptions > 0, "expected time-sliced preemptions");
+        let per_swap = report.swap_reconfig_s / report.preemptions as f64;
+        assert!(
+            per_swap < ClusterConfig::paper_cluster().per_block_reconfig_s / 10.0,
+            "per-swap cost {per_swap} should be far below one block PR"
+        );
+    }
+
+    #[test]
+    fn isa_elastic_spans_when_no_single_fpga_fits() {
+        // Four 8-block tenants leave 7 free blocks per FPGA: the template
+        // is uniform, so a fifth 14-block request tiles across devices.
+        let mut reqs: Vec<AppRequest> = (0..4)
+            .map(|i| AppRequest::new(i, format!("t{i}"), 8, 1.0e9))
+            .collect();
+        reqs.push(AppRequest::new(4, "wide", 14, 1.0e9));
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let report = sim.run(&mut IsaElastic::new(), reqs);
+        assert_eq!(report.completed(), 5);
+        let big = report.outcomes.iter().find(|o| o.name == "wide").unwrap();
+        assert_eq!(big.blocks_allocated, 14);
+        assert!(big.spanned_fpgas());
     }
 
     #[test]

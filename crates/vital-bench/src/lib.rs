@@ -18,6 +18,7 @@
 //! | `fig9_failures` | Fig. 9 companion (goodput + terminal failures under injected faults) |
 //! | `fig10_sharing_metrics` | Fig. 10 + §5.5 (relocation map, utilization, concurrency, spanning, overhead) |
 //! | `fig_oversubscription` | DESIGN.md §11 (preemptive time slicing vs non-preemptive on saturating workloads) |
+//! | `fig_isa_elastic` | DESIGN.md §16 (instruction-level tile pool vs spatial ViTAL on bursty multi-tenant DNN traffic) |
 //! | `fig_service_throughput` | DESIGN.md §12 (`vitald` admission pipeline under 64 concurrent client sessions) |
 //!
 //! Run them all with `cargo run -p vital-bench --bin <name> --release`.

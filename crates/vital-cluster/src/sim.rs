@@ -1020,9 +1020,29 @@ impl ClusterSim {
                     .fold(0.0, f64::max)
             }
             ReconfigKind::FullDevice => self.config.full_reconfig_s,
+            ReconfigKind::Instruction => {
+                // The fabric already holds the static accelerator template;
+                // claiming a block only redirects its compute tile to the
+                // tenant's instruction stream. Tiles on one FPGA switch
+                // sequentially (one stream-pointer write each), so the cost
+                // mirrors the per-block arm at micro-second scale.
+                let mut per_fpga: HashMap<u32, usize> = HashMap::new();
+                for b in &d.blocks {
+                    *per_fpga.entry(b.fpga.index()).or_insert(0) += 1;
+                }
+                per_fpga
+                    .values()
+                    .map(|&n| n as f64 * INSTRUCTION_SWITCH_S)
+                    .fold(0.0, f64::max)
+            }
         }
     }
 }
+
+/// Time to repoint one template compute tile at another tenant's
+/// instruction stream (kept in sync with `vital_isa::TILE_SWITCH_S`;
+/// the crates cannot share the constant without a dependency cycle).
+pub(crate) const INSTRUCTION_SWITCH_S: f64 = 10.0e-6;
 
 #[cfg(test)]
 mod tests {

@@ -75,6 +75,13 @@ pub enum ErrorCode {
     /// A scheduling policy handed the simulator an invalid deployment
     /// (simulator-side; indicates a policy bug).
     PolicyBug,
+    /// The ISA backend's shared tile pool cannot supply the requested
+    /// share right now; retry once co-tenants shrink or finish
+    /// (retryable).
+    IsaTilesUnavailable,
+    /// The controller was built without an ISA accelerator template;
+    /// ISA deploy/scale requests are refused.
+    IsaBackendDisabled,
     /// Any failure that does not fit a more specific class.
     Internal,
 }
@@ -103,6 +110,8 @@ impl ErrorCode {
             ErrorCode::Unsupported => "Unsupported",
             ErrorCode::Protocol => "Protocol",
             ErrorCode::PolicyBug => "PolicyBug",
+            ErrorCode::IsaTilesUnavailable => "IsaTilesUnavailable",
+            ErrorCode::IsaBackendDisabled => "IsaBackendDisabled",
             ErrorCode::Internal => "Internal",
         }
     }
@@ -120,6 +129,7 @@ impl ErrorCode {
                 | ErrorCode::Overloaded
                 | ErrorCode::Timeout
                 | ErrorCode::Draining
+                | ErrorCode::IsaTilesUnavailable
         )
     }
 }
@@ -223,7 +233,9 @@ mod tests {
     fn retryable_partition_is_stable() {
         assert!(ErrorCode::InsufficientResources.is_retryable());
         assert!(ErrorCode::Draining.is_retryable());
+        assert!(ErrorCode::IsaTilesUnavailable.is_retryable());
         assert!(!ErrorCode::UnknownApp.is_retryable());
+        assert!(!ErrorCode::IsaBackendDisabled.is_retryable());
         assert!(!ErrorCode::Internal.is_retryable());
     }
 

@@ -1,0 +1,215 @@
+//! The hardware-level tile allocator: deterministic, conserving shares.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a grow request exceeds the free tile supply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilesUnavailable {
+    /// Tiles the caller asked to add.
+    pub requested: usize,
+    /// Tiles currently free in the pool.
+    pub free: usize,
+}
+
+impl fmt::Display for TilesUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested {} tile(s) but only {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for TilesUnavailable {}
+
+/// The tiles moved by one share change.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShareChange {
+    /// Tile ids newly assigned to the tenant (ascending).
+    pub added: Vec<u32>,
+    /// Tile ids released back to the pool (ascending).
+    pub removed: Vec<u32>,
+}
+
+impl ShareChange {
+    /// Total tiles that changed hands.
+    pub fn moved(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// The shared pool of template tiles and who owns what.
+///
+/// All operations are deterministic — growing takes the lowest-numbered
+/// free tiles, shrinking releases the tenant's highest-numbered tiles —
+/// and conserving: free + Σ owned always equals the pool size. Replaying
+/// the same operation sequence on a fresh pool yields identical
+/// assignments (property-tested in `tests/pool_properties.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePool {
+    total: usize,
+    /// Free tile ids, ascending.
+    free: Vec<u32>,
+    /// Owned tile ids per tenant, each ascending.
+    owned: BTreeMap<u64, Vec<u32>>,
+}
+
+impl TilePool {
+    /// A pool of `total` tiles, all free.
+    pub fn new(total: usize) -> Self {
+        TilePool {
+            total,
+            free: (0..total as u32).collect(),
+            owned: BTreeMap::new(),
+        }
+    }
+
+    /// Pool size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Tiles currently unowned.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Tiles owned by `tenant` (empty slice if unknown).
+    pub fn assignment(&self, tenant: u64) -> &[u32] {
+        self.owned.get(&tenant).map_or(&[], Vec::as_slice)
+    }
+
+    /// Tenants currently holding at least one tile, ascending.
+    pub fn tenants(&self) -> Vec<u64> {
+        self.owned.keys().copied().collect()
+    }
+
+    /// Grow `tenant`'s share by `n` tiles, taking the lowest free ids.
+    pub fn grow(&mut self, tenant: u64, n: usize) -> Result<Vec<u32>, TilesUnavailable> {
+        if n > self.free.len() {
+            return Err(TilesUnavailable {
+                requested: n,
+                free: self.free.len(),
+            });
+        }
+        let granted: Vec<u32> = self.free.drain(..n).collect();
+        let share = self.owned.entry(tenant).or_default();
+        share.extend_from_slice(&granted);
+        share.sort_unstable();
+        Ok(granted)
+    }
+
+    /// Shrink `tenant`'s share by up to `n` tiles, releasing its
+    /// highest-numbered tiles. Returns the released ids (ascending).
+    pub fn shrink(&mut self, tenant: u64, n: usize) -> Vec<u32> {
+        let Some(share) = self.owned.get_mut(&tenant) else {
+            return Vec::new();
+        };
+        let keep = share.len().saturating_sub(n);
+        let mut released = share.split_off(keep);
+        if share.is_empty() {
+            self.owned.remove(&tenant);
+        }
+        released.sort_unstable();
+        for id in &released {
+            let at = self.free.partition_point(|f| f < id);
+            self.free.insert(at, *id);
+        }
+        released
+    }
+
+    /// Move `tenant`'s share to exactly `target` tiles, growing or
+    /// shrinking as needed.
+    pub fn set_share(
+        &mut self,
+        tenant: u64,
+        target: usize,
+    ) -> Result<ShareChange, TilesUnavailable> {
+        let current = self.assignment(tenant).len();
+        let mut change = ShareChange::default();
+        if target > current {
+            change.added = self.grow(tenant, target - current)?;
+        } else if target < current {
+            change.removed = self.shrink(tenant, current - target);
+        }
+        Ok(change)
+    }
+
+    /// Release all of `tenant`'s tiles. Returns how many were freed.
+    pub fn release(&mut self, tenant: u64) -> usize {
+        let owned = self.assignment(tenant).len();
+        self.shrink(tenant, owned).len()
+    }
+
+    /// Conservation invariant: free + Σ owned == total, no duplicates.
+    pub fn is_conserving(&self) -> bool {
+        let owned: usize = self.owned.values().map(Vec::len).sum();
+        if owned + self.free.len() != self.total {
+            return false;
+        }
+        let mut all: Vec<u32> = self.free.clone();
+        all.extend(self.owned.values().flatten());
+        all.sort_unstable();
+        all.dedup();
+        all.len() == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_takes_lowest_free_shrink_releases_highest_owned() {
+        let mut p = TilePool::new(8);
+        assert_eq!(p.grow(1, 3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(p.grow(2, 2).unwrap(), vec![3, 4]);
+        assert_eq!(p.shrink(1, 2), vec![1, 2]);
+        // Freed tiles go back in order and are re-granted lowest-first.
+        assert_eq!(p.grow(3, 3).unwrap(), vec![1, 2, 5]);
+        assert!(p.is_conserving());
+    }
+
+    #[test]
+    fn grow_past_free_supply_is_typed_and_leaves_pool_untouched() {
+        let mut p = TilePool::new(4);
+        p.grow(1, 3).unwrap();
+        let err = p.grow(2, 2).unwrap_err();
+        assert_eq!(
+            err,
+            TilesUnavailable {
+                requested: 2,
+                free: 1
+            }
+        );
+        assert_eq!(p.free_count(), 1);
+        assert!(p.is_conserving());
+    }
+
+    #[test]
+    fn set_share_reaches_target_in_both_directions() {
+        let mut p = TilePool::new(10);
+        let up = p.set_share(7, 6).unwrap();
+        assert_eq!(up.added.len(), 6);
+        assert!(up.removed.is_empty());
+        let down = p.set_share(7, 2).unwrap();
+        assert_eq!(down.removed.len(), 4);
+        assert_eq!(p.assignment(7).len(), 2);
+        assert_eq!(p.set_share(7, 2).unwrap().moved(), 0);
+        assert!(p.is_conserving());
+    }
+
+    #[test]
+    fn release_empties_the_tenant() {
+        let mut p = TilePool::new(5);
+        p.grow(9, 4).unwrap();
+        assert_eq!(p.release(9), 4);
+        assert_eq!(p.assignment(9), &[] as &[u32]);
+        assert_eq!(p.free_count(), 5);
+        assert!(p.tenants().is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-tenant instruction streams compiled from DNN benchmark structure.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vital_workloads::{benchmarks, DnnBenchmark, Size};
+
+/// Error returned when an app name is not a known DNN suite variant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnknownIsaApp {
+    /// The app name that failed to resolve.
+    pub app: String,
+}
+
+impl fmt::Display for UnknownIsaApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "'{}' is not a DNN suite variant (expected <bench>-<S|M|L>)",
+            self.app
+        )
+    }
+}
+
+impl std::error::Error for UnknownIsaApp {}
+
+/// One compiled instruction block: the tiled execution of one layer.
+///
+/// The compiler tiles a layer's MAC work across however many tiles the
+/// tenant owns at replay time; `ops` is the layer's share of the job's
+/// total work, and [`InstructionBlock::cycles_on`] gives the per-tile
+/// cycle cost for a given tile share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstructionBlock {
+    /// Layer index within the benchmark (0-based).
+    pub layer: u32,
+    /// MAC operations in this block.
+    pub ops: f64,
+}
+
+impl InstructionBlock {
+    /// Cycles each tile spends on this block when the work is tiled
+    /// across `tiles` tiles with `dsp` DSPs each (two MACs/DSP/cycle).
+    pub fn cycles_on(&self, tiles: usize, dsp: u64) -> f64 {
+        let macs_per_cycle = tiles as f64 * dsp as f64 * 2.0;
+        if macs_per_cycle <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.ops / macs_per_cycle
+    }
+}
+
+/// A tenant's instruction stream: the DNN variant it was compiled from and
+/// the layer structure its jobs replay.
+///
+/// The fabric backend synthesizes `tile_count` chained compute tiles per
+/// variant (`DnnBenchmark::spec`); the ISA compiler maps the same chain to
+/// `tile_count` layers, each becoming one instruction block. The *natural*
+/// tile share of a tenant is therefore the variant's Table 2 block count,
+/// which keeps the two backends' capacity requests directly comparable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsaProgram {
+    app: String,
+    bench: String,
+    size: Size,
+    layers: u32,
+}
+
+impl IsaProgram {
+    /// Compile a program for one suite variant.
+    pub fn compile(bench: &DnnBenchmark, size: Size) -> Self {
+        IsaProgram {
+            app: format!("{}-{}", bench.name(), size.letter()),
+            bench: bench.name().to_string(),
+            size,
+            layers: bench.tile_count(size),
+        }
+    }
+
+    /// Resolve an app name of the form `<bench>-<S|M|L>` against the DNN
+    /// suite and compile it.
+    pub fn for_app(app: &str) -> Result<Self, UnknownIsaApp> {
+        let unknown = || UnknownIsaApp {
+            app: app.to_string(),
+        };
+        let (bench_name, letter) = app.rsplit_once('-').ok_or_else(unknown)?;
+        let size = match letter {
+            "S" => Size::Small,
+            "M" => Size::Medium,
+            "L" => Size::Large,
+            _ => return Err(unknown()),
+        };
+        let suite = benchmarks();
+        let bench = suite
+            .iter()
+            .find(|b| b.name() == bench_name)
+            .ok_or_else(unknown)?;
+        Ok(IsaProgram::compile(bench, size))
+    }
+
+    /// The full app name (`<bench>-<letter>`).
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// The variant size this program was compiled for.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// Number of layers (= instruction blocks per job replay).
+    pub fn layers(&self) -> u32 {
+        self.layers
+    }
+
+    /// The variant's natural tile share: its Table 2 block count. Used as
+    /// the initial allocation request when the tenant deploys.
+    pub fn natural_tiles(&self) -> usize {
+        self.layers as usize
+    }
+
+    /// Compile one job of `work_ops` total MAC operations into its
+    /// instruction blocks, one per layer, work split evenly (the suite's
+    /// tiles are homogeneous by construction — see `DnnBenchmark::spec`).
+    pub fn instruction_blocks(&self, work_ops: f64) -> Vec<InstructionBlock> {
+        let per_layer = work_ops / f64::from(self.layers.max(1));
+        (0..self.layers)
+            .map(|layer| InstructionBlock {
+                layer,
+                ops: per_layer,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_app_resolves_every_suite_variant() {
+        for b in benchmarks() {
+            for s in Size::ALL {
+                let app = format!("{}-{}", b.name(), s.letter());
+                let p = IsaProgram::for_app(&app).unwrap();
+                assert_eq!(p.app(), app);
+                assert_eq!(p.natural_tiles(), b.tile_count(s) as usize);
+                assert_eq!(p.layers(), b.tile_count(s));
+            }
+        }
+    }
+
+    #[test]
+    fn for_app_rejects_non_suite_names() {
+        assert!(IsaProgram::for_app("resnet-S").is_err());
+        assert!(IsaProgram::for_app("lenet-X").is_err());
+        assert!(IsaProgram::for_app("lenet").is_err());
+        let err = IsaProgram::for_app("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn instruction_blocks_conserve_work_and_tile_inversely() {
+        let p = IsaProgram::for_app("vgg-L").unwrap();
+        let blocks = p.instruction_blocks(1.0e12);
+        assert_eq!(blocks.len(), p.layers() as usize);
+        let total: f64 = blocks.iter().map(|b| b.ops).sum();
+        assert!((total - 1.0e12).abs() / 1.0e12 < 1e-12);
+        // Doubling the tile share halves every block's per-tile cycles.
+        let one = blocks[0].cycles_on(1, 48);
+        let two = blocks[0].cycles_on(2, 48);
+        assert!((one / two - 2.0).abs() < 1e-9);
+        assert!(blocks[0].cycles_on(0, 48).is_infinite());
+    }
+}

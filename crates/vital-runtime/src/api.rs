@@ -27,6 +27,21 @@ use vital_periph::TenantId;
 use crate::controller::{EvacuationReport, FailureReport, Migration};
 use crate::{DeployHandle, TenantCheckpoint};
 
+/// Which execution substrate a deployment lands on.
+///
+/// The controller runs two backends side by side: ViTAL's spatial
+/// virtualization (tenants own physical blocks, programmed by partial
+/// reconfiguration) and the `vital-isa` instruction-level backend (tenants
+/// own compute tiles of a static accelerator template, switched by
+/// instruction-stream pointer). The request picks per deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeployBackend {
+    /// Spatial: compile/relocate a bitstream onto physical blocks.
+    Fabric,
+    /// Instruction-level: grant tiles from the shared ISA template pool.
+    Isa,
+}
+
 /// A deployment request: which app to place and under what memory quota,
 /// or — when [`restore`](DeployRequest::restore) is set — which parked
 /// checkpoint capsule to re-admit.
@@ -54,6 +69,9 @@ pub struct DeployRequest {
     /// When set, re-admit this checkpoint capsule instead of performing a
     /// fresh placement (the `resume_from` path).
     pub restore: Option<TenantCheckpoint>,
+    /// Which backend places the app. Fabric (ViTAL spatial) unless the
+    /// request opts into the ISA template pool.
+    pub backend: DeployBackend,
 }
 
 impl DeployRequest {
@@ -63,6 +81,18 @@ impl DeployRequest {
             app: name.into(),
             quota_bytes: 0,
             restore: None,
+            backend: DeployBackend::Fabric,
+        }
+    }
+
+    /// A deployment of the named DNN suite variant onto the ISA backend's
+    /// shared tile pool (no bitstream, no reconfiguration).
+    pub fn isa(name: impl Into<String>) -> Self {
+        DeployRequest {
+            app: name.into(),
+            quota_bytes: 0,
+            restore: None,
+            backend: DeployBackend::Isa,
         }
     }
 
@@ -72,6 +102,7 @@ impl DeployRequest {
             app: checkpoint.placement.app.clone(),
             quota_bytes: 0,
             restore: Some(checkpoint),
+            backend: DeployBackend::Fabric,
         }
     }
 
@@ -79,6 +110,13 @@ impl DeployRequest {
     #[must_use]
     pub fn with_quota_bytes(mut self, quota_bytes: u64) -> Self {
         self.quota_bytes = quota_bytes;
+        self
+    }
+
+    /// Override the target backend (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: DeployBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -138,6 +176,15 @@ pub enum ControlRequest {
         /// Application name to resolve.
         app: String,
     },
+    /// Elastically resize an ISA tenant's compute-tile share. The change
+    /// takes effect at the next quantum boundary at micro-second cost —
+    /// no reconfiguration, unlike resizing a fabric tenant.
+    Scale {
+        /// Raw id of the ISA tenant to resize.
+        tenant: u64,
+        /// Target tile share.
+        tiles: u32,
+    },
 }
 
 impl ControlRequest {
@@ -174,6 +221,14 @@ impl ControlRequest {
         }
     }
 
+    /// Resize an ISA tenant's tile share.
+    pub fn scale(tenant: TenantId, tiles: u32) -> Self {
+        ControlRequest::Scale {
+            tenant: tenant.raw(),
+            tiles,
+        }
+    }
+
     /// The stable endpoint name of this request, used for per-endpoint
     /// telemetry (latency histograms are keyed
     /// `service.latency_us.<endpoint>`).
@@ -191,6 +246,7 @@ impl ControlRequest {
             ControlRequest::Defragment => "defrag",
             ControlRequest::Status => "status",
             ControlRequest::Prepare { .. } => "prepare",
+            ControlRequest::Scale { .. } => "scale",
         }
     }
 
@@ -232,6 +288,21 @@ impl From<&DeployHandle> for DeploySummary {
             granted_gbps: h.bandwidth().granted_gbps,
         }
     }
+}
+
+/// What one elastic tile-share change did (ISA backend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleSummary {
+    /// Raw id of the resized tenant.
+    pub tenant: u64,
+    /// Tile share before the change.
+    pub tiles_before: u32,
+    /// Tile share after the change.
+    pub tiles_after: u32,
+    /// Modelled stream-switch time of the change, in microseconds —
+    /// compare [`DeploySummary::reconfig_us`] on the fabric backend,
+    /// which is milliseconds for the same capacity delta.
+    pub realloc_us: u64,
 }
 
 /// What suspending a tenant captured.
@@ -366,6 +437,13 @@ pub struct StatusSummary {
     pub tenants_migrated: u64,
     /// Tenants torn down because they could not be re-placed.
     pub tenants_torn_down: u64,
+    /// Raw ids of tenants on the ISA backend, ascending (empty when the
+    /// backend is disabled).
+    pub isa_tenants: Vec<u64>,
+    /// Compute tiles in the ISA template pool (0 when disabled).
+    pub isa_tiles_total: usize,
+    /// Free compute tiles in the ISA template pool right now.
+    pub isa_tiles_free: usize,
 }
 
 /// The typed answer to one [`ControlRequest`]. Failures are a value, not a
@@ -411,6 +489,8 @@ pub enum ControlResponse {
         /// `true` if the bitstream was already registered.
         cache_hit: bool,
     },
+    /// An ISA tenant's tile share was resized.
+    Scaled(ScaleSummary),
     /// The request failed; the [`ApiError`] carries a stable
     /// machine-readable code plus a human-readable message.
     Err(ApiError),
@@ -457,6 +537,41 @@ mod tests {
             ControlRequest::undeploy(TenantId::new(3)).endpoint(),
             "undeploy"
         );
+        assert_eq!(
+            ControlRequest::scale(TenantId::new(3), 8).endpoint(),
+            "scale"
+        );
+    }
+
+    #[test]
+    fn isa_deploy_and_scale_round_trip_through_json() {
+        let reqs = vec![
+            ControlRequest::Deploy(DeployRequest::isa("lenet-M")),
+            ControlRequest::Scale {
+                tenant: 5,
+                tiles: 9,
+            },
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).expect("serialize");
+            let back: ControlRequest = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, req);
+        }
+        let resp = ControlResponse::Scaled(ScaleSummary {
+            tenant: 5,
+            tiles_before: 4,
+            tiles_after: 9,
+            realloc_us: 50,
+        });
+        let json = serde_json::to_string(&resp).expect("serialize");
+        let back: ControlResponse = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, resp);
+        assert_eq!(
+            DeployRequest::app("x").backend,
+            DeployBackend::Fabric,
+            "fabric stays the default backend"
+        );
+        assert_eq!(DeployRequest::isa("x").backend, DeployBackend::Isa);
     }
 
     #[test]

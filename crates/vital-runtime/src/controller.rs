@@ -16,6 +16,7 @@ use vital_compiler::{
 };
 use vital_fabric::FpgaId;
 use vital_interface::{ApiError, Channel, ChannelPlan, ChannelSpec, LinkClass};
+use vital_isa::{IsaProgram, IsaTemplate, TilePool, TILE_SWITCH_S};
 use vital_netlist::hls::AppSpec;
 use vital_periph::{
     BandwidthArbiter, MemoryManager, ShareGrant, TenantId, VirtualNic, VirtualSwitch,
@@ -23,8 +24,9 @@ use vital_periph::{
 use vital_telemetry::Telemetry;
 
 use crate::api::{
-    ControlRequest, ControlResponse, DeployRequest, DeploySummary, EvacuationSummary,
-    FailureSummary, FpgaStatus, MigrationSummary, StatusSummary, SuspendSummary,
+    ControlRequest, ControlResponse, DeployBackend, DeployRequest, DeploySummary,
+    EvacuationSummary, FailureSummary, FpgaStatus, MigrationSummary, ScaleSummary, StatusSummary,
+    SuspendSummary,
 };
 use crate::farm::{BuildFarm, FlightResult, FlightRole};
 use crate::{
@@ -316,6 +318,25 @@ pub struct SystemController {
     /// re-walking every block turns `Status` from the most expensive
     /// read into the cheapest.
     status_cache: Mutex<Option<(u64, StatusSummary)>>,
+    /// The ISA deployment backend (DESIGN.md §16): a static accelerator
+    /// template whose compute tiles are granted to tenants as elastic
+    /// shares. `None` until [`SystemController::enable_isa`] runs; ISA
+    /// requests against a disabled backend answer
+    /// [`RuntimeError::IsaBackendDisabled`].
+    isa: Mutex<Option<IsaBackendState>>,
+}
+
+/// Live state of the ISA backend: the template, who owns which tiles,
+/// and each tenant's compiled instruction stream.
+struct IsaBackendState {
+    template: IsaTemplate,
+    pool: TilePool,
+    tenants: HashMap<TenantId, IsaTenantState>,
+}
+
+struct IsaTenantState {
+    app: String,
+    program: IsaProgram,
 }
 
 /// Drop guard that marks the status snapshot stale. Bumping on drop —
@@ -376,6 +397,7 @@ impl SystemController {
             farm: BuildFarm::default(),
             status_gen: AtomicU64::new(0),
             status_cache: Mutex::new(None),
+            isa: Mutex::new(None),
             config,
         }
     }
@@ -416,6 +438,38 @@ impl SystemController {
     /// The attached telemetry handle (disabled unless set).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Enables the ISA deployment backend with a template of `tiles`
+    /// compute tiles (builder form of [`SystemController::enable_isa`]).
+    #[must_use]
+    pub fn with_isa_backend(self, tiles: usize) -> Self {
+        self.enable_isa(tiles);
+        self
+    }
+
+    /// Enables (or resizes an empty) ISA backend: a static accelerator
+    /// template of `tiles` compute tiles, shared elastically between
+    /// ISA tenants. Idempotent while no ISA tenants are live; with live
+    /// tenants the existing pool is kept.
+    pub fn enable_isa(&self, tiles: usize) {
+        let _dirty = self.mark_status_dirty();
+        let mut isa = self.isa.lock();
+        match isa.as_ref() {
+            Some(state) if !state.tenants.is_empty() => {}
+            _ => {
+                *isa = Some(IsaBackendState {
+                    template: IsaTemplate::new(tiles),
+                    pool: TilePool::new(tiles),
+                    tenants: HashMap::new(),
+                });
+            }
+        }
+    }
+
+    /// `true` once [`SystemController::enable_isa`] has run.
+    pub fn isa_enabled(&self) -> bool {
+        self.isa.lock().is_some()
     }
 
     /// Swaps the default single-ring interconnect for an explicit
@@ -995,6 +1049,18 @@ impl SystemController {
         let _dirty = self.mark_status_dirty();
         let mut span = self.telemetry.span("runtime.undeploy");
         span.field("tenant", tenant.raw());
+        // ISA tenants hold template tiles, not blocks/DRAM/vNICs: release
+        // the share back to the pool and the teardown is complete.
+        {
+            let mut isa = self.isa.lock();
+            if let Some(state) = isa.as_mut() {
+                if state.tenants.remove(&tenant).is_some() {
+                    state.pool.release(tenant.raw());
+                    self.telemetry.inc_counter("runtime.undeploys", 1);
+                    return Ok(());
+                }
+            }
+        }
         let state = self
             .tenants
             .lock()
@@ -1002,6 +1068,117 @@ impl SystemController {
             .ok_or(RuntimeError::UnknownTenant(tenant))?;
         self.telemetry.inc_counter("runtime.undeploys", 1);
         self.teardown(&state.handle)
+    }
+
+    /// The deploy implementation behind an ISA-backend
+    /// [`ControlRequest::Deploy`]: compile the app name to an instruction
+    /// stream and grant tiles from the shared pool — no bitstream, no
+    /// reconfiguration, no per-tenant DRAM/vNIC plumbing (the template
+    /// owns the memory system).
+    ///
+    /// Admission is elastic: the tenant asks for its variant's natural
+    /// tile count but accepts any non-zero share; later `Scale` requests
+    /// (or co-tenant departures) grow it. Only an empty pool refuses,
+    /// with the retryable [`RuntimeError::IsaTilesUnavailable`].
+    fn do_deploy_isa(&self, name: &str) -> Result<DeploySummary, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
+        let mut span = self.telemetry.span("runtime.isa_deploy");
+        span.field("app", name);
+        let program =
+            IsaProgram::for_app(name).map_err(|_| RuntimeError::UnknownApp(name.to_string()))?;
+        let mut isa = self.isa.lock();
+        let state = isa.as_mut().ok_or(RuntimeError::IsaBackendDisabled)?;
+        let want = program.natural_tiles().max(1);
+        let free = state.pool.free_count();
+        let grant = want.min(free);
+        if grant == 0 {
+            return Err(RuntimeError::IsaTilesUnavailable {
+                requested: want,
+                free,
+            });
+        }
+        let tenant = TenantId::new(self.next_tenant.fetch_add(1, Ordering::Relaxed));
+        state
+            .pool
+            .grow(tenant.raw(), grant)
+            .expect("grant is bounded by the free count");
+        state.tenants.insert(
+            tenant,
+            IsaTenantState {
+                app: name.to_string(),
+                program,
+            },
+        );
+        span.field("tenant", tenant.raw());
+        span.field("tiles", grant);
+        self.telemetry.inc_counter("runtime.isa_deploys", 1);
+        Ok(DeploySummary {
+            tenant: tenant.raw(),
+            app: name.to_string(),
+            blocks: grant,
+            fpgas: 1,
+            primary_fpga: 0,
+            // Stream-pointer switches, not partial reconfiguration:
+            // micro-seconds for the whole share.
+            reconfig_us: switch_us(grant),
+            granted_gbps: 0.0,
+        })
+    }
+
+    /// The ISA template in force, if the backend is enabled.
+    pub fn isa_template(&self) -> Option<IsaTemplate> {
+        self.isa.lock().as_ref().map(|s| s.template)
+    }
+
+    /// App name and current tile share of an ISA tenant, if one exists.
+    pub fn isa_tenant(&self, tenant: TenantId) -> Option<(String, usize)> {
+        let isa = self.isa.lock();
+        let s = isa.as_ref()?;
+        let t = s.tenants.get(&tenant)?;
+        Some((t.app.clone(), s.pool.assignment(tenant.raw()).len()))
+    }
+
+    /// The compiled instruction stream of an ISA tenant.
+    pub fn isa_program(&self, tenant: TenantId) -> Option<IsaProgram> {
+        self.isa
+            .lock()
+            .as_ref()?
+            .tenants
+            .get(&tenant)
+            .map(|t| t.program.clone())
+    }
+
+    /// The [`ControlRequest::Scale`] implementation: move an ISA tenant
+    /// to exactly `tiles` tiles. Growth beyond the free supply answers
+    /// the retryable [`RuntimeError::IsaTilesUnavailable`]; scaling to
+    /// zero parks the tenant (still deployed, no tiles) until a later
+    /// scale-up.
+    fn scale_isa(&self, tenant_raw: u64, tiles: u32) -> Result<ScaleSummary, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
+        let tenant = TenantId::new(tenant_raw);
+        let mut span = self.telemetry.span("runtime.isa_scale");
+        span.field("tenant", tenant_raw);
+        span.field("tiles", tiles as usize);
+        let mut isa = self.isa.lock();
+        let state = isa.as_mut().ok_or(RuntimeError::IsaBackendDisabled)?;
+        if !state.tenants.contains_key(&tenant) {
+            return Err(RuntimeError::UnknownTenant(tenant));
+        }
+        let before = state.pool.assignment(tenant_raw).len();
+        let change = state
+            .pool
+            .set_share(tenant_raw, tiles as usize)
+            .map_err(|e| RuntimeError::IsaTilesUnavailable {
+                requested: e.requested,
+                free: e.free,
+            })?;
+        self.telemetry.inc_counter("runtime.isa_scales", 1);
+        Ok(ScaleSummary {
+            tenant: tenant_raw,
+            tiles_before: before as u32,
+            tiles_after: tiles,
+            realloc_us: switch_us(change.moved()),
+        })
     }
 
     /// Best-effort-complete teardown of a removed tenant's resources:
@@ -1896,12 +2073,15 @@ impl SystemController {
     /// as a [`ControlResponse::Err`] value instead (the wire shape).
     pub fn try_execute(&self, req: ControlRequest) -> Result<ControlResponse, RuntimeError> {
         match req {
-            ControlRequest::Deploy(r) => match r.restore {
-                Some(cp) => {
+            ControlRequest::Deploy(r) => match (r.restore, r.backend) {
+                (Some(cp), _) => {
                     let handle = self.do_resume_from(&cp)?;
                     Ok(ControlResponse::Resumed(DeploySummary::from(&handle)))
                 }
-                None => {
+                (None, DeployBackend::Isa) => {
+                    Ok(ControlResponse::Deployed(self.do_deploy_isa(&r.app)?))
+                }
+                (None, DeployBackend::Fabric) => {
                     let handle = self.do_deploy(&r.app, r.quota_bytes)?;
                     Ok(ControlResponse::Deployed(DeploySummary::from(&handle)))
                 }
@@ -1951,6 +2131,9 @@ impl SystemController {
             }
             ControlRequest::Status => Ok(ControlResponse::Status(self.status_summary())),
             ControlRequest::Prepare { app } => self.prepare(&app),
+            ControlRequest::Scale { tenant, tiles } => {
+                Ok(ControlResponse::Scaled(self.scale_isa(tenant, tiles)?))
+            }
         }
     }
 
@@ -2049,6 +2232,19 @@ impl SystemController {
             })
             .collect();
         let stats = self.failure_stats();
+        // Tenants scaled to zero tiles are still deployed, so list from
+        // the tenant table, not the pool's owners.
+        let (isa_tenants, isa_tiles_total, isa_tiles_free) = {
+            let isa = self.isa.lock();
+            match isa.as_ref() {
+                Some(s) => {
+                    let mut ids: Vec<u64> = s.tenants.keys().map(|t| t.raw()).collect();
+                    ids.sort_unstable();
+                    (ids, s.pool.total(), s.pool.free_count())
+                }
+                None => (Vec::new(), 0, 0),
+            }
+        };
         StatusSummary {
             fpgas,
             total_free: self.resources.total_free(),
@@ -2059,8 +2255,17 @@ impl SystemController {
             evacuations: stats.evacuations,
             tenants_migrated: stats.tenants_migrated,
             tenants_torn_down: stats.tenants_torn_down,
+            isa_tenants,
+            isa_tiles_total,
+            isa_tiles_free,
         }
     }
+}
+
+/// Modelled time to switch `tiles` tiles to a new instruction stream, in
+/// whole microseconds.
+fn switch_us(tiles: usize) -> u64 {
+    (tiles as f64 * TILE_SWITCH_S * 1.0e6).round() as u64
 }
 
 #[cfg(test)]

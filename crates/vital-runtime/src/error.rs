@@ -63,6 +63,20 @@ pub enum RuntimeError {
         /// Blocks the request needs.
         needed: usize,
     },
+    /// The ISA backend's shared tile pool cannot supply the requested
+    /// share right now — co-tenants hold the tiles. A typed retryable
+    /// rejection: shares shrink elastically as queues drain, so retrying
+    /// after a quantum or two usually succeeds.
+    IsaTilesUnavailable {
+        /// Tiles the request asked to add.
+        requested: usize,
+        /// Tiles currently free in the pool.
+        free: usize,
+    },
+    /// The controller was built without an ISA accelerator template
+    /// (`with_isa_backend` was never called); ISA deploy/scale requests
+    /// are refused.
+    IsaBackendDisabled,
 }
 
 impl fmt::Display for RuntimeError {
@@ -104,6 +118,17 @@ impl fmt::Display for RuntimeError {
                 "FPGA {fpga} is draining: {needed} idle block(s) there could satisfy \
                  the request once the drain resolves; retry later"
             ),
+            RuntimeError::IsaTilesUnavailable { requested, free } => write!(
+                f,
+                "ISA tile pool exhausted: requested {requested} tile(s), {free} free; \
+                 retry after co-tenant shares shrink"
+            ),
+            RuntimeError::IsaBackendDisabled => {
+                write!(
+                    f,
+                    "ISA backend disabled: controller has no accelerator template"
+                )
+            }
         }
     }
 }
@@ -158,6 +183,8 @@ impl RuntimeError {
             RuntimeError::TenantActive(_) => ErrorCode::TenantActive,
             RuntimeError::NotSuspended(_) => ErrorCode::NotSuspended,
             RuntimeError::Draining { .. } => ErrorCode::FpgaDraining,
+            RuntimeError::IsaTilesUnavailable { .. } => ErrorCode::IsaTilesUnavailable,
+            RuntimeError::IsaBackendDisabled => ErrorCode::IsaBackendDisabled,
         }
     }
 }
@@ -168,6 +195,9 @@ impl From<&RuntimeError> for ApiError {
         match e {
             // Draining is a maintenance window: hint a coarse retry delay.
             RuntimeError::Draining { .. } => api.with_retry_after_ms(1_000),
+            // Tile shares rebalance at quantum granularity (~10 ms): a
+            // near-immediate retry is worthwhile.
+            RuntimeError::IsaTilesUnavailable { .. } => api.with_retry_after_ms(50),
             _ => api,
         }
     }
@@ -203,5 +233,21 @@ mod tests {
         let hard = ApiError::from(&RuntimeError::UnknownTenant(TenantId::new(9)));
         assert!(!hard.is_retryable());
         assert!(hard.message.contains('9'));
+    }
+
+    #[test]
+    fn isa_errors_map_to_shared_taxonomy() {
+        let busy = RuntimeError::IsaTilesUnavailable {
+            requested: 8,
+            free: 2,
+        };
+        assert_eq!(busy.code(), ErrorCode::IsaTilesUnavailable);
+        let api = ApiError::from(&busy);
+        assert!(api.is_retryable());
+        assert!(api.retry_after_ms.is_some(), "pool pressure carries a hint");
+        assert!(api.message.contains('8') && api.message.contains('2'));
+        let off = ApiError::from(&RuntimeError::IsaBackendDisabled);
+        assert_eq!(off.code, ErrorCode::IsaBackendDisabled);
+        assert!(!off.is_retryable());
     }
 }

@@ -67,8 +67,9 @@ mod resource_db;
 mod scheduler;
 
 pub use api::{
-    ControlRequest, ControlResponse, DeployRequest, DeploySummary, EvacuationSummary,
-    FailureSummary, FpgaStatus, MigrationSummary, StatusSummary, SuspendSummary,
+    ControlRequest, ControlResponse, DeployBackend, DeployRequest, DeploySummary,
+    EvacuationSummary, FailureSummary, FpgaStatus, MigrationSummary, ScaleSummary, StatusSummary,
+    SuspendSummary,
 };
 pub use bitstream_db::{BitstreamDatabase, CacheStats};
 pub use controller::{

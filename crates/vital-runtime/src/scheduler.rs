@@ -126,6 +126,11 @@ impl Scheduler for VitalScheduler {
             (false, ReconfigKind::PartialPerBlock) => "vital-fifo",
             (true, ReconfigKind::FullDevice) => "vital-fullreconfig",
             (false, ReconfigKind::FullDevice) => "vital-fifo-fullreconfig",
+            // The ViTAL policy never emits instruction-switch deployments
+            // (that is the `vital-baselines` IsaElastic policy), but the
+            // knob exists for ablations.
+            (true, ReconfigKind::Instruction) => "vital-instr",
+            (false, ReconfigKind::Instruction) => "vital-fifo-instr",
         }
     }
 

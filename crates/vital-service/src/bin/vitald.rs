@@ -4,8 +4,13 @@
 //! ```text
 //! vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N]
 //!        [--queue-depth N] [--timeout-ms MS] [--batch-max N]
-//!        [--persist PATH] [--speculate-ms MS]
+//!        [--persist PATH] [--speculate-ms MS] [--isa-tiles N]
 //! ```
+//!
+//! `--isa-tiles N` (0 = off) enables the instruction-level deployment
+//! backend with an `N`-tile shared template: ISA deploys and `scale`
+//! requests then resize tenant shares at micro-second cost instead of
+//! partial reconfiguration (DESIGN.md §16).
 //!
 //! `--persist PATH` makes the bitstream database durable (DESIGN.md §14):
 //! every compiled bitstream is saved to `PATH` and reloaded on the next
@@ -33,6 +38,7 @@ struct Options {
     config: ServiceConfig,
     persist: Option<String>,
     speculate_every: Option<Duration>,
+    isa_tiles: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
     let mut config = ServiceConfig::default();
     let mut persist = None;
     let mut speculate_every = None;
+    let mut isa_tiles = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -88,6 +95,11 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--persist" => persist = Some(value("--persist")?),
+            "--isa-tiles" => {
+                isa_tiles = value("--isa-tiles")?
+                    .parse()
+                    .map_err(|e| format!("--isa-tiles: {e}"))?;
+            }
             "--speculate-ms" => {
                 let ms: u64 = value("--speculate-ms")?
                     .parse()
@@ -98,7 +110,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N] \
                      [--queue-depth N] [--timeout-ms MS] [--batch-max N] \
-                     [--persist PATH] [--speculate-ms MS]"
+                     [--persist PATH] [--speculate-ms MS] [--isa-tiles N]"
                 );
                 std::process::exit(0);
             }
@@ -110,6 +122,7 @@ fn parse_args() -> Result<Options, String> {
         config,
         persist,
         speculate_every,
+        isa_tiles,
     })
 }
 
@@ -133,6 +146,13 @@ fn main() {
         };
         let loaded = controller.farm_stats().persist_loaded;
         println!("vitald: bitstream database at {path} ({loaded} bitstream(s) loaded warm)");
+    }
+    if opts.isa_tiles > 0 {
+        controller = controller.with_isa_backend(opts.isa_tiles);
+        println!(
+            "vitald: ISA backend enabled ({} shared compute tiles)",
+            opts.isa_tiles
+        );
     }
     let controller = Arc::new(controller);
     controller.set_app_resolver(benchmark_resolver());

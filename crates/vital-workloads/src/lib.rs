@@ -42,4 +42,7 @@ pub use sets::{
     WorkloadParams,
 };
 pub use trace::WorkloadTrace;
-pub use traffic::random_traffic_sinks;
+pub use traffic::{
+    burst_timeline, bursty_tenant_arrivals, random_traffic_sinks, tenant_arrivals_as_requests,
+    TenantArrival, TenantTrafficConfig,
+};

@@ -118,14 +118,10 @@ pub fn generate_bursty_workload_set(
     idle_gap_s: f64,
 ) -> Vec<AppRequest> {
     let mut out = generate_workload_set(composition, params, sizing);
-    // Re-time the same jobs: bursts of `burst` simultaneous arrivals.
-    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9e37_79b9));
-    let mut t = 0.0f64;
-    for (i, r) in out.iter_mut().enumerate() {
-        if i > 0 && i % burst.max(1) == 0 {
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            t += -idle_gap_s * u.ln();
-        }
+    // Re-time the same jobs: bursts of `burst` simultaneous arrivals,
+    // using the shared seeded burst shaper.
+    let timeline = crate::traffic::burst_timeline(params.seed, out.len(), burst, idle_gap_s);
+    for (r, t) in out.iter_mut().zip(timeline) {
         r.arrival_s = t;
     }
     out

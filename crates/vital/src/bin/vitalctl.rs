@@ -12,6 +12,8 @@
 //! ```text
 //! compile  <name> <S|M|L>    # prepare a Table 2 benchmark (compile + register)
 //! deploy   <name> [quota-mb] # allocate blocks + partial reconfiguration
+//! deploy   <name> --isa      # deploy onto the shared ISA tile pool instead
+//! scale    <tenant-id> <tiles> # elastically resize an ISA tenant's tile share
 //! undeploy <tenant-id>       # tear a deployment down
 //! suspend  <tenant-id>       # quiesce + park a checkpoint capsule
 //! resume   <tenant-id>       # restore a suspended tenant losslessly
@@ -75,6 +77,10 @@ fn render(resp: &ControlResponse) {
             s.app, s.tenant, s.fpgas, s.blocks, s.primary_fpga, s.reconfig_us, s.granted_gbps
         ),
         ControlResponse::Undeployed { tenant } => println!("tenant{tenant} undeployed"),
+        ControlResponse::Scaled(s) => println!(
+            "tenant{} rescaled {} -> {} tile(s) in {} us (stream switch, no reconfiguration)",
+            s.tenant, s.tiles_before, s.tiles_after, s.realloc_us
+        ),
         ControlResponse::Suspended(s) => println!(
             "tenant{} suspended: {} flit(s) in {} channel(s), {} DRAM byte(s) parked",
             s.tenant, s.flits, s.channels, s.dram_bytes
@@ -145,6 +151,15 @@ fn render(resp: &ControlResponse) {
                 s.live_tenants.len(),
                 ids(&s.live_tenants)
             );
+            if s.isa_tiles_total > 0 {
+                println!(
+                    "isa pool: {}/{} tile(s) free, {} isa tenant(s): {}",
+                    s.isa_tiles_free,
+                    s.isa_tiles_total,
+                    s.isa_tenants.len(),
+                    ids(&s.isa_tenants)
+                );
+            }
             if !s.suspended_tenants.is_empty() {
                 println!(
                     "{} suspended tenant(s): {}",
@@ -215,7 +230,10 @@ fn main() {
         None => {
             let controller = Arc::new(
                 SystemController::new(RuntimeConfig::paper_cluster())
-                    .with_telemetry(Telemetry::recording()),
+                    .with_telemetry(Telemetry::recording())
+                    // A paper-pool ISA template so `deploy --isa` and
+                    // `scale` work out of the box.
+                    .with_isa_backend(vital::isa::IsaTemplate::paper_pool().tiles()),
             );
             controller.set_app_resolver(benchmark_resolver());
             let vitald = Vitald::spawn(controller, ServiceConfig::default());
@@ -257,14 +275,30 @@ fn main() {
             }
             "deploy" => {
                 let Some(name) = tokens.next() else {
-                    println!("usage: deploy <name> [quota-mb]");
+                    println!("usage: deploy <name> [quota-mb] [--isa]");
                     continue;
                 };
-                let mut dr = DeployRequest::app(name);
-                if let Some(mb) = tokens.next().and_then(|t| t.parse::<u64>().ok()) {
-                    dr = dr.with_quota_bytes(mb << 20);
+                let rest: Vec<&str> = tokens.by_ref().collect();
+                if rest.contains(&"--isa") {
+                    ControlRequest::Deploy(DeployRequest::isa(name))
+                } else {
+                    let mut dr = DeployRequest::app(name);
+                    if let Some(mb) = rest.first().and_then(|t| t.parse::<u64>().ok()) {
+                        dr = dr.with_quota_bytes(mb << 20);
+                    }
+                    ControlRequest::Deploy(dr)
                 }
-                ControlRequest::Deploy(dr)
+            }
+            "scale" => {
+                let tenant = parse_tenant(tokens.next());
+                let tiles = tokens.next().and_then(|t| t.parse::<u32>().ok());
+                match (tenant, tiles) {
+                    (Some(tenant), Some(tiles)) => ControlRequest::Scale { tenant, tiles },
+                    _ => {
+                        println!("usage: scale <tenant-id> <tiles>");
+                        continue;
+                    }
+                }
             }
             "undeploy" => match parse_tenant(tokens.next()) {
                 Some(tenant) => ControlRequest::Undeploy { tenant },
@@ -320,7 +354,7 @@ fn main() {
             "quit" | "exit" => break,
             other => {
                 println!(
-                    "unknown command {other:?} (compile/deploy/undeploy/suspend/resume/\
+                    "unknown command {other:?} (compile/deploy/scale/undeploy/suspend/resume/\
                      migrate/defrag/fail/recover/evacuate/status/quit)"
                 );
                 continue;

@@ -29,6 +29,7 @@
 //! | [`periph`] | peripheral virtualization (§3.2) |
 //! | [`checkpoint`] | tenant context save/restore capsules (DESIGN.md §11) |
 //! | [`runtime`] | system layer: controller, databases, policy (§3.4) |
+//! | [`isa`] | instruction-level DNN virtualization: shared tile pool + two-level scheduler (DESIGN.md §16) |
 //! | [`service`] | `vitald` control-plane daemon + wire protocol (DESIGN.md §12) |
 //! | [`cluster`] | discrete-event cluster simulator (§5.2 platform) |
 //! | [`baselines`] | per-device cloud + AmorphOS comparisons (§5.2, §6.2) |
@@ -64,6 +65,7 @@ pub use vital_cluster as cluster;
 pub use vital_compiler as compiler;
 pub use vital_fabric as fabric;
 pub use vital_interface as interface;
+pub use vital_isa as isa;
 pub use vital_netlist as netlist;
 pub use vital_periph as periph;
 pub use vital_placer as placer;
@@ -85,6 +87,7 @@ pub mod prelude {
     };
     pub use vital_compiler::{AppBitstream, CompiledApp, Compiler, CompilerConfig};
     pub use vital_fabric::{DeviceModel, Floorplan, Resources};
+    pub use vital_isa::{IsaJob, IsaSim, IsaTemplate};
     pub use vital_netlist::hls::{AppSpec, Operator};
     pub use vital_periph::TenantId;
     pub use vital_runtime::{
