@@ -22,6 +22,13 @@
 //! identical state digest identically, so a save → restore → save round
 //! trip can be verified by digest comparison alone.
 //!
+//! A [`TenantCheckpoint`] binds to one compiled image and is the fast path
+//! between *identical* geometries. The versioned [`PortableCheckpoint`]
+//! lifts the same state into a geometry-independent form keyed by netlist
+//! digest — logical scan-chain footprints per virtual block, channel
+//! contents without link classes — so a tenant captured on one device
+//! model can restore onto a bitstream compiled for another (DESIGN.md §17).
+//!
 //! # Example
 //!
 //! ```
@@ -40,7 +47,9 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use vital_interface::{Channel, ChannelSnapshot, QuiesceError};
+use vital_interface::{
+    Channel, ChannelSnapshot, ChannelSpec, FormatVersion, LinkClass, QuiesceError,
+};
 use vital_periph::{MemoryImage, TenantId};
 
 /// 64-bit FNV-1a, written out so the digest is stable across Rust releases
@@ -200,6 +209,246 @@ impl TenantCheckpoint {
     }
 }
 
+/// The scan-chain footprint of one virtual block, copied out of the
+/// compiled image's state-capture interface at checkpoint time.
+///
+/// Two bitstreams compiled from the same netlist digest expose identical
+/// chains — so a restore can verify, chain for chain, that the target
+/// image is state-compatible with the capsule *before* shifting anything
+/// in, whatever device geometry the target was compiled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanState {
+    /// The virtual block the chain runs through.
+    pub virtual_block: u32,
+    /// Flip-flop bits on the chain.
+    pub ff_bits: u64,
+    /// BRAM bits reachable through the chain.
+    pub bram_bits: u64,
+}
+
+impl ScanState {
+    /// Total state bits this chain carries.
+    pub fn total_bits(&self) -> u64 {
+        self.ff_bits + self.bram_bits
+    }
+}
+
+/// One channel of a [`PortableCheckpoint`], stored **without** a link
+/// class: which boundary (on-chip, inter-die, inter-FPGA) the channel
+/// crosses is a property of the *placement*, not of the tenant's logical
+/// state, so the portable capsule keeps only the flit width and the
+/// drained contents. The restore side re-derives the
+/// [`ChannelSpec`] for whatever placement it lands on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableChannel {
+    /// Producing virtual block.
+    pub from_block: u32,
+    /// Consuming virtual block.
+    pub to_block: u32,
+    /// Flit width in bits.
+    pub width_bits: u32,
+    /// Cycles the drain took at capture (extends the restore clock so
+    /// latency accounting stays monotonic).
+    pub drain_cycles: u64,
+    /// Age (cycles in flight) of each drained flit, oldest first.
+    pub fifo_ages: Vec<u64>,
+    /// Flits delivered before the capture.
+    pub delivered: u64,
+    /// Accumulated delivery latency before the capture.
+    pub latency_sum: u64,
+}
+
+impl PortableChannel {
+    /// Strips a quiesced channel down to its geometry-independent state.
+    pub fn from_checkpoint(cc: &ChannelCheckpoint) -> Self {
+        PortableChannel {
+            from_block: cc.from_block,
+            to_block: cc.to_block,
+            width_bits: cc.snapshot.spec.width_bits,
+            drain_cycles: cc.snapshot.drain_cycles,
+            fifo_ages: cc.snapshot.fifo_ages.clone(),
+            delivered: cc.snapshot.delivered,
+            latency_sum: cc.snapshot.latency_sum,
+        }
+    }
+
+    /// Rebuilds a placement-ready [`ChannelCheckpoint`]. The spec carries a
+    /// placeholder on-chip link class: the controller's resume path
+    /// re-derives the real link from the new placement and re-specs the
+    /// channel when the boundary differs, so the placeholder never
+    /// survives into a live channel on the wrong link.
+    pub fn to_checkpoint(&self) -> ChannelCheckpoint {
+        ChannelCheckpoint {
+            from_block: self.from_block,
+            to_block: self.to_block,
+            snapshot: ChannelSnapshot {
+                spec: ChannelSpec::for_link(LinkClass::IntraDie, self.width_bits.max(1)),
+                drain_cycles: self.drain_cycles,
+                fifo_ages: self.fifo_ages.clone(),
+                delivered: self.delivered,
+                latency_sum: self.latency_sum,
+            },
+        }
+    }
+}
+
+/// The versioned, geometry-independent checkpoint capsule (DESIGN.md §17).
+///
+/// Where a [`TenantCheckpoint`] binds to a concrete compiled image (its
+/// channel specs encode which physical boundaries the placement crossed),
+/// a `PortableCheckpoint` is keyed by the **netlist digest**: logical
+/// register/BRAM footprints per virtual block (the scan-chain map),
+/// channel contents without link classes, the DRAM image, and the
+/// bandwidth/clock metadata. Any bitstream compiled from the same netlist
+/// — on *any* device geometry — can receive it; `TenantCheckpoint` is the
+/// thin identical-geometry fast path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableCheckpoint {
+    /// Capsule format version; checked before any field is interpreted.
+    pub version: FormatVersion,
+    /// The suspended tenant's identity.
+    pub tenant: TenantId,
+    /// Raw netlist digest of the compile input — the geometry-independent
+    /// identity the restore side matches a bitstream against.
+    pub app_digest: u64,
+    /// Device-model name the tenant was running on at capture
+    /// (informational; restore does not require it to match).
+    pub source_geometry: String,
+    /// Placement and bandwidth metadata at capture. The coordinate fields
+    /// (`primary_fpga`, spans, hops) are informational; restore re-places
+    /// freely.
+    pub placement: PlacementMeta,
+    /// Per-virtual-block scan-chain map, from the compiled image's
+    /// state-capture interface.
+    pub scan: Vec<ScanState>,
+    /// Geometry-independent channel state, in plan order.
+    pub channels: Vec<PortableChannel>,
+    /// The tenant's DRAM pages and quota.
+    pub memory: MemoryImage,
+}
+
+impl PortableCheckpoint {
+    /// Lifts an identical-geometry capsule into the portable format.
+    ///
+    /// `app_digest` is the netlist digest of the bitstream the tenant was
+    /// running; `scan` is that bitstream's scan-chain map.
+    pub fn from_capsule(
+        capsule: &TenantCheckpoint,
+        app_digest: u64,
+        source_geometry: impl Into<String>,
+        scan: Vec<ScanState>,
+    ) -> Self {
+        PortableCheckpoint {
+            version: FormatVersion::CURRENT,
+            tenant: capsule.tenant,
+            app_digest,
+            source_geometry: source_geometry.into(),
+            placement: capsule.placement.clone(),
+            scan,
+            channels: capsule
+                .channels
+                .iter()
+                .map(PortableChannel::from_checkpoint)
+                .collect(),
+            memory: capsule.memory.clone(),
+        }
+    }
+
+    /// Lowers the capsule back into the placement-ready form the resume
+    /// path consumes. Channel specs are placeholders (see
+    /// [`PortableChannel::to_checkpoint`]); the controller re-derives them
+    /// for the placement it allocates.
+    pub fn to_capsule(&self) -> TenantCheckpoint {
+        TenantCheckpoint {
+            tenant: self.tenant,
+            placement: self.placement.clone(),
+            channels: self
+                .channels
+                .iter()
+                .map(PortableChannel::to_checkpoint)
+                .collect(),
+            memory: self.memory.clone(),
+        }
+    }
+
+    /// Content digest over the capsule's **logical** state only: the app
+    /// identity (name + netlist digest), clock, bandwidth request, scan
+    /// map, channel contents and DRAM data. Deliberately excludes the
+    /// source geometry and the placement coordinate fields, so the same
+    /// logical state captured on two different device models digests
+    /// identically.
+    pub fn digest(&self) -> CheckpointDigest {
+        let mut h = Fnv1a::new();
+        h.u64(u64::from(self.version.raw()));
+        h.u64(self.tenant.raw());
+        h.str(&self.placement.app);
+        h.u64(self.app_digest);
+        h.usize(self.placement.needed_blocks);
+        h.u64(self.placement.clock);
+        h.u64(self.placement.requested_gbps.to_bits());
+        h.usize(self.scan.len());
+        for s in &self.scan {
+            h.u64(u64::from(s.virtual_block));
+            h.u64(s.ff_bits);
+            h.u64(s.bram_bits);
+        }
+        h.usize(self.channels.len());
+        for ch in &self.channels {
+            h.u64(u64::from(ch.from_block));
+            h.u64(u64::from(ch.to_block));
+            h.u64(u64::from(ch.width_bits));
+            h.u64(ch.drain_cycles);
+            h.usize(ch.fifo_ages.len());
+            for &age in &ch.fifo_ages {
+                h.u64(age);
+            }
+            h.u64(ch.delivered);
+            h.u64(ch.latency_sum);
+        }
+        h.u64(self.memory.content_digest());
+        CheckpointDigest(h.0)
+    }
+
+    /// Total state bits across the scan map.
+    pub fn scan_bits(&self) -> u64 {
+        self.scan.iter().map(ScanState::total_bits).sum()
+    }
+
+    /// Total flits captured across all channels.
+    pub fn total_flits(&self) -> usize {
+        self.channels.iter().map(|c| c.fifo_ages.len()).sum()
+    }
+
+    /// Bytes of DRAM page data carried by the capsule.
+    pub fn dram_bytes(&self) -> u64 {
+        self.memory.payload_bytes()
+    }
+
+    /// Serializes the capsule to JSON (the `vitalctl checkpoint export`
+    /// file format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a capsule from [`PortableCheckpoint::to_json`] output,
+    /// checking the format version before anything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on malformed JSON or a version this
+    /// build does not read; callers wrap it in their own typed error.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let capsule: PortableCheckpoint = serde_json::from_str(json)
+            .map_err(|e| format!("portable checkpoint is corrupt: {e}"))?;
+        capsule.version.check("portable checkpoint")?;
+        Ok(capsule)
+    }
+}
+
 /// Quiesces a tenant's channels **atomically**: either every channel is
 /// past its serialization window and all of them drain into snapshots, or
 /// none is touched and the first offender's [`QuiesceError`] is returned.
@@ -342,5 +591,114 @@ mod tests {
         let d = CheckpointDigest::from_raw(0xabcd);
         assert_eq!(d.as_u64(), 0xabcd);
         assert_eq!(d.to_string(), "000000000000abcd");
+    }
+
+    /// A capsule whose channel specs are the canonical `for_link` shapes
+    /// the controller's deploy path builds — what a real suspend yields.
+    fn canonical_capsule() -> TenantCheckpoint {
+        let mut ch = Channel::new(ChannelSpec::for_link(LinkClass::IntraDie, 64));
+        ch.push(0);
+        ch.push(1);
+        let snapshot = ch.quiesce(3).unwrap();
+        TenantCheckpoint {
+            tenant: TenantId::new(7),
+            placement: PlacementMeta {
+                app: "dnn".into(),
+                needed_blocks: 3,
+                clock: 3,
+                primary_fpga: 1,
+                fpgas_spanned: 2,
+                hop_cost: 1,
+                requested_gbps: 38.4,
+            },
+            channels: vec![ChannelCheckpoint {
+                from_block: 0,
+                to_block: 1,
+                snapshot,
+            }],
+            memory: MemoryImage {
+                page_size: 4096,
+                quota_bytes: 8192,
+                pages: vec![vital_periph::PageImage {
+                    vpn: 2,
+                    bytes: vec![7; 4096],
+                }],
+                reads: 1,
+                writes: 1,
+                faults: 0,
+            },
+        }
+    }
+
+    fn scan_map() -> Vec<ScanState> {
+        vec![
+            ScanState {
+                virtual_block: 0,
+                ff_bits: 200,
+                bram_bits: 36 * 1024,
+            },
+            ScanState {
+                virtual_block: 1,
+                ff_bits: 120,
+                bram_bits: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn portable_round_trip_is_bit_identical_on_same_geometry() {
+        let original = canonical_capsule();
+        let portable = PortableCheckpoint::from_capsule(&original, 0xfeed, "XCVU37P", scan_map());
+        assert_eq!(portable.version, FormatVersion::CURRENT);
+        assert_eq!(portable.total_flits(), original.total_flits());
+        assert_eq!(portable.dram_bytes(), original.dram_bytes());
+        assert_eq!(portable.scan_bits(), 200 + 36 * 1024 + 120);
+        // Lowering back yields the identical capsule (the channel was on
+        // the canonical on-chip spec, so the placeholder reproduces it).
+        let lowered = portable.to_capsule();
+        assert_eq!(lowered, original);
+        assert_eq!(lowered.digest(), original.digest());
+    }
+
+    #[test]
+    fn portable_digest_ignores_geometry_and_coordinates() {
+        let capsule = canonical_capsule();
+        let a = PortableCheckpoint::from_capsule(&capsule, 0xfeed, "XCVU37P", scan_map());
+        let mut b = PortableCheckpoint::from_capsule(&capsule, 0xfeed, "XCVU37P-ALT", scan_map());
+        b.placement.primary_fpga = 3;
+        b.placement.fpgas_spanned = 1;
+        b.placement.hop_cost = 0;
+        assert_eq!(a.digest(), b.digest(), "logical state digests match");
+        // ...but logical state changes are visible.
+        let mut heavier = a.clone();
+        heavier.channels[0].fifo_ages.push(9);
+        assert_ne!(a.digest(), heavier.digest());
+        let mut rescanned = a.clone();
+        rescanned.scan[0].ff_bits += 1;
+        assert_ne!(a.digest(), rescanned.digest());
+        let mut other_app = a.clone();
+        other_app.app_digest ^= 1;
+        assert_ne!(a.digest(), other_app.digest());
+    }
+
+    #[test]
+    fn portable_json_round_trip_checks_version() {
+        let capsule = canonical_capsule();
+        let portable = PortableCheckpoint::from_capsule(&capsule, 0xfeed, "XCVU37P", scan_map());
+        let json = portable.to_json().unwrap();
+        let back = PortableCheckpoint::from_json(&json).unwrap();
+        assert_eq!(back, portable);
+        assert_eq!(back.digest(), portable.digest());
+
+        // A capsule from a future format version is refused by name.
+        let mut future = portable.clone();
+        future.version = FormatVersion(99);
+        let err = PortableCheckpoint::from_json(&future.to_json().unwrap()).unwrap_err();
+        assert!(err.contains("99"), "{err}");
+        assert!(err.contains("portable checkpoint"), "{err}");
+
+        // Junk is a corruption error, not a panic.
+        let err = PortableCheckpoint::from_json("not json").unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
     }
 }

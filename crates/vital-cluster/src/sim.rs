@@ -102,16 +102,25 @@ struct ServiceModel {
 /// under `retry`: terminal failure, immediate re-queue, or a deferred
 /// re-queue returned as `(fire_at_s, request_idx)` pairs for the caller to
 /// schedule (the event queue cannot be borrowed here).
+///
+/// With `checkpoint` set ([`crate::FaultPlan::with_portable_checkpoints`])
+/// each running victim is suspended through the runtime's
+/// portable-checkpoint path first: its progress moves into
+/// `remaining`/`executed`, the re-queued request carries only the
+/// remainder, and nothing counts as wasted.
 #[allow(clippy::too_many_arguments)]
 fn evict_victims(
     victims: Vec<InstanceId>,
     now: f64,
     requests: &[AppRequest],
     retry: &crate::RetryPolicy,
+    checkpoint: bool,
     instances: &mut HashMap<InstanceId, Instance>,
     view: &mut ClusterView,
     pending: &mut Vec<PendingRequest>,
     restarts: &mut HashMap<crate::RequestId, u32>,
+    remaining: &mut HashMap<crate::RequestId, f64>,
+    executed: &mut HashMap<crate::RequestId, f64>,
     failed: &mut Vec<FailedOutcome>,
     running_apps: &mut usize,
     busy_blocks: &mut usize,
@@ -141,7 +150,29 @@ fn evict_victims(
         let req = &requests[inst.request_idx];
         *needed_blocks -= req.blocks_needed as usize;
         *interrupted_jobs += 1;
-        *wasted_block_s += inst.blocks.len() as f64 * (now - inst.scheduled_s);
+        if checkpoint && inst.running {
+            // Portable checkpoint at the eviction boundary: the stint's
+            // progress survives, so the time spent is banked rather than
+            // wasted and the request re-queues with only the remainder.
+            let ran = now - inst.exec_start_s;
+            let done = (ran / inst.full_service_s.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
+            let rem = remaining.entry(req.id).or_insert(1.0);
+            *rem = (*rem - done).max(0.0);
+            *executed.entry(req.id).or_insert(0.0) += ran;
+            telemetry.event_at(
+                sim_us(now),
+                "sim.checkpoint",
+                &[
+                    ("request", req.id.0.into()),
+                    ("remaining_fraction", (*rem).into()),
+                ],
+            );
+            telemetry.inc_counter("sim.checkpoints", 1);
+        } else {
+            // No checkpoint (or the victim never started executing): the
+            // partial run is lost.
+            *wasted_block_s += inst.blocks.len() as f64 * (now - inst.scheduled_s);
+        }
         let evictions = restarts.entry(req.id).or_insert(0);
         *evictions += 1;
         // The attempt just interrupted is eviction number `evictions`.
@@ -415,6 +446,7 @@ impl ClusterSim {
             push(&mut events, ev.at_s(), kind);
         }
         let retry = plan.retry;
+        let checkpoint_evictions = plan.portable_checkpoints;
         let mut restarts: HashMap<crate::RequestId, u32> = HashMap::new();
         let mut failed: Vec<FailedOutcome> = Vec::new();
         let mut interrupted_jobs = 0u64;
@@ -587,10 +619,13 @@ impl ClusterSim {
                         now,
                         &requests,
                         &retry,
+                        checkpoint_evictions,
                         &mut instances,
                         &mut view,
                         &mut pending,
                         &mut restarts,
+                        &mut remaining,
+                        &mut executed,
                         &mut failed,
                         &mut running_apps,
                         &mut busy_blocks,
@@ -637,10 +672,13 @@ impl ClusterSim {
                         now,
                         &requests,
                         &retry,
+                        checkpoint_evictions,
                         &mut instances,
                         &mut view,
                         &mut pending,
                         &mut restarts,
+                        &mut remaining,
+                        &mut executed,
                         &mut failed,
                         &mut running_apps,
                         &mut busy_blocks,
@@ -764,23 +802,38 @@ impl ClusterSim {
                     let model = self.service_time(&p.request, &d.blocks, &view.down_links());
                     let reconfig_s = self.reconfig_time(&d);
                     let rem_frac = remaining.get(&p.request.id).copied().unwrap_or(1.0);
-                    if quantum.is_some() {
+                    if quantum.is_some() || checkpoint_evictions {
                         admitted_s.entry(p.request.id).or_insert(now);
                     }
                     if rem_frac < 1.0 {
-                        // Swap-in of a previously-preempted tenant: the PR
-                        // time just charged is the time-slice mode's cost.
-                        swap_reconfig_s += reconfig_s;
-                        self.telemetry.event_at(
-                            sim_us(now),
-                            "sim.swap_in",
-                            &[
-                                ("request", p.request.id.0.into()),
-                                ("remaining_fraction", rem_frac.into()),
-                                ("reconfig_s", reconfig_s.into()),
-                            ],
-                        );
-                        self.telemetry.inc_counter("sim.swap_ins", 1);
+                        if quantum.is_some() {
+                            // Swap-in of a previously-preempted tenant: the PR
+                            // time just charged is the time-slice mode's cost.
+                            swap_reconfig_s += reconfig_s;
+                            self.telemetry.event_at(
+                                sim_us(now),
+                                "sim.swap_in",
+                                &[
+                                    ("request", p.request.id.0.into()),
+                                    ("remaining_fraction", rem_frac.into()),
+                                    ("reconfig_s", reconfig_s.into()),
+                                ],
+                            );
+                            self.telemetry.inc_counter("sim.swap_ins", 1);
+                        } else {
+                            // Resume from the portable checkpoint taken at
+                            // the eviction: only the remainder runs here.
+                            self.telemetry.event_at(
+                                sim_us(now),
+                                "sim.resume",
+                                &[
+                                    ("request", p.request.id.0.into()),
+                                    ("remaining_fraction", rem_frac.into()),
+                                    ("reconfig_s", reconfig_s.into()),
+                                ],
+                            );
+                            self.telemetry.inc_counter("sim.resumes", 1);
+                        }
                     }
                     {
                         let mut fpgas: Vec<_> = d.blocks.iter().map(|b| b.fpga).collect();
@@ -1299,6 +1352,52 @@ mod tests {
         assert_eq!(report.total_restarts(), 1);
         // The rerun must finish well after a failure-free run would have.
         assert!(o.completion_s > 12.0, "completion {}", o.completion_s);
+    }
+
+    #[test]
+    fn checkpointed_eviction_preserves_progress() {
+        // Same crash as above, but the plan opts into portable
+        // checkpoints: the victim's 2 s of progress is banked at the
+        // eviction, so it resumes with only the remainder, finishes well
+        // before the restart-from-scratch run, and wastes nothing.
+        let sim = ClusterSim::new(ClusterConfig::paper_cluster());
+        let reqs = vec![AppRequest::new(0, "victim", 4, 10.0e9)];
+        let crash = FaultPlan::new().fpga_crash(0, 2.0);
+        let restart = sim.run_with_plan(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs.clone(),
+            &crash,
+        );
+        let resumed = sim.run_with_plan(
+            &mut FirstFit {
+                whole_device: false,
+            },
+            reqs,
+            &crash.with_portable_checkpoints(),
+        );
+        assert_eq!(resumed.completed(), 1);
+        let o = &resumed.outcomes[0];
+        assert_eq!(o.restarts, 1, "the eviction is still recorded");
+        assert!(
+            o.completion_s < restart.outcomes[0].completion_s - 1.0,
+            "resume {} vs restart {}",
+            o.completion_s,
+            restart.outcomes[0].completion_s
+        );
+        // Executed time across both stints covers exactly one full run.
+        assert!(
+            (o.service_s - 10.0).abs() < 0.5,
+            "stints sum to the full job, got {}",
+            o.service_s
+        );
+        assert_eq!(resumed.interrupted_jobs, 1);
+        assert_eq!(
+            resumed.wasted_block_s, 0.0,
+            "checkpointed progress is not wasted"
+        );
+        assert!(restart.wasted_block_s > 0.0);
     }
 
     #[test]

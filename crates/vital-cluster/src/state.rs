@@ -249,6 +249,14 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
     /// Retry behaviour for evicted requests.
     pub retry: RetryPolicy,
+    /// When `true`, the runtime suspends each eviction victim through the
+    /// portable-checkpoint path before its blocks free: the re-queued
+    /// request carries only its remaining work and resumes wherever the
+    /// scheduler next places it — including a different pod. When `false`
+    /// (the default, matching the pre-checkpoint fault model) an evicted
+    /// request restarts from scratch and its partial progress counts as
+    /// wasted block-seconds.
+    pub portable_checkpoints: bool,
 }
 
 impl FaultPlan {
@@ -289,6 +297,15 @@ impl FaultPlan {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Suspends eviction victims through the runtime's portable-checkpoint
+    /// path, so re-queued requests resume with their progress intact
+    /// instead of restarting from scratch.
+    #[must_use]
+    pub fn with_portable_checkpoints(mut self) -> Self {
+        self.portable_checkpoints = true;
         self
     }
 }

@@ -13,6 +13,89 @@ use crate::{CompileError, NetlistDigest};
 /// bitstream). Drives the partial-reconfiguration latency model.
 pub const BLOCK_CONFIG_BITS: u64 = 79_000_000;
 
+/// Width of the scan data path the interface generator weaves through each
+/// block's state elements. 64 state bits shift per scan clock; with scan
+/// running at the block clock this sets capture/restore latency.
+pub const SCAN_WIDTH_BITS: u64 = 64;
+
+/// The state-capture chain of one virtual block (SYNERGY-style, see
+/// DESIGN.md §17): during interface generation the compiler threads every
+/// user register and BRAM through a scan path, so the runtime can shift the
+/// block's *logical* state out (capture) or in (restore) without knowing
+/// where place-and-route put anything. Sized from the netlist's actual
+/// register/BRAM usage, not the block's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanChain {
+    /// The virtual block this chain captures.
+    pub virtual_block: u32,
+    /// Flip-flop bits on the chain (one per placed register).
+    pub ff_bits: u64,
+    /// BRAM bits reachable through the chain's memory port mux.
+    pub bram_bits: u64,
+}
+
+impl ScanChain {
+    /// Total state bits this chain captures.
+    pub fn total_bits(&self) -> u64 {
+        self.ff_bits + self.bram_bits
+    }
+
+    /// Scan-clock cycles to shift the whole chain in or out.
+    pub fn shift_cycles(&self) -> u64 {
+        self.total_bits().div_ceil(SCAN_WIDTH_BITS)
+    }
+}
+
+/// The application's state-capture interface: one [`ScanChain`] per virtual
+/// block, recorded in the compiled image alongside the latency and channel
+/// metadata. This is what makes checkpoints *portable*: the capsule stores
+/// chain contents keyed by virtual block, and any bitstream compiled from
+/// the same netlist digest exposes identical chains.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScanInterface {
+    /// Per-virtual-block chains, dense and sorted by `virtual_block`.
+    pub chains: Vec<ScanChain>,
+}
+
+impl ScanInterface {
+    /// Derives the chains from per-block images: every flip-flop is one
+    /// chain bit, every BRAM kilobit contributes its 1024 data bits.
+    pub fn from_images(images: &[BlockImage]) -> Self {
+        ScanInterface {
+            chains: images
+                .iter()
+                .map(|img| ScanChain {
+                    virtual_block: img.virtual_block,
+                    ff_bits: img.resources.ff,
+                    bram_bits: img.resources.bram_kb * 1024,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total state bits across all chains.
+    pub fn total_bits(&self) -> u64 {
+        self.chains.iter().map(ScanChain::total_bits).sum()
+    }
+
+    /// Scan cycles to capture (or restore) the whole application; chains
+    /// shift in parallel, so the longest chain governs.
+    pub fn shift_cycles(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(ScanChain::shift_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The chain of one virtual block, if it exists.
+    pub fn chain(&self, virtual_block: u32) -> Option<&ScanChain> {
+        self.chains
+            .iter()
+            .find(|c| c.virtual_block == virtual_block)
+    }
+}
+
 /// The compiled image of one virtual block.
 ///
 /// The image is **position independent**: its placement refers to the site
@@ -52,6 +135,7 @@ pub struct AppBitstream {
     channel_plan: ChannelPlan,
     routing: RoutingResult,
     achieved_mhz: f64,
+    scan: ScanInterface,
 }
 
 impl AppBitstream {
@@ -67,6 +151,7 @@ impl AppBitstream {
             .map(|i| i.placement.achieved_mhz)
             .fold(f64::INFINITY, f64::min)
             .min(300.0);
+        let scan = ScanInterface::from_images(&images);
         AppBitstream {
             name,
             digest,
@@ -78,6 +163,7 @@ impl AppBitstream {
             } else {
                 300.0
             },
+            scan,
         }
     }
 
@@ -126,6 +212,15 @@ impl AppBitstream {
     /// Post-P&R clock estimate (the slowest block governs).
     pub fn achieved_mhz(&self) -> f64 {
         self.achieved_mhz
+    }
+
+    /// The state-capture interface the compiler emitted during interface
+    /// generation: one scan chain per virtual block, sized from the
+    /// netlist's register and BRAM usage. Two bitstreams compiled from the
+    /// same netlist digest expose identical chains even on different device
+    /// geometries — the hook portable checkpoints hang off.
+    pub fn scan(&self) -> &ScanInterface {
+        &self.scan
     }
 
     /// Total resources across all blocks.
@@ -338,5 +433,25 @@ mod tests {
         assert_eq!(bs.total_resources().lut, 200);
         assert_eq!(bs.config_bits(), 2 * BLOCK_CONFIG_BITS);
         assert_eq!(bs.achieved_mhz(), 250.0);
+    }
+
+    #[test]
+    fn scan_chains_are_sized_from_register_and_bram_usage() {
+        let bs = two_block_bitstream();
+        let scan = bs.scan();
+        assert_eq!(scan.chains.len(), 2);
+        let chain = scan.chain(0).expect("block 0 has a chain");
+        // 200 flip-flops + 36 Kb of BRAM from the fixture's Resources.
+        assert_eq!(chain.ff_bits, 200);
+        assert_eq!(chain.bram_bits, 36 * 1024);
+        assert_eq!(chain.total_bits(), 200 + 36 * 1024);
+        assert_eq!(scan.total_bits(), 2 * (200 + 36 * 1024));
+        // Chains shift in parallel: app latency is the longest chain.
+        assert_eq!(scan.shift_cycles(), chain.shift_cycles());
+        assert_eq!(
+            chain.shift_cycles(),
+            (200u64 + 36 * 1024).div_ceil(SCAN_WIDTH_BITS)
+        );
+        assert!(scan.chain(7).is_none());
     }
 }

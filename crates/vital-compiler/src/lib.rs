@@ -54,6 +54,12 @@ mod timing;
 pub use config::CompilerConfig;
 pub use digest::NetlistDigest;
 pub use error::CompileError;
-pub use image::{AppBitstream, BlockImage, PlacedBitstream, RelocationTarget, BLOCK_CONFIG_BITS};
+pub use image::{
+    AppBitstream, BlockImage, PlacedBitstream, RelocationTarget, ScanChain, ScanInterface,
+    BLOCK_CONFIG_BITS, SCAN_WIDTH_BITS,
+};
 pub use pipeline::{CompiledApp, Compiler};
 pub use timing::{StageTimings, TimingBreakdown};
+// Re-exported so callers picking a compile target (e.g. `vitald
+// --geometry`) don't need a direct vital-fabric dependency.
+pub use vital_fabric::DeviceModel;

@@ -206,6 +206,62 @@ impl DeviceModel {
         .expect("periodic geometry is statically valid")
     }
 
+    /// The migration-target sibling of [`DeviceModel::xcvu37p`]: the same
+    /// per-band resource capacity delivered through a **different column
+    /// layout** (coarse CLB slabs with BRAM pulled ahead of the DSP strips,
+    /// instead of the VU37P's fine CLB/DSP interleave).
+    ///
+    /// Identical 60-row-band totals mean a bitstream compiled for the
+    /// default geometry's block size *fits* here, but the per-block site
+    /// grid differs — so the relocatable images themselves do **not**
+    /// transfer, which is exactly the situation portable checkpoints exist
+    /// for: capture logical state through the scan interface on one
+    /// geometry, recompile (or hit the build farm's cache) for the other,
+    /// and restore.
+    pub fn xcvu37p_alt() -> Self {
+        // 5 x [33 CLB, 2 BRAM, 5 DSP] = 165 CLB + 10 BRAM + 25 DSP
+        // + [4 DSP]                   =                      4 DSP
+        // totals match xcvu37p: 165 CLB + 29 DSP + 10 BRAM columns.
+        let mut user = Vec::new();
+        for _ in 0..5 {
+            user.push(ColumnSpec::new(TileKind::Clb, 33));
+            user.push(ColumnSpec::new(TileKind::Bram, 2));
+            user.push(ColumnSpec::new(TileKind::Dsp, 5));
+        }
+        user.push(ColumnSpec::new(TileKind::Dsp, 4));
+        let edge = vec![
+            ColumnSpec::new(TileKind::Transceiver, 4),
+            ColumnSpec::new(TileKind::Bram, 2),
+            ColumnSpec::new(TileKind::Clb, 14),
+            ColumnSpec::new(TileKind::Io, 4),
+        ];
+        DeviceModel::from_geometry(
+            "XCVU37P-ALT",
+            3,
+            300,
+            60,
+            user,
+            edge,
+            LinkTechnology::paper_cluster(),
+        )
+        .expect("XCVU37P-ALT geometry is statically valid")
+    }
+
+    /// Looks a built-in device model up by its name (case-insensitive):
+    /// `"XCVU37P"`, `"XCVU37P-ALT"`, `"XCVU37P-periodic"` or `"XCVU13P"`.
+    /// This is what `vitald --geometry <name>` resolves through.
+    pub fn by_name(name: &str) -> Option<DeviceModel> {
+        let models = [
+            DeviceModel::xcvu37p(),
+            DeviceModel::xcvu37p_alt(),
+            DeviceModel::xcvu37p_periodic(),
+            DeviceModel::vu13p(),
+        ];
+        models
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
     /// The Xilinx UltraScale+ XCVU13P model, used as the normalization
     /// reference of the paper's Fig. 1a.
     pub fn vu13p() -> Self {
@@ -349,6 +405,40 @@ mod tests {
         let band = d.band_resources(60);
         assert!(band.lut > 70_000 && band.lut < 90_000);
         assert!(band.dsp >= 500);
+    }
+
+    #[test]
+    fn alt_geometry_matches_band_capacity_with_different_layout() {
+        let a = DeviceModel::xcvu37p();
+        let b = DeviceModel::xcvu37p_alt();
+        // Same per-band capacity: apps sized for the default block fit.
+        assert_eq!(a.band_resources(60), b.band_resources(60));
+        assert_eq!(a.clock_region_rows(), b.clock_region_rows());
+        // ...but genuinely different column layouts (not a reordering of
+        // the same Vec — a different interleave entirely).
+        assert_ne!(a.user_columns(), b.user_columns());
+        assert_ne!(a.user_columns().len(), b.user_columns().len());
+    }
+
+    #[test]
+    fn by_name_resolves_builtin_models() {
+        assert_eq!(
+            DeviceModel::by_name("XCVU37P").unwrap(),
+            DeviceModel::xcvu37p()
+        );
+        assert_eq!(
+            DeviceModel::by_name("xcvu37p-alt").unwrap(),
+            DeviceModel::xcvu37p_alt()
+        );
+        assert_eq!(
+            DeviceModel::by_name("XCVU37P-PERIODIC").unwrap(),
+            DeviceModel::xcvu37p_periodic()
+        );
+        assert_eq!(
+            DeviceModel::by_name("XCVU13P").unwrap(),
+            DeviceModel::vu13p()
+        );
+        assert!(DeviceModel::by_name("XCVU99P").is_none());
     }
 
     #[test]

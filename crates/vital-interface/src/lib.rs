@@ -47,6 +47,7 @@ mod channel;
 mod gen;
 mod sim;
 mod status;
+mod version;
 
 pub use channel::{Channel, ChannelSnapshot, ChannelSpec, LinkClass, QuiesceError, CLOCK_MHZ};
 pub use gen::{
@@ -58,3 +59,4 @@ pub use sim::{
     ChannelMeasurement, NetworkSim, SimStats,
 };
 pub use status::{ApiError, ErrorCode};
+pub use version::FormatVersion;

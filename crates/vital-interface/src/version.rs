@@ -1,0 +1,96 @@
+//! The shared on-disk / on-wire format version (DESIGN.md §17).
+//!
+//! Every persisted artifact the control plane writes — portable checkpoint
+//! capsules, the bitstream database, the demand-profile sidecar — embeds one
+//! [`FormatVersion`] header field. A reader checks it *before* interpreting
+//! the rest of the payload, so a capsule written by a newer (or corrupted)
+//! build fails with a typed, descriptive error instead of a field-level
+//! parse error deep inside the payload.
+//!
+//! The policy (see CHANGELOG.md) is deliberately simple: one linear version
+//! number shared by all artifacts, bumped whenever *any* persisted schema
+//! changes incompatibly. Readers accept exactly the current version —
+//! persisted state is a cache/capsule, never the source of truth, so "drop
+//! and regenerate" is always a safe recovery.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Version tag embedded in every persisted control-plane artifact.
+///
+/// Serializes as a bare integer (newtype structs are transparent), so a
+/// versioned envelope looks like `{"format_version": 1, ...}` in JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FormatVersion(pub u32);
+
+impl FormatVersion {
+    /// The version this build reads and writes.
+    pub const CURRENT: FormatVersion = FormatVersion(1);
+
+    /// Raw version number.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Checks that a persisted artifact's version is the one this build
+    /// understands.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message naming the artifact (`what`) and both
+    /// versions; callers wrap it in their own typed error (the runtime maps
+    /// it to `RuntimeError::InvalidConfig`).
+    pub fn check(self, what: &str) -> Result<(), String> {
+        if self == Self::CURRENT {
+            Ok(())
+        } else {
+            Err(format!(
+                "{what} has format version {}, this build supports version {}",
+                self.0,
+                Self::CURRENT.0
+            ))
+        }
+    }
+}
+
+impl Default for FormatVersion {
+    fn default() -> Self {
+        Self::CURRENT
+    }
+}
+
+impl fmt::Display for FormatVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_version_checks_clean() {
+        assert!(FormatVersion::CURRENT.check("capsule").is_ok());
+        assert_eq!(FormatVersion::default(), FormatVersion::CURRENT);
+    }
+
+    #[test]
+    fn mismatched_version_names_the_artifact() {
+        let err = FormatVersion(99).check("bitstream database").unwrap_err();
+        assert!(err.contains("bitstream database"));
+        assert!(err.contains("99"));
+        assert!(err.contains(&FormatVersion::CURRENT.0.to_string()));
+    }
+
+    #[test]
+    fn serializes_as_bare_integer() {
+        let v = serde::Serialize::to_value(&FormatVersion::CURRENT);
+        assert_eq!(v, serde::Value::U64(u64::from(FormatVersion::CURRENT.0)));
+    }
+
+    #[test]
+    fn display_is_v_prefixed() {
+        assert_eq!(FormatVersion(3).to_string(), "v3");
+    }
+}

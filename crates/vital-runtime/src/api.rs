@@ -1,12 +1,14 @@
 //! The unified control-plane request API.
 //!
 //! Every management operation the [`SystemController`] performs — deploy,
-//! undeploy, suspend, resume, migrate, evacuate, fail/recover, defragment,
-//! status — is expressible as one typed [`ControlRequest`], answered by one
-//! typed [`ControlResponse`]. The enums (and the summary DTOs they carry)
-//! derive `Serialize`/`Deserialize`, so the same value travels the `vitald`
-//! wire protocol (DESIGN.md §12) and the in-process
-//! [`SystemController::execute`] path unchanged.
+//! undeploy, checkpoint, restore, migrate, evacuate, fail/recover,
+//! defragment, status — is expressible as one typed [`ControlRequest`],
+//! answered by one typed [`ControlResponse`]. The enums (and the summary
+//! DTOs they carry) implement `Serialize`/`Deserialize`, so the same value
+//! travels the `vitald` wire protocol (DESIGN.md §12) and the in-process
+//! [`SystemController::execute`] path unchanged. Where the capsule-format
+//! redesign extended a payload, the `Deserialize` impls are hand-written to
+//! accept the pre-portable shapes too (see the type-level docs).
 //!
 //! Tenants cross this boundary as raw `u64` ids rather than
 //! [`TenantId`] handles: the wire has no notion of a live handle, and a
@@ -20,8 +22,8 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-use vital_interface::ApiError;
+use serde::{DeError, Deserialize, Serialize, Value};
+use vital_interface::{ApiError, FormatVersion};
 use vital_periph::TenantId;
 
 use crate::controller::{EvacuationReport, FailureReport, Migration};
@@ -121,12 +123,45 @@ impl DeployRequest {
     }
 }
 
+/// How a [`ControlRequest::Migrate`] is allowed to move the tenant.
+///
+/// `SameGeometry` is the PR 4 fast path: the parked capsule rebinds the
+/// *same* compiled image to new blocks, so it only works between identical
+/// device geometries. `Portable` lifts the capsule into the
+/// geometry-independent [`PortableCheckpoint`](vital_checkpoint::PortableCheckpoint)
+/// format and restores through recompile-or-cache-hit, so the target may be
+/// a different device model. `Auto` tries the fast path and falls back to
+/// the portable one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigratePolicy {
+    /// Rebind the existing image — identical geometries only (fast path).
+    #[default]
+    SameGeometry,
+    /// Go through the portable capsule and the build farm (works across
+    /// device geometries).
+    Portable,
+    /// Try [`MigratePolicy::SameGeometry`] first, fall back to
+    /// [`MigratePolicy::Portable`].
+    Auto,
+}
+
 /// One control-plane operation, covering the controller's whole management
 /// surface. Constructed directly or via the convenience constructors
 /// ([`ControlRequest::deploy`] etc.), and executed by
 /// [`SystemController::execute`](crate::SystemController::execute) or
 /// submitted to a `vitald` service.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Wire compatibility
+///
+/// The checkpoint/migration surface was renamed in capsule-format v1
+/// (`Suspend` → [`Checkpoint`](ControlRequest::Checkpoint), `Resume` →
+/// [`Restore`](ControlRequest::Restore), `Migrate` gained a
+/// [`MigratePolicy`]). The hand-written [`Deserialize`] impl still accepts
+/// the legacy tags and a policy-less `Migrate` payload, so requests from
+/// older clients keep working; the deprecated constructors
+/// ([`suspend`](ControlRequest::suspend), [`resume`](ControlRequest::resume))
+/// shim old call sites onto the new variants.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 #[non_exhaustive]
 pub enum ControlRequest {
     /// Place an application (or restore a checkpoint capsule).
@@ -136,20 +171,26 @@ pub enum ControlRequest {
         /// Raw id of the tenant to remove.
         tenant: u64,
     },
-    /// Quiesce a tenant and park its checkpoint capsule.
-    Suspend {
-        /// Raw id of the tenant to suspend.
+    /// Quiesce a tenant and park its checkpoint capsule (the operation
+    /// formerly tagged `Suspend` on the wire).
+    Checkpoint {
+        /// Raw id of the tenant to checkpoint.
         tenant: u64,
     },
-    /// Re-admit a previously suspended tenant from its parked capsule.
-    Resume {
-        /// Raw id of the suspended tenant.
+    /// Re-admit a previously checkpointed tenant from its parked capsule
+    /// (formerly tagged `Resume` on the wire).
+    Restore {
+        /// Raw id of the parked tenant.
         tenant: u64,
     },
-    /// Live-migrate a tenant to a better placement (suspend + resume).
+    /// Live-migrate a tenant to a better placement (checkpoint + restore),
+    /// under the given policy.
     Migrate {
         /// Raw id of the tenant to move.
         tenant: u64,
+        /// How the move is allowed to happen. Legacy payloads without this
+        /// field deserialize as [`MigratePolicy::SameGeometry`].
+        policy: MigratePolicy,
     },
     /// Drain a device by live-migrating its tenants elsewhere.
     Evacuate {
@@ -200,24 +241,43 @@ impl ControlRequest {
         }
     }
 
-    /// Suspend the tenant.
+    /// Checkpoint the tenant (quiesce + park its capsule).
+    pub fn checkpoint(tenant: TenantId) -> Self {
+        ControlRequest::Checkpoint {
+            tenant: tenant.raw(),
+        }
+    }
+
+    /// Restore the parked tenant from its capsule.
+    pub fn restore(tenant: TenantId) -> Self {
+        ControlRequest::Restore {
+            tenant: tenant.raw(),
+        }
+    }
+
+    /// Deprecated shim for the pre-portable API surface.
+    #[deprecated(note = "use `ControlRequest::checkpoint`")]
     pub fn suspend(tenant: TenantId) -> Self {
-        ControlRequest::Suspend {
-            tenant: tenant.raw(),
-        }
+        Self::checkpoint(tenant)
     }
 
-    /// Resume the suspended tenant.
+    /// Deprecated shim for the pre-portable API surface.
+    #[deprecated(note = "use `ControlRequest::restore`")]
     pub fn resume(tenant: TenantId) -> Self {
-        ControlRequest::Resume {
-            tenant: tenant.raw(),
-        }
+        Self::restore(tenant)
     }
 
-    /// Live-migrate the tenant.
+    /// Live-migrate the tenant on the identical-geometry fast path (the
+    /// behavior the policy-less request always had).
     pub fn migrate(tenant: TenantId) -> Self {
+        Self::migrate_with(tenant, MigratePolicy::SameGeometry)
+    }
+
+    /// Live-migrate the tenant under an explicit [`MigratePolicy`].
+    pub fn migrate_with(tenant: TenantId, policy: MigratePolicy) -> Self {
         ControlRequest::Migrate {
             tenant: tenant.raw(),
+            policy,
         }
     }
 
@@ -237,8 +297,8 @@ impl ControlRequest {
             ControlRequest::Deploy(r) if r.restore.is_some() => "restore",
             ControlRequest::Deploy(_) => "deploy",
             ControlRequest::Undeploy { .. } => "undeploy",
-            ControlRequest::Suspend { .. } => "suspend",
-            ControlRequest::Resume { .. } => "resume",
+            ControlRequest::Checkpoint { .. } => "checkpoint",
+            ControlRequest::Restore { .. } => "restore",
             ControlRequest::Migrate { .. } => "migrate",
             ControlRequest::Evacuate { .. } => "evacuate",
             ControlRequest::Fail { .. } => "fail",
@@ -254,6 +314,78 @@ impl ControlRequest {
     /// (fresh deployments and capsule restores).
     pub fn is_batchable(&self) -> bool {
         matches!(self, ControlRequest::Deploy(_))
+    }
+}
+
+fn tenant_of(v: &Value) -> Result<u64, DeError> {
+    Deserialize::from_value(v.field("tenant")?)
+}
+
+/// Hand-written so the wire stays compatible across the checkpoint-surface
+/// rename: the legacy `Suspend`/`Resume` tags map onto
+/// [`ControlRequest::Checkpoint`]/[`ControlRequest::Restore`], and a
+/// `Migrate` payload without a `policy` field (what pre-portable clients
+/// send) defaults to [`MigratePolicy::SameGeometry`].
+impl Deserialize for ControlRequest {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if let Value::Str(tag) = v {
+            return match tag.as_str() {
+                "Defragment" => Ok(ControlRequest::Defragment),
+                "Status" => Ok(ControlRequest::Status),
+                other => Err(DeError(format!(
+                    "unknown variant {other} of ControlRequest"
+                ))),
+            };
+        }
+        let Value::Map(entries) = v else {
+            return Err(DeError(format!(
+                "expected string or single-entry map for ControlRequest, got {v:?}"
+            )));
+        };
+        let [(tag, inner)] = entries.as_slice() else {
+            return Err(DeError(format!(
+                "expected single-entry map for ControlRequest, got {} entries",
+                entries.len()
+            )));
+        };
+        match tag.as_str() {
+            "Deploy" => Ok(ControlRequest::Deploy(Deserialize::from_value(inner)?)),
+            "Undeploy" => Ok(ControlRequest::Undeploy {
+                tenant: tenant_of(inner)?,
+            }),
+            "Checkpoint" | "Suspend" => Ok(ControlRequest::Checkpoint {
+                tenant: tenant_of(inner)?,
+            }),
+            "Restore" | "Resume" => Ok(ControlRequest::Restore {
+                tenant: tenant_of(inner)?,
+            }),
+            "Migrate" => Ok(ControlRequest::Migrate {
+                tenant: tenant_of(inner)?,
+                policy: match inner.field("policy") {
+                    Ok(p) => Deserialize::from_value(p)?,
+                    Err(_) => MigratePolicy::SameGeometry,
+                },
+            }),
+            "Evacuate" => Ok(ControlRequest::Evacuate {
+                fpga: Deserialize::from_value(inner.field("fpga")?)?,
+            }),
+            "Fail" => Ok(ControlRequest::Fail {
+                fpga: Deserialize::from_value(inner.field("fpga")?)?,
+            }),
+            "Recover" => Ok(ControlRequest::Recover {
+                fpga: Deserialize::from_value(inner.field("fpga")?)?,
+            }),
+            "Prepare" => Ok(ControlRequest::Prepare {
+                app: Deserialize::from_value(inner.field("app")?)?,
+            }),
+            "Scale" => Ok(ControlRequest::Scale {
+                tenant: tenant_of(inner)?,
+                tiles: Deserialize::from_value(inner.field("tiles")?)?,
+            }),
+            other => Err(DeError(format!(
+                "unknown variant {other} of ControlRequest"
+            ))),
+        }
     }
 }
 
@@ -305,8 +437,8 @@ pub struct ScaleSummary {
     pub realloc_us: u64,
 }
 
-/// What suspending a tenant captured.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// What checkpointing (suspending) a tenant captured.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SuspendSummary {
     /// Raw id of the suspended tenant.
     pub tenant: u64,
@@ -316,6 +448,24 @@ pub struct SuspendSummary {
     pub flits: usize,
     /// DRAM bytes exported into the capsule.
     pub dram_bytes: u64,
+    /// Format version a portable export of this capsule would carry.
+    pub capsule_version: FormatVersion,
+    /// `true` if the capsule can be lifted into the geometry-independent
+    /// portable format (the compiled image exposes a scan interface).
+    pub portable: bool,
+    /// State bits the scan interface captures (0 when not portable).
+    pub scan_bits: u64,
+}
+
+impl SuspendSummary {
+    /// Marks the capsule as portable, recording its scan-state footprint
+    /// (builder style, used by the controller's checkpoint path).
+    #[must_use]
+    pub fn with_portability(mut self, scan_bits: u64) -> Self {
+        self.portable = true;
+        self.scan_bits = scan_bits;
+        self
+    }
 }
 
 impl From<&TenantCheckpoint> for SuspendSummary {
@@ -325,12 +475,41 @@ impl From<&TenantCheckpoint> for SuspendSummary {
             channels: cp.channels.len(),
             flits: cp.channels.iter().map(|c| c.snapshot.occupancy()).sum(),
             dram_bytes: cp.memory.pages.len() as u64 * cp.memory.page_size,
+            capsule_version: FormatVersion::CURRENT,
+            portable: false,
+            scan_bits: 0,
         }
     }
 }
 
+/// Hand-written so summaries from pre-portable builds (no
+/// `capsule_version`/`portable`/`scan_bits` fields) still parse: the new
+/// fields default instead of failing the strict field lookup.
+impl Deserialize for SuspendSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(SuspendSummary {
+            tenant: Deserialize::from_value(v.field("tenant")?)?,
+            channels: Deserialize::from_value(v.field("channels")?)?,
+            flits: Deserialize::from_value(v.field("flits")?)?,
+            dram_bytes: Deserialize::from_value(v.field("dram_bytes")?)?,
+            capsule_version: match v.field("capsule_version") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => FormatVersion::CURRENT,
+            },
+            portable: match v.field("portable") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => false,
+            },
+            scan_bits: match v.field("scan_bits") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => 0,
+            },
+        })
+    }
+}
+
 /// One completed relocation, as reported over the control plane.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MigrationSummary {
     /// Raw id of the migrated tenant.
     pub tenant: u64,
@@ -344,6 +523,18 @@ pub struct MigrationSummary {
     pub hop_cost_before: usize,
     /// Ring-hop cost after the move.
     pub hop_cost_after: usize,
+    /// Which migration path actually ran (under [`MigratePolicy::Auto`]
+    /// this records the winner, never `Auto` itself).
+    pub policy: MigratePolicy,
+}
+
+impl MigrationSummary {
+    /// Records which migration path produced this summary (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: MigratePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 impl From<&Migration> for MigrationSummary {
@@ -355,7 +546,27 @@ impl From<&Migration> for MigrationSummary {
             reconfig_us: duration_us(m.reconfig),
             hop_cost_before: m.hop_cost_before,
             hop_cost_after: m.hop_cost_after,
+            policy: MigratePolicy::SameGeometry,
         }
+    }
+}
+
+/// Hand-written so summaries from pre-portable builds (no `policy` field)
+/// still parse as the fast path they were.
+impl Deserialize for MigrationSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(MigrationSummary {
+            tenant: Deserialize::from_value(v.field("tenant")?)?,
+            fpgas_before: Deserialize::from_value(v.field("fpgas_before")?)?,
+            fpgas_after: Deserialize::from_value(v.field("fpgas_after")?)?,
+            reconfig_us: Deserialize::from_value(v.field("reconfig_us")?)?,
+            hop_cost_before: Deserialize::from_value(v.field("hop_cost_before")?)?,
+            hop_cost_after: Deserialize::from_value(v.field("hop_cost_after")?)?,
+            policy: match v.field("policy") {
+                Ok(x) => Deserialize::from_value(x)?,
+                Err(_) => MigratePolicy::SameGeometry,
+            },
+        })
     }
 }
 
@@ -613,5 +824,120 @@ mod tests {
             assert_eq!(back, resp);
             assert_eq!(back.is_ok(), back.err().is_none());
         }
+    }
+
+    #[test]
+    fn checkpoint_surface_round_trips_through_json() {
+        let reqs = vec![
+            ControlRequest::checkpoint(TenantId::new(3)),
+            ControlRequest::restore(TenantId::new(3)),
+            ControlRequest::migrate(TenantId::new(3)),
+            ControlRequest::migrate_with(TenantId::new(3), MigratePolicy::Portable),
+            ControlRequest::migrate_with(TenantId::new(3), MigratePolicy::Auto),
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).expect("serialize");
+            let back: ControlRequest = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, req);
+        }
+        assert_eq!(
+            ControlRequest::checkpoint(TenantId::new(3)).endpoint(),
+            "checkpoint"
+        );
+        assert_eq!(
+            ControlRequest::restore(TenantId::new(3)).endpoint(),
+            "restore"
+        );
+        assert_eq!(
+            ControlRequest::migrate(TenantId::new(3)).endpoint(),
+            "migrate"
+        );
+    }
+
+    #[test]
+    fn deprecated_constructors_map_to_the_new_surface() {
+        #[allow(deprecated)]
+        let suspend = ControlRequest::suspend(TenantId::new(9));
+        assert_eq!(suspend, ControlRequest::Checkpoint { tenant: 9 });
+        #[allow(deprecated)]
+        let resume = ControlRequest::resume(TenantId::new(9));
+        assert_eq!(resume, ControlRequest::Restore { tenant: 9 });
+        assert_eq!(
+            ControlRequest::migrate(TenantId::new(9)),
+            ControlRequest::Migrate {
+                tenant: 9,
+                policy: MigratePolicy::SameGeometry
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_wire_tags_still_parse() {
+        // Requests serialized by pre-portable builds use the old variant
+        // names and carry no policy; they must keep working verbatim.
+        let back: ControlRequest = serde_json::from_str("{\"Suspend\":{\"tenant\":4}}").unwrap();
+        assert_eq!(back, ControlRequest::Checkpoint { tenant: 4 });
+        let back: ControlRequest = serde_json::from_str("{\"Resume\":{\"tenant\":4}}").unwrap();
+        assert_eq!(back, ControlRequest::Restore { tenant: 4 });
+        let back: ControlRequest = serde_json::from_str("{\"Migrate\":{\"tenant\":4}}").unwrap();
+        assert_eq!(
+            back,
+            ControlRequest::Migrate {
+                tenant: 4,
+                policy: MigratePolicy::SameGeometry
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_summaries_parse_with_defaulted_fields() {
+        let json = "{\"tenant\":2,\"channels\":3,\"flits\":7,\"dram_bytes\":4096}";
+        let s: SuspendSummary = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            (s.tenant, s.channels, s.flits, s.dram_bytes),
+            (2, 3, 7, 4096)
+        );
+        assert_eq!(s.capsule_version, FormatVersion::CURRENT);
+        assert!(!s.portable);
+        assert_eq!(s.scan_bits, 0);
+
+        let json = "{\"tenant\":2,\"fpgas_before\":2,\"fpgas_after\":1,\"reconfig_us\":80,\
+                    \"hop_cost_before\":3,\"hop_cost_after\":0}";
+        let m: MigrationSummary = serde_json::from_str(json).unwrap();
+        assert_eq!(m.policy, MigratePolicy::SameGeometry);
+    }
+
+    #[test]
+    fn new_summaries_round_trip_with_portability_fields() {
+        let s = SuspendSummary {
+            tenant: 8,
+            channels: 2,
+            flits: 5,
+            dram_bytes: 1 << 20,
+            capsule_version: FormatVersion::CURRENT,
+            portable: false,
+            scan_bits: 0,
+        }
+        .with_portability(12_288);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SuspendSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(back.portable);
+        assert_eq!(back.scan_bits, 12_288);
+
+        let m = MigrationSummary {
+            tenant: 8,
+            fpgas_before: 1,
+            fpgas_after: 1,
+            reconfig_us: 90,
+            hop_cost_before: 0,
+            hop_cost_after: 0,
+            policy: MigratePolicy::SameGeometry,
+        }
+        .with_policy(MigratePolicy::Portable);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MigrationSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.policy, MigratePolicy::Portable);
     }
 }

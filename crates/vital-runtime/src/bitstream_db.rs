@@ -8,8 +8,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use vital_compiler::{AppBitstream, NetlistDigest};
+use vital_interface::FormatVersion;
 
 use crate::RuntimeError;
+
+/// On-disk envelope of the persisted database: the entry map wrapped in
+/// a [`FormatVersion`] header, so a daemon refuses (instead of
+/// misreading) files written by an incompatible build. The demand
+/// sidecar carries the same header (DESIGN.md §17).
+#[derive(Serialize, Deserialize)]
+struct PersistEnvelope {
+    format_version: FormatVersion,
+    apps: HashMap<String, AppBitstream>,
+}
 
 /// Hit/miss counters of the content-addressed compile cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -240,25 +251,34 @@ impl BitstreamDatabase {
         self.inner.read().by_name.is_empty()
     }
 
-    /// Serializes the whole database to JSON (for inspection or persistence).
+    /// Serializes the whole database to versioned JSON (for inspection or
+    /// persistence).
     ///
     /// # Errors
     ///
     /// Returns a [`serde_json::Error`] if serialization fails.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(&self.inner.read().by_name)
+        serde_json::to_string(&PersistEnvelope {
+            format_version: FormatVersion::CURRENT,
+            apps: self.inner.read().by_name.clone(),
+        })
     }
 
-    /// Restores a database from [`BitstreamDatabase::to_json`] output. The
-    /// digest index is rebuilt; cache counters start at zero.
+    /// Restores a database from [`BitstreamDatabase::to_json`] output,
+    /// checking the envelope's format version first. The digest index is
+    /// rebuilt; cache counters start at zero.
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] on malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let by_name: HashMap<String, AppBitstream> = serde_json::from_str(json)?;
+    /// Returns a descriptive message on malformed input or a format
+    /// version this build does not read; the controller wraps it in
+    /// [`RuntimeError::InvalidConfig`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let envelope: PersistEnvelope = serde_json::from_str(json)
+            .map_err(|e| format!("bitstream database is corrupt: {e}"))?;
+        envelope.format_version.check("bitstream database")?;
         let mut inner = Inner {
-            by_name,
+            by_name: envelope.apps,
             by_digest: HashMap::new(),
         };
         inner.rebuild_digest_index();
@@ -374,5 +394,27 @@ mod tests {
         // The digest index survives the roundtrip.
         let digest = db.get("a").unwrap().digest();
         assert!(back.get_by_digest(digest).is_some());
+    }
+
+    #[test]
+    fn json_carries_the_format_version() {
+        let db = BitstreamDatabase::new();
+        db.insert(bitstream("a")).unwrap();
+        let json = db.to_json().unwrap();
+        assert!(json.contains("\"format_version\":1"));
+    }
+
+    #[test]
+    fn from_json_refuses_corrupt_and_wrong_version_input() {
+        let err = BitstreamDatabase::from_json("{not json").unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        // A future version must be refused, not misread.
+        let future = "{\"format_version\":99,\"apps\":{}}";
+        let err = BitstreamDatabase::from_json(future).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        // The pre-versioning layout (a bare entry map) has no header and
+        // reads as corrupt.
+        let err = BitstreamDatabase::from_json("{}").unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
     }
 }

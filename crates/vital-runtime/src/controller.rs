@@ -8,7 +8,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use vital_checkpoint::{quiesce_all, ChannelCheckpoint, PlacementMeta, TenantCheckpoint};
+use vital_checkpoint::{
+    quiesce_all, ChannelCheckpoint, PlacementMeta, PortableCheckpoint, ScanState, TenantCheckpoint,
+};
 use vital_cluster::Topology;
 use vital_compiler::{
     AppBitstream, Compiler, NetlistDigest, PlacedBitstream, RelocationTarget, StageTimings,
@@ -25,8 +27,8 @@ use vital_telemetry::Telemetry;
 
 use crate::api::{
     ControlRequest, ControlResponse, DeployBackend, DeployRequest, DeploySummary,
-    EvacuationSummary, FailureSummary, FpgaStatus, MigrationSummary, ScaleSummary, StatusSummary,
-    SuspendSummary,
+    EvacuationSummary, FailureSummary, FpgaStatus, MigratePolicy, MigrationSummary, ScaleSummary,
+    StatusSummary, SuspendSummary,
 };
 use crate::farm::{BuildFarm, FlightResult, FlightRole};
 use crate::{
@@ -324,6 +326,10 @@ pub struct SystemController {
     /// requests against a disabled backend answer
     /// [`RuntimeError::IsaBackendDisabled`].
     isa: Mutex<Option<IsaBackendState>>,
+    /// Name of the device model this controller's fabric is built from,
+    /// recorded in portable checkpoints as the source geometry. Purely
+    /// descriptive — restore never branches on it (DESIGN.md §17).
+    geometry: String,
 }
 
 /// Live state of the ISA backend: the template, who owns which tiles,
@@ -398,6 +404,7 @@ impl SystemController {
             status_gen: AtomicU64::new(0),
             status_cache: Mutex::new(None),
             isa: Mutex::new(None),
+            geometry: "XCVU37P".to_string(),
             config,
         }
     }
@@ -438,6 +445,21 @@ impl SystemController {
     /// The attached telemetry handle (disabled unless set).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Names the device model behind this controller's fabric (default
+    /// `"XCVU37P"`). The name is stamped into portable checkpoints as
+    /// their source geometry; it does not change block counts — pass a
+    /// matching layout for that.
+    #[must_use]
+    pub fn with_geometry(mut self, name: &str) -> Self {
+        self.geometry = name.to_string();
+        self
+    }
+
+    /// The device-model name stamped into portable checkpoints.
+    pub fn geometry(&self) -> &str {
+        &self.geometry
     }
 
     /// Enables the ISA deployment backend with a template of `tiles`
@@ -569,10 +591,7 @@ impl SystemController {
         match std::fs::read_to_string(&path) {
             Ok(json) => {
                 let db = BitstreamDatabase::from_json(&json).map_err(|e| {
-                    RuntimeError::InvalidConfig(format!(
-                        "persisted bitstream database {} is corrupt: {e}",
-                        path.display()
-                    ))
+                    RuntimeError::InvalidConfig(format!("persisted {}: {e}", path.display()))
                 })?;
                 self.farm
                     .counters
@@ -597,6 +616,12 @@ impl SystemController {
                             "persisted demand profile {} is corrupt: {e}",
                             sidecar.display()
                         ))
+                    })?;
+                snapshot
+                    .format_version
+                    .check("demand profile")
+                    .map_err(|e| {
+                        RuntimeError::InvalidConfig(format!("persisted {}: {e}", sidecar.display()))
                     })?;
                 let apps = self.farm.demand.restore(snapshot);
                 self.farm
@@ -1891,6 +1916,229 @@ impl SystemController {
         Ok(migration)
     }
 
+    /// Lifts the parked capsule of a suspended tenant into the versioned,
+    /// geometry-independent [`PortableCheckpoint`] format (DESIGN.md §17):
+    /// the logical state keyed by netlist digest plus the compiled image's
+    /// scan-chain footprint. The tenant stays parked — exporting is
+    /// read-only.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NotSuspended`] if the tenant has no parked
+    /// checkpoint; [`RuntimeError::UnknownApp`] if its bitstream was
+    /// removed while parked.
+    pub fn portable_of(&self, tenant: TenantId) -> Result<PortableCheckpoint, RuntimeError> {
+        let capsule = self
+            .checkpoint_of(tenant)
+            .ok_or(RuntimeError::NotSuspended(tenant))?;
+        self.lift_portable(&capsule)
+    }
+
+    /// Builds the portable form of a capsule: netlist digest and scan
+    /// footprint come from the registered image, the geometry stamp from
+    /// this controller.
+    fn lift_portable(
+        &self,
+        capsule: &TenantCheckpoint,
+    ) -> Result<PortableCheckpoint, RuntimeError> {
+        let bitstream = self.bitstreams.get(&capsule.placement.app)?;
+        let scan: Vec<ScanState> = bitstream
+            .scan()
+            .chains
+            .iter()
+            .map(|c| ScanState {
+                virtual_block: c.virtual_block,
+                ff_bits: c.ff_bits,
+                bram_bits: c.bram_bits,
+            })
+            .collect();
+        Ok(PortableCheckpoint::from_capsule(
+            capsule,
+            bitstream.digest().as_u64(),
+            self.geometry.clone(),
+            scan,
+        ))
+    }
+
+    /// Restores a tenant from a [`PortableCheckpoint`], possibly exported
+    /// on a controller with a *different* fabric geometry. The capsule's
+    /// netlist digest is resolved against the local build farm —
+    /// registered image, digest index, or a full recompile through the
+    /// [`AppResolver`] (cache-hit-or-recompile, DESIGN.md §17) — and the
+    /// resolved image's scan interface must match the capsule chain for
+    /// chain before any state moves.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] on a version or scan-interface
+    /// mismatch, [`RuntimeError::UnknownApp`] if the digest cannot be
+    /// resolved, plus everything resume can return. On failure the
+    /// caller's capsule is untouched — restoring is idempotent-safe.
+    pub fn restore_portable(
+        &self,
+        portable: &PortableCheckpoint,
+    ) -> Result<DeployHandle, RuntimeError> {
+        portable
+            .version
+            .check("portable checkpoint")
+            .map_err(RuntimeError::InvalidConfig)?;
+        let mut span = self.telemetry.span("runtime.restore_portable");
+        span.field("tenant", portable.tenant.raw());
+        span.field("app", portable.placement.app.as_str());
+        span.field("source_geometry", portable.source_geometry.as_str());
+        let bitstream = self.bitstream_for_digest(&portable.placement.app, portable.app_digest)?;
+        let chains = &bitstream.scan().chains;
+        let matches = chains.len() == portable.scan.len()
+            && chains.iter().zip(&portable.scan).all(|(c, s)| {
+                c.virtual_block == s.virtual_block
+                    && c.ff_bits == s.ff_bits
+                    && c.bram_bits == s.bram_bits
+            });
+        if !matches {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "portable checkpoint of {:?} does not match the compiled image's scan interface",
+                portable.placement.app
+            )));
+        }
+        let capsule = portable.to_capsule();
+        let handle = self.do_resume_from(&capsule)?;
+        self.telemetry.inc_counter("runtime.portable_restores", 1);
+        Ok(handle)
+    }
+
+    /// Resolves an app image whose netlist digest must equal `digest`:
+    /// by name, by the digest index (re-registering under the capsule's
+    /// name), or by recompiling through [`SystemController::prepare`]'s
+    /// single-flight path.
+    fn bitstream_for_digest(&self, app: &str, digest: u64) -> Result<AppBitstream, RuntimeError> {
+        let verify = |bs: AppBitstream| {
+            if bs.digest().as_u64() == digest {
+                Ok(bs)
+            } else {
+                Err(RuntimeError::InvalidConfig(format!(
+                    "app {app:?} resolves to netlist digest {:016x}, capsule expects {digest:016x}",
+                    bs.digest().as_u64()
+                )))
+            }
+        };
+        if let Ok(bs) = self.bitstreams.get(app) {
+            return verify(bs);
+        }
+        if let Some(bs) = self
+            .bitstreams
+            .get_by_digest(NetlistDigest::from_raw(digest))
+        {
+            let bs = self.bitstreams.insert_or_get(bs.renamed(app))?;
+            self.persist_bitstreams();
+            return Ok(bs);
+        }
+        self.prepare(app)?;
+        verify(self.bitstreams.get(app)?)
+    }
+
+    /// Suspends, lifts, and restores `tenant` through the portable format
+    /// on this controller — the slow-path half of
+    /// [`ControlRequest::Migrate`] with [`MigratePolicy::Portable`].
+    /// Identical observable behaviour to [`SystemController::migrate_live`]
+    /// on the same geometry; unlike it, the capsule survives a geometry
+    /// change because only logical state crosses.
+    ///
+    /// # Errors
+    ///
+    /// Everything suspend and [`SystemController::restore_portable`] can
+    /// return; on a restore failure the checkpoint stays parked.
+    pub fn migrate_portable(&self, tenant: TenantId) -> Result<Migration, RuntimeError> {
+        let _dirty = self.mark_status_dirty();
+        let mut span = self.telemetry.span("runtime.migrate_portable");
+        span.field("tenant", tenant.raw());
+        let (ready, clock) = {
+            let tenants = self.tenants.lock();
+            let state = tenants
+                .get(&tenant)
+                .ok_or(RuntimeError::UnknownTenant(tenant))?;
+            (
+                state
+                    .channels
+                    .iter()
+                    .map(Channel::quiesce_ready_at)
+                    .max()
+                    .unwrap_or(0),
+                state.clock,
+            )
+        };
+        if clock < ready {
+            self.settle_tenant(tenant, ready - clock)?;
+        }
+        let checkpoint = self.suspend(tenant)?;
+        let migration = self.finish_portable_restore(&checkpoint)?;
+        span.field("fpgas_before", migration.fpgas_before);
+        span.field("fpgas_after", migration.fpgas_after);
+        self.telemetry.inc_counter("runtime.portable_migrations", 1);
+        Ok(migration)
+    }
+
+    /// The restore half of a portable migration, also used as the
+    /// [`MigratePolicy::Auto`] fallback when the fast path parked a
+    /// capsule and then failed to re-admit it.
+    fn finish_portable_restore(
+        &self,
+        checkpoint: &TenantCheckpoint,
+    ) -> Result<Migration, RuntimeError> {
+        let portable = self.lift_portable(checkpoint)?;
+        let handle = self.restore_portable(&portable)?;
+        let blocks: Vec<_> = handle.placed.addresses().collect();
+        Ok(Migration {
+            tenant: checkpoint.tenant,
+            fpgas_before: checkpoint.placement.fpgas_spanned,
+            fpgas_after: handle.fpga_count(),
+            reconfig: handle.reconfig,
+            hop_cost_before: checkpoint.placement.hop_cost,
+            hop_cost_after: self.placement_hop_cost(&blocks),
+        })
+    }
+
+    /// Dispatches a migration by [`MigratePolicy`], returning the
+    /// migration record together with the policy that actually ran
+    /// (`Auto` resolves to the winner, never itself).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the selected path returns; under `Auto` the fast path's
+    /// error is reported if the portable fallback cannot help either.
+    pub fn migrate_with_policy(
+        &self,
+        tenant: TenantId,
+        policy: MigratePolicy,
+    ) -> Result<(Migration, MigratePolicy), RuntimeError> {
+        match policy {
+            MigratePolicy::SameGeometry => self
+                .migrate_live(tenant)
+                .map(|m| (m, MigratePolicy::SameGeometry)),
+            MigratePolicy::Portable => self
+                .migrate_portable(tenant)
+                .map(|m| (m, MigratePolicy::Portable)),
+            MigratePolicy::Auto => match self.migrate_live(tenant) {
+                Ok(m) => Ok((m, MigratePolicy::SameGeometry)),
+                Err(first) => {
+                    // The fast path parks the capsule before re-admitting;
+                    // if it died after that point, retry the restore half
+                    // through the portable format. If it died earlier the
+                    // tenant is still live and the full portable migration
+                    // runs. The fallback's own error is less informative
+                    // than the fast path's, so `first` wins on a double
+                    // failure.
+                    let fallback = match self.checkpoint_of(tenant) {
+                        Some(cp) => self.finish_portable_restore(&cp),
+                        None => self.migrate_portable(tenant),
+                    };
+                    fallback
+                        .map(|m| (m, MigratePolicy::Portable))
+                        .map_err(|_| first)
+                }
+            },
+        }
+    }
+
     /// Tenants currently parked in suspended state, sorted.
     pub fn suspended_tenants(&self) -> Vec<TenantId> {
         let mut v: Vec<TenantId> = self.suspended.lock().keys().copied().collect();
@@ -2090,17 +2338,25 @@ impl SystemController {
                 self.undeploy(TenantId::new(tenant))?;
                 Ok(ControlResponse::Undeployed { tenant })
             }
-            ControlRequest::Suspend { tenant } => {
+            ControlRequest::Checkpoint { tenant } => {
                 let cp = self.suspend(TenantId::new(tenant))?;
-                Ok(ControlResponse::Suspended(SuspendSummary::from(&cp)))
+                let mut summary = SuspendSummary::from(&cp);
+                // The capsule is portable whenever its image (and thus
+                // scan interface) is still registered; advertise that.
+                if let Ok(portable) = self.lift_portable(&cp) {
+                    summary = summary.with_portability(portable.scan_bits());
+                }
+                Ok(ControlResponse::Suspended(summary))
             }
-            ControlRequest::Resume { tenant } => {
+            ControlRequest::Restore { tenant } => {
                 let handle = self.resume(TenantId::new(tenant))?;
                 Ok(ControlResponse::Resumed(DeploySummary::from(&handle)))
             }
-            ControlRequest::Migrate { tenant } => {
-                let m = self.migrate_live(TenantId::new(tenant))?;
-                Ok(ControlResponse::Migrated(MigrationSummary::from(&m)))
+            ControlRequest::Migrate { tenant, policy } => {
+                let (m, ran) = self.migrate_with_policy(TenantId::new(tenant), policy)?;
+                Ok(ControlResponse::Migrated(
+                    MigrationSummary::from(&m).with_policy(ran),
+                ))
             }
             ControlRequest::Evacuate { fpga } => {
                 self.check_fpga(fpga)?;

@@ -24,6 +24,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use vital_interface::FormatVersion;
+
 use crate::RuntimeError;
 
 /// Monotonic counters of the build-farm layer.
@@ -223,9 +225,12 @@ struct DemandInner {
 
 /// Serializable image of the demand profile. `BTreeMap` keeps the JSON
 /// byte-deterministic for a given state, so repeated saves of an unchanged
-/// profile write identical files.
+/// profile write identical files. The sidecar carries the same
+/// [`FormatVersion`] header as the bitstream database; the loader checks
+/// it before restoring.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub(crate) struct DemandSnapshot {
+    pub(crate) format_version: FormatVersion,
     pub(crate) counts: BTreeMap<String, u64>,
     pub(crate) events: u64,
 }
@@ -257,6 +262,7 @@ impl DemandProfile {
     pub(crate) fn snapshot(&self) -> DemandSnapshot {
         let inner = self.inner.lock().expect("demand mutex poisoned");
         DemandSnapshot {
+            format_version: FormatVersion::CURRENT,
             counts: inner.counts.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             events: inner.events,
         }

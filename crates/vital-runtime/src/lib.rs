@@ -68,8 +68,8 @@ mod scheduler;
 
 pub use api::{
     ControlRequest, ControlResponse, DeployBackend, DeployRequest, DeploySummary,
-    EvacuationSummary, FailureSummary, FpgaStatus, MigrationSummary, ScaleSummary, StatusSummary,
-    SuspendSummary,
+    EvacuationSummary, FailureSummary, FpgaStatus, MigratePolicy, MigrationSummary, ScaleSummary,
+    StatusSummary, SuspendSummary,
 };
 pub use bitstream_db::{BitstreamDatabase, CacheStats};
 pub use controller::{
@@ -85,5 +85,6 @@ pub use scheduler::{PodScheduler, VitalScheduler};
 // re-export them so downstream users don't need a direct
 // `vital-checkpoint` dependency.
 pub use vital_checkpoint::{
-    quiesce_all, ChannelCheckpoint, CheckpointDigest, PlacementMeta, TenantCheckpoint,
+    quiesce_all, ChannelCheckpoint, CheckpointDigest, PlacementMeta, PortableChannel,
+    PortableCheckpoint, ScanState, TenantCheckpoint,
 };

@@ -5,7 +5,14 @@
 //! vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N]
 //!        [--queue-depth N] [--timeout-ms MS] [--batch-max N]
 //!        [--persist PATH] [--speculate-ms MS] [--isa-tiles N]
+//!        [--geometry NAME]
 //! ```
+//!
+//! `--geometry NAME` selects the fabric's device model (`XCVU37P`,
+//! `XCVU37P-ALT`, …): bitstreams compile against that column layout and
+//! portable checkpoints are stamped with it, so capsules exported here
+//! can be restored on a daemon running a different geometry
+//! (DESIGN.md §17).
 //!
 //! `--isa-tiles N` (0 = off) enables the instruction-level deployment
 //! backend with an `N`-tile shared template: ISA deploys and `scale`
@@ -30,7 +37,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use vital_runtime::{RuntimeConfig, SystemController};
-use vital_service::{benchmark_resolver, ServiceConfig, ServiceServer, Vitald};
+use vital_service::{benchmark_resolver_for, DeviceModel, ServiceConfig, ServiceServer, Vitald};
 use vital_telemetry::Telemetry;
 
 struct Options {
@@ -39,6 +46,7 @@ struct Options {
     persist: Option<String>,
     speculate_every: Option<Duration>,
     isa_tiles: usize,
+    geometry: DeviceModel,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +55,7 @@ fn parse_args() -> Result<Options, String> {
     let mut persist = None;
     let mut speculate_every = None;
     let mut isa_tiles = 0usize;
+    let mut geometry = DeviceModel::xcvu37p();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -106,11 +115,16 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--speculate-ms: {e}"))?;
                 speculate_every = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--geometry" => {
+                let name = value("--geometry")?;
+                geometry = DeviceModel::by_name(&name)
+                    .ok_or_else(|| format!("--geometry: unknown device model {name:?}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "vitald [--listen ADDR] [--workers N] [--shards N] [--io-threads N] \
                      [--queue-depth N] [--timeout-ms MS] [--batch-max N] \
-                     [--persist PATH] [--speculate-ms MS] [--isa-tiles N]"
+                     [--persist PATH] [--speculate-ms MS] [--isa-tiles N] [--geometry NAME]"
                 );
                 std::process::exit(0);
             }
@@ -123,6 +137,7 @@ fn parse_args() -> Result<Options, String> {
         persist,
         speculate_every,
         isa_tiles,
+        geometry,
     })
 }
 
@@ -135,7 +150,11 @@ fn main() {
         }
     };
     let mut controller = SystemController::new(RuntimeConfig::paper_cluster())
-        .with_telemetry(Telemetry::recording());
+        .with_telemetry(Telemetry::recording())
+        .with_geometry(opts.geometry.name());
+    if opts.geometry.name() != "XCVU37P" {
+        println!("vitald: fabric geometry {}", opts.geometry.name());
+    }
     if let Some(path) = &opts.persist {
         controller = match controller.with_persistence(path) {
             Ok(c) => c,
@@ -155,7 +174,7 @@ fn main() {
         );
     }
     let controller = Arc::new(controller);
-    controller.set_app_resolver(benchmark_resolver());
+    controller.set_app_resolver(benchmark_resolver_for(opts.geometry.clone()));
     if let Some(every) = opts.speculate_every {
         let controller = Arc::clone(&controller);
         std::thread::Builder::new()

@@ -76,6 +76,8 @@ pub use wire::{
     ResponseEnvelope, WireFormat, MAX_FRAME_BYTES,
 };
 
+pub use vital_compiler::DeviceModel;
+
 use vital_compiler::{Compiler, CompilerConfig};
 use vital_runtime::{AppResolver, RuntimeError};
 use vital_workloads::{benchmarks, Size};
@@ -86,7 +88,17 @@ use vital_workloads::{benchmarks, Size};
 /// variant. The `vitald` daemon installs this so remote clients can
 /// `Prepare`/`Deploy` benchmarks by name without shipping netlists.
 pub fn benchmark_resolver() -> AppResolver {
-    Box::new(|name: &str| {
+    benchmark_resolver_for(DeviceModel::xcvu37p())
+}
+
+/// [`benchmark_resolver`] targeting an explicit device model — the
+/// resolver `vitald --geometry NAME` installs, so a portable checkpoint
+/// restored onto a differently-laid-out fabric recompiles against that
+/// fabric's column geometry (DESIGN.md §17). The netlist digest is
+/// device-independent, so images compiled here still match capsules
+/// exported from other geometries.
+pub fn benchmark_resolver_for(device: DeviceModel) -> AppResolver {
+    Box::new(move |name: &str| {
         let (bench, size) = name
             .rsplit_once('-')
             .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))?;
@@ -101,7 +113,7 @@ pub fn benchmark_resolver() -> AppResolver {
             .iter()
             .find(|b| b.name() == bench)
             .ok_or_else(|| RuntimeError::UnknownApp(name.to_string()))?;
-        let compiled = Compiler::new(CompilerConfig::default())
+        let compiled = Compiler::for_device(&device, 60, CompilerConfig::default())
             .compile(&b.spec(size))
             .map_err(RuntimeError::Compile)?;
         Ok(compiled.into_bitstream())

@@ -36,6 +36,7 @@ fn latency_hist(endpoint: &str) -> &'static str {
         "deploy" => "service.latency_us.deploy",
         "restore" => "service.latency_us.restore",
         "undeploy" => "service.latency_us.undeploy",
+        "checkpoint" => "service.latency_us.checkpoint",
         "suspend" => "service.latency_us.suspend",
         "resume" => "service.latency_us.resume",
         "migrate" => "service.latency_us.migrate",

@@ -292,6 +292,69 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_surface_round_trips_in_both_wire_formats() {
+        use vital_runtime::MigratePolicy;
+        let reqs = [
+            ControlRequest::Checkpoint { tenant: 3 },
+            ControlRequest::Restore { tenant: 3 },
+            ControlRequest::Migrate {
+                tenant: 3,
+                policy: MigratePolicy::Portable,
+            },
+            ControlRequest::Migrate {
+                tenant: 3,
+                policy: MigratePolicy::Auto,
+            },
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let env = RequestEnvelope {
+                id: i as u64,
+                req: req.clone(),
+            };
+            for format in [WireFormat::Binary, WireFormat::Json] {
+                let mut buf = Vec::new();
+                write_frame(&mut buf, &env, format).unwrap();
+                let (back, got): (RequestEnvelope, _) =
+                    read_frame(&mut buf.as_slice(), MAX_FRAME_BYTES).unwrap();
+                assert_eq!(back.req, req);
+                assert_eq!(got, format);
+            }
+        }
+    }
+
+    /// A policy-less `Migrate` frame from an old client — hand-built JSON
+    /// payload inside the 4-byte length framing — parses as the
+    /// same-geometry fast path.
+    #[test]
+    fn legacy_migrate_frames_parse_without_a_policy() {
+        let payload = "{\"id\":9,\"req\":{\"Migrate\":{\"tenant\":3}}}";
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload.as_bytes());
+        let (env, format): (RequestEnvelope, _) =
+            read_frame(&mut buf.as_slice(), MAX_FRAME_BYTES).unwrap();
+        assert_eq!(format, WireFormat::Json);
+        assert_eq!(
+            env.req,
+            ControlRequest::Migrate {
+                tenant: 3,
+                policy: vital_runtime::MigratePolicy::SameGeometry,
+            }
+        );
+        // Same for the old Suspend/Resume tags.
+        for (tag, want) in [
+            ("Suspend", ControlRequest::Checkpoint { tenant: 3 }),
+            ("Resume", ControlRequest::Restore { tenant: 3 }),
+        ] {
+            let payload = format!("{{\"id\":9,\"req\":{{\"{tag}\":{{\"tenant\":3}}}}}}");
+            let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(payload.as_bytes());
+            let (env, _): (RequestEnvelope, _) =
+                read_frame(&mut buf.as_slice(), MAX_FRAME_BYTES).unwrap();
+            assert_eq!(env.req, want);
+        }
+    }
+
+    #[test]
     fn binary_is_smaller_than_json() {
         let env = request(1);
         let (mut bin, mut json) = (Vec::new(), Vec::new());

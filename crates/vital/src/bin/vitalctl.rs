@@ -15,9 +15,12 @@
 //! deploy   <name> --isa      # deploy onto the shared ISA tile pool instead
 //! scale    <tenant-id> <tiles> # elastically resize an ISA tenant's tile share
 //! undeploy <tenant-id>       # tear a deployment down
-//! suspend  <tenant-id>       # quiesce + park a checkpoint capsule
-//! resume   <tenant-id>       # restore a suspended tenant losslessly
-//! migrate  <tenant-id>       # live-migrate (suspend + resume in one step)
+//! checkpoint <tenant-id>     # quiesce + park a checkpoint capsule
+//! checkpoint export <tenant-id> <file>  # write the portable capsule (local only)
+//! checkpoint import <file>   # restore a portable capsule (local only)
+//! restore  <tenant-id>       # re-admit a checkpointed tenant losslessly
+//! suspend/resume <tenant-id> # legacy aliases for checkpoint/restore
+//! migrate  <tenant-id> [--portable|--auto]  # live-migrate (checkpoint + restore)
 //! defrag                     # migrate spanning tenants onto fewer FPGAs
 //! fail     <fpga>            # crash an FPGA (tenants migrate or die)
 //! recover  <fpga>            # bring a failed FPGA back online
@@ -36,7 +39,8 @@ use std::io::BufRead;
 use std::sync::Arc;
 
 use vital::runtime::{
-    ControlRequest, ControlResponse, DeployRequest, RuntimeConfig, SystemController,
+    ControlRequest, ControlResponse, DeployRequest, MigratePolicy, PortableCheckpoint,
+    RuntimeConfig, SystemController,
 };
 use vital::service::{
     benchmark_resolver, RemoteClient, ServiceClient, ServiceConfig, Vitald, WireFormat,
@@ -50,6 +54,10 @@ enum Backend {
         /// Kept alive for the session; dropped (drained) on exit.
         _vitald: Vitald,
         client: ServiceClient,
+        /// Direct controller handle for the capsule file commands
+        /// (`checkpoint export`/`import`), which move state the wire
+        /// protocol does not carry.
+        controller: Arc<SystemController>,
     },
     Remote(RemoteClient),
 }
@@ -62,6 +70,76 @@ impl Backend {
                 .call(req)
                 .unwrap_or_else(|e| ControlResponse::Err((&e).into())),
         }
+    }
+
+    fn controller(&self) -> Option<&SystemController> {
+        match self {
+            Backend::Local { controller, .. } => Some(controller),
+            Backend::Remote(_) => None,
+        }
+    }
+}
+
+/// `checkpoint export <tenant-id> <file>`: lift the parked capsule into
+/// the portable format and write it as JSON.
+fn export_checkpoint(backend: &Backend, tenant: u64, path: &str) {
+    let Some(controller) = backend.controller() else {
+        println!("checkpoint export needs a local session (capsules do not cross the wire)");
+        return;
+    };
+    let portable = match controller.portable_of(vital::periph::TenantId::new(tenant)) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    match portable.to_json() {
+        Ok(json) => match std::fs::write(path, json) {
+            Ok(()) => println!(
+                "tenant{tenant} exported to {path}: {} scan bit(s), {} flit(s), {} DRAM byte(s), \
+                 geometry {}",
+                portable.scan_bits(),
+                portable.total_flits(),
+                portable.dram_bytes(),
+                portable.source_geometry
+            ),
+            Err(e) => println!("error: cannot write {path}: {e}"),
+        },
+        Err(e) => println!("error: cannot serialize capsule: {e}"),
+    }
+}
+
+/// `checkpoint import <file>`: parse a portable capsule and restore it
+/// onto this controller's fabric (recompiling the app if needed).
+fn import_checkpoint(backend: &Backend, path: &str) {
+    let Some(controller) = backend.controller() else {
+        println!("checkpoint import needs a local session (capsules do not cross the wire)");
+        return;
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            println!("error: cannot read {path}: {e}");
+            return;
+        }
+    };
+    let portable = match PortableCheckpoint::from_json(&json) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    match controller.restore_portable(&portable) {
+        Ok(handle) => println!(
+            "tenant{} restored from {path} (source geometry {}, now on {}) on {} FPGA(s)",
+            portable.tenant.raw(),
+            portable.source_geometry,
+            controller.geometry(),
+            handle.fpga_count()
+        ),
+        Err(e) => println!("error: {e}"),
     }
 }
 
@@ -81,17 +159,29 @@ fn render(resp: &ControlResponse) {
             "tenant{} rescaled {} -> {} tile(s) in {} us (stream switch, no reconfiguration)",
             s.tenant, s.tiles_before, s.tiles_after, s.realloc_us
         ),
-        ControlResponse::Suspended(s) => println!(
-            "tenant{} suspended: {} flit(s) in {} channel(s), {} DRAM byte(s) parked",
-            s.tenant, s.flits, s.channels, s.dram_bytes
-        ),
+        ControlResponse::Suspended(s) => {
+            let portability = if s.portable {
+                format!(
+                    ", portable ({} scan bit(s), capsule {})",
+                    s.scan_bits, s.capsule_version
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "tenant{} checkpointed: {} flit(s) in {} channel(s), {} DRAM byte(s) \
+                 parked{portability}",
+                s.tenant, s.flits, s.channels, s.dram_bytes
+            );
+        }
         ControlResponse::Resumed(s) => println!(
             "tenant{} resumed on {} FPGA(s), reconfig {} us",
             s.tenant, s.fpgas, s.reconfig_us
         ),
         ControlResponse::Migrated(m) => println!(
-            "migrated tenant{}: {} -> {} FPGA(s), hop cost {} -> {}, reconfig {} us",
+            "migrated tenant{} ({:?}): {} -> {} FPGA(s), hop cost {} -> {}, reconfig {} us",
             m.tenant,
+            m.policy,
             m.fpgas_before,
             m.fpgas_after,
             m.hop_cost_before,
@@ -236,7 +326,7 @@ fn main() {
                     .with_isa_backend(vital::isa::IsaTemplate::paper_pool().tiles()),
             );
             controller.set_app_resolver(benchmark_resolver());
-            let vitald = Vitald::spawn(controller, ServiceConfig::default());
+            let vitald = Vitald::spawn(controller.clone(), ServiceConfig::default());
             let client = vitald.client();
             println!(
                 "vitalctl: in-process vitald over the paper cluster \
@@ -245,6 +335,7 @@ fn main() {
             Backend::Local {
                 _vitald: vitald,
                 client,
+                controller,
             }
         }
     };
@@ -307,24 +398,51 @@ fn main() {
                     continue;
                 }
             },
-            "suspend" => match parse_tenant(tokens.next()) {
-                Some(tenant) => ControlRequest::Suspend { tenant },
-                None => {
-                    println!("usage: suspend <tenant-id>");
+            "checkpoint" | "suspend" => match tokens.next() {
+                Some("export") => {
+                    match (parse_tenant(tokens.next()), tokens.next()) {
+                        (Some(tenant), Some(path)) => export_checkpoint(&backend, tenant, path),
+                        _ => println!("usage: checkpoint export <tenant-id> <file>"),
+                    }
                     continue;
                 }
+                Some("import") => {
+                    match tokens.next() {
+                        Some(path) => import_checkpoint(&backend, path),
+                        None => println!("usage: checkpoint import <file>"),
+                    }
+                    continue;
+                }
+                token => match parse_tenant(token) {
+                    Some(tenant) => ControlRequest::Checkpoint { tenant },
+                    None => {
+                        println!("usage: checkpoint <tenant-id> | export <tenant-id> <file> | import <file>");
+                        continue;
+                    }
+                },
             },
-            "resume" => match parse_tenant(tokens.next()) {
-                Some(tenant) => ControlRequest::Resume { tenant },
+            "restore" | "resume" => match parse_tenant(tokens.next()) {
+                Some(tenant) => ControlRequest::Restore { tenant },
                 None => {
-                    println!("usage: resume <tenant-id>");
+                    println!("usage: restore <tenant-id>");
                     continue;
                 }
             },
             "migrate" => match parse_tenant(tokens.next()) {
-                Some(tenant) => ControlRequest::Migrate { tenant },
+                Some(tenant) => {
+                    let policy = match tokens.next() {
+                        Some("--portable") => MigratePolicy::Portable,
+                        Some("--auto") => MigratePolicy::Auto,
+                        Some(other) => {
+                            println!("unknown migrate flag {other:?} (use --portable or --auto)");
+                            continue;
+                        }
+                        None => MigratePolicy::SameGeometry,
+                    };
+                    ControlRequest::Migrate { tenant, policy }
+                }
                 None => {
-                    println!("usage: migrate <tenant-id>");
+                    println!("usage: migrate <tenant-id> [--portable|--auto]");
                     continue;
                 }
             },
@@ -354,7 +472,7 @@ fn main() {
             "quit" | "exit" => break,
             other => {
                 println!(
-                    "unknown command {other:?} (compile/deploy/scale/undeploy/suspend/resume/\
+                    "unknown command {other:?} (compile/deploy/scale/undeploy/checkpoint/restore/\
                      migrate/defrag/fail/recover/evacuate/status/quit)"
                 );
                 continue;

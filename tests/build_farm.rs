@@ -424,6 +424,38 @@ fn corrupt_demand_sidecar_is_rejected() {
     assert!(msg.contains("demand profile"), "unexpected error: {msg}");
 }
 
+/// Persisted files from an incompatible build — wrong `format_version`
+/// header — are refused with a typed error, for both the bitstream
+/// database and the demand sidecar (DESIGN.md §17).
+#[test]
+fn wrong_format_version_headers_are_rejected() {
+    let db = TempDb::new("db_version");
+    std::fs::write(db.path(), "{\"format_version\":99,\"apps\":{}}").unwrap();
+    let err = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_persistence(db.path())
+        .expect_err("future database version must fail startup");
+    assert!(matches!(
+        err,
+        vital::runtime::RuntimeError::InvalidConfig(_)
+    ));
+    assert!(err.to_string().contains("version 99"), "{err}");
+
+    let db = TempDb::new("demand_version");
+    std::fs::write(
+        db.demand_path(),
+        "{\"format_version\":99,\"counts\":{},\"events\":0}",
+    )
+    .unwrap();
+    let err = SystemController::new(RuntimeConfig::paper_cluster())
+        .with_persistence(db.path())
+        .expect_err("future sidecar version must fail startup");
+    assert!(matches!(
+        err,
+        vital::runtime::RuntimeError::InvalidConfig(_)
+    ));
+    assert!(err.to_string().contains("version 99"), "{err}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
     /// Persistence round-trip property: whatever design was compiled and

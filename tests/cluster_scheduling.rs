@@ -2,7 +2,9 @@
 //! per-device baseline and both AmorphOS modes, on Table 3 workload sets.
 
 use vital::baselines::{AmorphOsHighThroughput, AmorphOsLowLatency, PerDeviceBaseline};
-use vital::cluster::{ClusterConfig, ClusterSim};
+use vital::cluster::{
+    ClusterConfig, ClusterSim, ClusterView, Deployment, PendingRequest, Topology,
+};
 use vital::prelude::*;
 use vital::workloads::{SizingModel, WorkloadParams};
 
@@ -127,4 +129,82 @@ fn interface_overhead_is_negligible() {
         "overhead {}",
         vital.max_interface_overhead()
     );
+}
+
+/// Records every deployment the wrapped policy makes, so the test can see
+/// *where* each stint of a request landed.
+struct Recording<S> {
+    inner: S,
+    placements: Vec<Deployment>,
+}
+
+impl<S: Scheduler> Scheduler for Recording<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn schedule(&mut self, view: &ClusterView, pending: &[PendingRequest]) -> Vec<Deployment> {
+        let decisions = self.inner.schedule(view, pending);
+        self.placements.extend(decisions.iter().cloned());
+        decisions
+    }
+}
+
+#[test]
+fn checkpointed_tenant_resumes_in_another_pod() {
+    // 2 pods x 2 FPGAs. A whole-FPGA job lands in pod 0; at t = 2 s the
+    // entire pod crashes. With portable checkpoints in the fault plan the
+    // job resumes in pod 1 with its first 2 s of progress intact — the
+    // cross-pod counterpart of `SystemController::migrate_portable`.
+    let sim = ClusterSim::new(ClusterConfig::paper_cluster())
+        .with_topology(Topology::pods(2, 2, 100.0, 25.0))
+        .expect("2 x 2 pods cover the 4-FPGA paper cluster");
+    let reqs = vec![AppRequest::new(0, "svc", 15, 10.0e9)];
+    // FPGA 1 (the idle half of pod 0) drops first, so the eviction at
+    // t = 2 s finds no free blocks anywhere in pod 0.
+    let pod_down = FaultPlan::new().fpga_crash(1, 1.9).fpga_crash(0, 2.0);
+
+    let restart = sim.run_with_plan(&mut VitalScheduler::new(), reqs.clone(), &pod_down);
+    let mut policy = Recording {
+        inner: VitalScheduler::new(),
+        placements: Vec::new(),
+    };
+    let resumed = sim.run_with_plan(
+        &mut policy,
+        reqs,
+        &pod_down.clone().with_portable_checkpoints(),
+    );
+
+    assert_eq!(resumed.completed(), 1);
+    let outcome = &resumed.outcomes[0];
+    assert_eq!(outcome.restarts, 1, "the pod failure evicted the tenant");
+
+    // The two stints ran in different pods.
+    let pods_of = |d: &Deployment| {
+        let mut pods: Vec<usize> = d
+            .blocks
+            .iter()
+            .map(|b| sim.topology().pod_of(b.fpga.index() as usize))
+            .collect();
+        pods.sort_unstable();
+        pods.dedup();
+        pods
+    };
+    assert_eq!(policy.placements.len(), 2, "initial placement plus resume");
+    assert_eq!(pods_of(&policy.placements[0]), vec![0]);
+    assert_eq!(
+        pods_of(&policy.placements[1]),
+        vec![1],
+        "the checkpointed tenant resumed in the surviving pod"
+    );
+
+    // Progress crossed the pod boundary: the resumed run finishes well
+    // before the restart-from-scratch run and wastes nothing.
+    assert!(
+        outcome.completion_s < restart.outcomes[0].completion_s - 1.0,
+        "resume {} vs restart {}",
+        outcome.completion_s,
+        restart.outcomes[0].completion_s
+    );
+    assert_eq!(resumed.wasted_block_s, 0.0);
+    assert!(restart.wasted_block_s > 0.0);
 }

@@ -103,7 +103,7 @@ impl Baseline {
 fn drain_tenants(vitald: &Vitald) {
     let client = vitald.client();
     for t in vitald.controller().suspended_tenants() {
-        let resp = client.call(ControlRequest::resume(t));
+        let resp = client.call(ControlRequest::restore(t));
         assert!(
             resp.is_ok() || resp.err().is_some(),
             "resume of suspended tenant{t} must answer"
@@ -149,9 +149,9 @@ fn interleaved_sessions_leave_the_controller_consistent() {
                     };
                     let tenant = TenantId::new(s.tenant);
                     if iter % 3 == 1 {
-                        let suspended = client.call(ControlRequest::suspend(tenant));
+                        let suspended = client.call(ControlRequest::checkpoint(tenant));
                         if suspended.is_ok() {
-                            let _ = client.call(ControlRequest::resume(tenant));
+                            let _ = client.call(ControlRequest::restore(tenant));
                         }
                     } else if iter % 3 == 2 {
                         let _ = client.call(ControlRequest::migrate(tenant));
